@@ -1,0 +1,55 @@
+"""PERF-BGP — message-engine convergence cost ablation (not a paper figure).
+
+Times full BGP propagation to convergence on growing topologies and
+checks the oracle agrees with the engine at every size — the guarantee
+that lets the long study use the closed-form oracle instead of
+message-level simulation.
+"""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.netbase.prefix import Prefix
+from repro.topology.generator import TopologyConfig, build_initial_model
+from repro.util.rng import RngStreams
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+@pytest.mark.parametrize("scale", [0.01, 0.04, 0.08])
+def test_bgp_propagation(benchmark, scale):
+    model, _plan, _factory = build_initial_model(
+        TopologyConfig(scale=scale), RngStreams(42)
+    )
+    origin = sorted(model.as_info)[len(model.as_info) // 2]
+
+    def propagate():
+        network = Network(model.graph.copy())
+        network.originate(origin, PREFIX)
+        updates = network.run_to_convergence()
+        return network, updates
+
+    network, updates = benchmark(propagate)
+
+    # Every AS converged to a route.
+    reached = sum(
+        1
+        for asn in model.graph.ases()
+        if network.best_path(asn, PREFIX) is not None
+    )
+    assert reached == len(model.graph)
+
+    # Oracle/engine agreement at this size.
+    oracle = GaoRexfordOracle(model.graph)
+    for asn in list(model.graph.ases())[:200]:
+        engine_path = network.best_path(asn, PREFIX)
+        oracle_path = oracle.path(asn, origin)
+        assert engine_path is not None
+        assert oracle_path == engine_path.sequence_tuple()
+
+    print(
+        f"\n[perf-bgp] {len(model.graph)} ASes, "
+        f"{model.graph.num_links()} links: {updates} updates, "
+        f"{benchmark.stats.stats.mean * 1e3:.0f} ms to convergence"
+    )

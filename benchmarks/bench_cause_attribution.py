@@ -1,0 +1,97 @@
+"""CAUSES — Section VI's cause attribution case studies.
+
+Paper facts reproduced and asserted here:
+
+- 1998-04-07: AS 8584 involved in 11 357 of 11 842 conflicts (96%),
+- 2001-04-10: sequence (AS 3561, AS 15412) in 5 532 of 6 627 (83%),
+- 30 exchange-point prefixes among all conflicts, every one of them
+  lasting "most or all of the observation period",
+- ~12 AS_SET-terminated prefixes excluded from the analysis.
+
+The benchmark times the cause-attribution pass over the final episode
+table (exchange-point + private-AS identification).
+"""
+
+import datetime
+
+from benchmarks.conftest import SCALE, scaled
+from repro.core.causes import exchange_point_episodes, private_asn_episodes
+from repro.scenario.calibration import PAPER
+
+
+def attribute(episodes):
+    return (
+        exchange_point_episodes(episodes),
+        private_asn_episodes(episodes),
+    )
+
+
+def test_cause_attribution(benchmark, results):
+    ixp_episodes, private_episodes = benchmark(
+        attribute, results.episodes
+    )
+
+    # Exchange points: few, and essentially whole-study conflicts.
+    expected_ixps = max(2, round(PAPER.exchange_point_prefixes * SCALE))
+    assert len(ixp_episodes) == expected_ixps
+    for episode in ixp_episodes:
+        assert episode.days_observed > 0.85 * results.total_days, (
+            f"IXP episode {episode.prefix} lasted only "
+            f"{episode.days_observed} of {results.total_days} days"
+        )
+
+    # AS-set prefixes excluded, at the paper's (scaled) magnitude.
+    assert results.as_set_excluded_max >= max(
+        2, round(PAPER.as_set_prefixes * SCALE)
+    )
+
+    # The 1998 fault: culprit and involvement fraction.
+    spike_1998 = [
+        case
+        for case in results.case_studies
+        if case.report.day == PAPER.spike_1998_date
+    ]
+    assert spike_1998, "1998-04-07 spike not detected"
+    report = spike_1998[0].report
+    assert report.culprit_asn == PAPER.spike_1998_faulty_asn
+    paper_fraction = (
+        PAPER.spike_1998_involving_fault / PAPER.spike_1998_total
+    )
+    assert report.involvement > 0.8 * paper_fraction
+
+    # The 2001 fault: the (3561, 15412) sequence carries the spike.
+    spike_2001 = [
+        case
+        for case in results.case_studies
+        if PAPER.spike_2001_start
+        <= case.report.day
+        <= PAPER.spike_2001_start + datetime.timedelta(days=5)
+    ]
+    assert spike_2001, "2001-04 spike not detected"
+    case = spike_2001[0]
+    assert case.report.culprit_asn == PAPER.spike_2001_faulty_asn
+    assert case.upstream_asn == PAPER.spike_2001_upstream_asn
+    paper_seq_fraction = (
+        PAPER.spike_2001_apr10_involving / PAPER.spike_2001_apr10_total
+    )
+    measured_fraction = case.sequence_involved / max(case.sequence_total, 1)
+    assert measured_fraction > 0.8 * paper_seq_fraction
+
+    print()
+    print(
+        f"[causes] exchange points: {len(ixp_episodes)} "
+        f"(paper {PAPER.exchange_point_prefixes} -> scaled "
+        f"{scaled(PAPER.exchange_point_prefixes):.0f}), all long-lived"
+    )
+    print(
+        f"[causes] 1998 fault: AS {report.culprit_asn} in "
+        f"{report.culprit_involved}/{report.total_conflicts} "
+        f"({report.involvement:.0%}; paper {paper_fraction:.0%})"
+    )
+    print(
+        f"[causes] 2001 fault: ({case.upstream_asn}, "
+        f"{case.report.culprit_asn}) in {case.sequence_involved}/"
+        f"{case.sequence_total} ({measured_fraction:.0%}; paper "
+        f"{paper_seq_fraction:.0%})"
+    )
+    print(f"[causes] private-AS leaks observed: {len(private_episodes)}")

@@ -1,0 +1,57 @@
+"""PERF-DET — detector throughput ablation (not a paper figure).
+
+Times the reference full-table detector over synthetic snapshots of
+increasing size, verifying throughput stays in the range that makes the
+1279-day study tractable and that cost scales roughly linearly.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.detector import detect_snapshot
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+from repro.util.rng import RngStreams
+
+
+def synthetic_snapshot(num_prefixes: int, conflict_share: float = 0.02):
+    rng = RngStreams(7).python("bench-detector")
+    peers = [PeerId(asn=asn) for asn in (701, 1239, 3561, 7018)]
+    routes = []
+    for index in range(num_prefixes):
+        prefix = Prefix((10 << 24) + (index << 8), 24, strict=False)
+        origin = 1000 + index % 5000
+        for peer in peers:
+            path = ASPath.from_sequence([peer.asn, 42, origin])
+            routes.append(Route(prefix, path, peer))
+        if rng.random() < conflict_share:
+            hijacker = 64000 + index % 500
+            routes.append(
+                Route(
+                    prefix,
+                    ASPath.from_sequence([peers[0].asn, hijacker]),
+                    peers[0],
+                )
+            )
+    return RibSnapshot.from_routes(datetime.date(2001, 4, 6), routes)
+
+
+@pytest.mark.parametrize("num_prefixes", [2_000, 10_000, 50_000])
+def test_detector_throughput(benchmark, num_prefixes):
+    snapshot = synthetic_snapshot(num_prefixes)
+    detection = benchmark(detect_snapshot, snapshot)
+
+    assert detection.prefixes_scanned == num_prefixes
+    assert detection.num_conflicts > 0
+
+    stats = benchmark.stats.stats
+    per_route = stats.mean / snapshot.num_routes()
+    print(
+        f"\n[perf-det] {num_prefixes} prefixes, "
+        f"{snapshot.num_routes()} routes: {stats.mean * 1e3:.1f} ms "
+        f"({1 / per_route:,.0f} routes/s)"
+    )
+    # Tractability floor: at least 100k routes/s in the reference path.
+    assert 1 / per_route > 100_000

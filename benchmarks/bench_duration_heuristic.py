@@ -1,0 +1,81 @@
+"""HEUR — Section VI-F's duration heuristic, swept and scored.
+
+Paper: "the duration can be a useful heuristic to distinguish between
+valid MOAS conflicts and invalid ones.  However, such differentiation
+can not be accurate enough to be a solution."
+
+The benchmark scores the duration threshold heuristic against the
+generator's ground-truth cause labels (never seen by the pipeline) and
+asserts exactly the paper's conclusion: clearly better than chance,
+clearly short of reliable.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.causes import score_duration_heuristic
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import ArchiveReader
+
+
+@pytest.fixture(scope="module")
+def truth_labels(paper_archive):
+    """prefix -> is-valid, dropping prefixes with conflicting labels."""
+    reader = ArchiveReader(Path(paper_archive))
+    labels: dict[Prefix, bool] = {}
+    ambiguous: set[Prefix] = set()
+    for entry in reader.ground_truth():
+        prefix = Prefix.parse(entry["prefix"])
+        valid = bool(entry["valid"])
+        if prefix in labels and labels[prefix] != valid:
+            ambiguous.add(prefix)
+        labels[prefix] = valid
+    for prefix in ambiguous:
+        del labels[prefix]
+    return labels
+
+
+def sweep(episodes, truth, thresholds):
+    return {
+        threshold: score_duration_heuristic(
+            episodes, truth, threshold_days=threshold
+        )
+        for threshold in thresholds
+    }
+
+
+def test_duration_heuristic(benchmark, results, truth_labels):
+    thresholds = (1, 3, 9, 29, 89)
+    episodes = list(results.episodes.values())
+    scores = benchmark(sweep, episodes, truth_labels, thresholds)
+
+    best = max(scores.values(), key=lambda score: score.accuracy)
+
+    # Useful: well above a coin flip at the best threshold.
+    assert best.accuracy > 0.65, f"accuracy only {best.accuracy:.2f}"
+
+    # ...but "not accurate enough to be a solution": every threshold
+    # still misclassifies a real share of conflicts.
+    for score in scores.values():
+        assert score.accuracy < 0.98
+        total_errors = score.false_valid + score.false_invalid
+        assert total_errors > 0
+
+    # The heuristic's recall of valid conflicts improves as the
+    # threshold drops (short valid conflicts get misjudged).
+    assert scores[1].recall >= scores[89].recall
+
+    print()
+    for threshold in thresholds:
+        score = scores[threshold]
+        print(
+            f"[heur] >{threshold:>2}d: accuracy={score.accuracy:.2f} "
+            f"precision={score.precision:.2f} recall={score.recall:.2f} "
+            f"(TV={score.true_valid} FV={score.false_valid} "
+            f"TI={score.true_invalid} FI={score.false_invalid})"
+        )
+    print(
+        "[heur] paper: duration is useful but 'can not be accurate "
+        "enough to be a solution'"
+    )

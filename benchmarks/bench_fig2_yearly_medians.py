@@ -1,0 +1,46 @@
+"""FIG2 — the yearly-median table.
+
+Paper: medians 683 (1998), 810.5 (1999), 951 (2000), 1294 (2001);
+year-over-year growth 18.7%, 17.3%, 36.1%.
+
+The benchmark times the median/growth computation and asserts every
+year's scaled magnitude and the every-year-grows property.
+"""
+
+from benchmarks.conftest import scaled, within_band
+from repro.analysis.report import figure2_table
+from repro.core.stats import yearly_increase_rates, yearly_medians
+from repro.scenario.calibration import PAPER
+
+
+def compute(series):
+    medians = yearly_medians(series)
+    return medians, yearly_increase_rates(medians)
+
+
+def test_fig2_yearly_medians(benchmark, results):
+    medians, rates = benchmark(compute, results.daily_series)
+
+    for year, paper_median in PAPER.yearly_medians.items():
+        assert year in medians
+        assert within_band(medians[year], paper_median), (
+            f"{year}: median {medians[year]} vs scaled paper "
+            f"{scaled(paper_median):.1f}"
+        )
+
+    # Growth every year, like the paper's table.
+    for year in (1999, 2000, 2001):
+        assert rates[year] > 0, f"{year} should grow, got {rates[year]:.1%}"
+
+    # Cumulative growth 1998 -> 2001 around the paper's ~1.9x.
+    ratio = medians[2001] / medians[1998]
+    assert 1.4 <= ratio <= 2.6
+
+    print()
+    print(figure2_table(results))
+    paper_rates = {1999: 0.187, 2000: 0.173, 2001: 0.361}
+    for year in (1999, 2000, 2001):
+        print(
+            f"[fig2] {year}: measured {rates[year]:+.1%} "
+            f"(paper {paper_rates[year]:+.1%})"
+        )

@@ -1,0 +1,57 @@
+"""FIG3 — histogram of conflict durations (log scale).
+
+Paper: heavily skewed; 13 730 one-observation conflicts (11 358 from
+the 1998-04-07 fault); 1 002 conflicts over 300 days; maximum duration
+1 246 of a possible 1 279; ~1 326 conflicts ongoing at study end.
+
+The benchmark times episode aggregation + histogram construction and
+asserts the skew, the heavy tail, the near-window maximum and the
+ongoing population.
+"""
+
+from benchmarks.conftest import scaled, within_band
+from repro.analysis.figures import figure3_ascii
+from repro.core.stats import duration_histogram
+from repro.scenario.calibration import PAPER
+
+
+def test_fig3_duration_histogram(benchmark, results):
+    histogram = benchmark(
+        duration_histogram, list(results.episodes.values())
+    )
+
+    # One-observation conflicts dominate the histogram's head.
+    assert within_band(
+        results.one_time_conflicts, PAPER.one_day_conflicts
+    ), (
+        f"one-time {results.one_time_conflicts} vs scaled "
+        f"{scaled(PAPER.one_day_conflicts):.0f}"
+    )
+    assert histogram[1] == results.one_time_conflicts
+    assert histogram[1] == max(histogram.values())
+
+    # Monotone-ish decay: the head outweighs the mid-range by orders.
+    mid_mass = sum(
+        count for duration, count in histogram.items() if 50 <= duration < 100
+    )
+    assert histogram[1] > 3 * max(mid_mass, 1)
+
+    # Heavy tail: conflicts beyond 300 days at the scaled magnitude.
+    assert within_band(
+        results.long_lived_conflicts, PAPER.conflicts_over_300_days
+    )
+
+    # Maximum duration close to (but short of) the 1279-day window.
+    assert 0.85 * PAPER.max_duration_days <= results.max_duration <= 1279
+
+    # Ongoing population at study end.
+    assert within_band(results.ongoing_conflicts, PAPER.ongoing_at_end)
+
+    print()
+    print(figure3_ascii(results))
+    print(
+        f"[fig3] one-time={results.one_time_conflicts}, "
+        f">300d={results.long_lived_conflicts}, "
+        f"max={results.max_duration} (paper {PAPER.max_duration_days}), "
+        f"ongoing={results.ongoing_conflicts}"
+    )

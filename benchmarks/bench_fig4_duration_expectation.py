@@ -1,0 +1,43 @@
+"""FIG4 — expectation of conflict duration under minimum-duration filters.
+
+Paper table: E[duration | duration > k] for k in {0, 1, 9, 29, 89} days
+= 30.9, 47.7, 107.5, 175.3, 281.8.
+
+Durations are *scale-free* (they are per-conflict day counts, not
+totals), so the measured expectations are compared to the paper's
+values directly — within a factor-of-two band, with the exact monotone
+structure of the table.
+"""
+
+from repro.analysis.report import figure4_table
+from repro.core.stats import duration_expectations
+from repro.scenario.calibration import PAPER
+
+
+def test_fig4_duration_expectation(benchmark, results):
+    expectations = benchmark(
+        duration_expectations, list(results.episodes.values())
+    )
+
+    for threshold, paper_value in PAPER.duration_expectations.items():
+        assert threshold in expectations, f"no conflicts beyond {threshold}d"
+        measured = expectations[threshold]
+        assert 0.5 * paper_value <= measured <= 2.0 * paper_value, (
+            f">{threshold}d: measured {measured:.1f} vs paper "
+            f"{paper_value}"
+        )
+
+    # The table's structure: expectations strictly increase with the
+    # filter threshold.
+    ordered = [expectations[k] for k in sorted(expectations)]
+    assert ordered == sorted(ordered)
+    assert ordered[0] < ordered[-1] / 3  # wide dynamic range, as in paper
+
+    print()
+    print(figure4_table(results))
+    for threshold in sorted(PAPER.duration_expectations):
+        print(
+            f"[fig4] >{threshold}d: measured "
+            f"{expectations[threshold]:.1f} vs paper "
+            f"{PAPER.duration_expectations[threshold]}"
+        )

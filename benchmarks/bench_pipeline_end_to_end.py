@@ -1,0 +1,44 @@
+"""PIPELINE — end-to-end study cost, and the Huston-counter baseline.
+
+Times (a) the full pipeline over the 1279-day archive — the whole-paper
+computation — and (b) the Section II related-work baseline that only
+counts conflicts per day.  The baseline must be cheaper, and the
+pipeline must add everything the baseline lacks (episodes, durations,
+classes, case studies): exactly the gap the paper fills over Huston's
+table statistics.
+"""
+
+from repro.analysis.baselines import HustonCounter
+from repro.analysis.pipeline import StudyPipeline
+
+
+def test_full_pipeline(benchmark, detections):
+    results = benchmark.pedantic(
+        lambda: StudyPipeline().run(iter(detections)),
+        rounds=3,
+        iterations=1,
+    )
+    assert results.total_days == len(detections)
+    assert results.total_conflicts > 0
+    assert results.duration_expectations
+    assert results.case_studies
+    print(
+        f"\n[pipeline] {results.total_days} days analyzed in "
+        f"{benchmark.stats.stats.mean:.2f} s "
+        f"({results.total_days / benchmark.stats.stats.mean:,.0f} days/s)"
+    )
+
+
+def test_huston_baseline(benchmark, detections):
+    series = benchmark.pedantic(
+        lambda: HustonCounter().run(iter(detections)),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(series) == len(detections)
+    # The baseline yields the daily count series and nothing else —
+    # no durations, no classes, no case studies.
+    print(
+        f"\n[baseline] bare counting: {benchmark.stats.stats.mean:.3f} s "
+        "(no episodes/durations/classification — the gap the paper fills)"
+    )

@@ -1,0 +1,101 @@
+"""VALIDATOR — multi-signal validation vs the duration-only heuristic.
+
+Section VII says MOAS data alone cannot accurately separate faults from
+policy, and announces work on "identifying invalid conflicts with a
+high degree of certainty".  This benchmark scores our implementation of
+that direction — the multi-signal :class:`ConflictValidator` — against
+ground truth, next to the best duration-only threshold from the VI-F
+sweep.  The requirement: strictly higher accuracy than duration alone.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.causes import score_duration_heuristic
+from repro.core.validator import ConflictValidator
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import ArchiveReader
+
+
+@pytest.fixture(scope="module")
+def truth_labels(paper_archive):
+    reader = ArchiveReader(Path(paper_archive))
+    labels: dict[Prefix, bool] = {}
+    ambiguous: set[Prefix] = set()
+    for entry in reader.ground_truth():
+        prefix = Prefix.parse(entry["prefix"])
+        valid = bool(entry["valid"])
+        if prefix in labels and labels[prefix] != valid:
+            ambiguous.add(prefix)
+        labels[prefix] = valid
+    for prefix in ambiguous:
+        del labels[prefix]
+    return labels
+
+
+def score_validator(validator, episodes, truth):
+    correct = total = 0
+    for prefix, episode in episodes.items():
+        label = truth.get(prefix)
+        if label is None:
+            continue
+        verdict = validator.validate(episode)
+        total += 1
+        if verdict.valid == label:
+            correct += 1
+    return correct / max(total, 1), total
+
+
+def test_validator_beats_duration_heuristic(benchmark, results, truth_labels):
+    validator = ConflictValidator.from_case_studies(results.case_studies)
+
+    accuracy, labeled = benchmark(
+        score_validator, validator, results.episodes, truth_labels
+    )
+
+    # Baseline: the best duration-only threshold.
+    episodes = list(results.episodes.values())
+    duration_best = max(
+        score_duration_heuristic(
+            episodes, truth_labels, threshold_days=threshold
+        ).accuracy
+        for threshold in (1, 3, 9, 29, 89)
+    )
+
+    assert labeled > 100, "too few labeled episodes to score"
+    assert accuracy > duration_best, (
+        f"validator {accuracy:.3f} did not beat duration-only "
+        f"{duration_best:.3f}"
+    )
+    # "High degree of certainty": solidly accurate overall.
+    assert accuracy > 0.85
+
+    print(
+        f"\n[validator] multi-signal accuracy {accuracy:.3f} over "
+        f"{labeled} labeled conflicts vs duration-only best "
+        f"{duration_best:.3f}"
+    )
+
+
+def test_validator_confidence_is_calibrated(benchmark, results, truth_labels):
+    """High-confidence verdicts must be more accurate than low ones."""
+    validator = ConflictValidator.from_case_studies(results.case_studies)
+    verdicts = benchmark(validator.validate_all, results.episodes)
+    buckets = {"high": [0, 0], "low": [0, 0]}  # [correct, total]
+    for prefix, verdict in verdicts.items():
+        label = truth_labels.get(prefix)
+        if label is None:
+            continue
+        bucket = buckets["high" if verdict.confidence >= 0.75 else "low"]
+        bucket[1] += 1
+        bucket[0] += verdict.valid == label
+    high_acc = buckets["high"][0] / max(buckets["high"][1], 1)
+    low_acc = buckets["low"][0] / max(buckets["low"][1], 1)
+    assert buckets["high"][1] > 20
+    assert high_acc >= low_acc - 0.02  # calibration, with slack
+    print(
+        f"\n[validator] confidence calibration: high {high_acc:.3f} "
+        f"(n={buckets['high'][1]}), low {low_acc:.3f} "
+        f"(n={buckets['low'][1]})"
+    )

@@ -1,0 +1,86 @@
+"""VANTAGE — Section III's multi-vantage observation.
+
+Paper: "the Oregon Route Views server observed 1364 MOAS conflicts,
+but three other individual ISPs observed 30, 12, and 228 MOAS conflicts
+during the same period."
+
+The benchmark builds one simulated day, times the per-vantage adj-RIB-in
+analysis, and asserts the structural findings: the multi-peer collector
+sees (much) more than any single AS, and bigger ASes see more than
+stubs.
+"""
+
+import pytest
+
+from repro.analysis.vantage import VantageAnalyzer
+from repro.scenario.routing import CollectorRouting
+from repro.scenario.world import ScenarioConfig, ScenarioWorld
+from repro.topology.model import Tier
+
+
+@pytest.fixture(scope="module")
+def vantage_setup():
+    """A world with an active standing conflict population at day 0."""
+    world = ScenarioWorld(ScenarioConfig(scale=0.05))
+    peers = list(world.collector.active_peers(0))
+    events = world.generator.initial_events(peers)
+    conflicts = [
+        (event.prefix, list(event.origins))
+        for event in events
+        if event.pivot is None
+    ]
+    routing = world.routing
+    collector_visible = [
+        routing.conflict_visible(origins, peers)
+        for _prefix, origins in conflicts
+    ]
+    return world, conflicts, collector_visible
+
+
+def test_vantage_points(benchmark, vantage_setup):
+    world, conflicts, collector_visible = vantage_setup
+    analyzer = VantageAnalyzer(world.model.graph)
+
+    tier1 = world.model.ases_in_tier(Tier.TIER1)[:2]
+    transits = world.model.ases_in_tier(Tier.TRANSIT)[:2]
+    stubs = [
+        asn
+        for asn in world.model.ases_in_tier(Tier.STUB)
+        if len(world.model.graph.providers_of(asn)) == 1
+    ][:2]
+    vantages = tier1 + transits + stubs
+
+    comparison = benchmark(
+        analyzer.compare, conflicts, collector_visible, vantages
+    )
+
+    # The multi-peer collector sees more than every single vantage.
+    for asn, seen in comparison.per_as_conflicts.items():
+        assert comparison.collector_conflicts >= seen, (
+            f"AS {asn} ({seen}) out-saw the collector "
+            f"({comparison.collector_conflicts})"
+        )
+
+    # Single-homed stubs see almost nothing (the paper's "12").
+    for stub in stubs:
+        assert (
+            comparison.per_as_conflicts[stub]
+            <= 0.3 * max(comparison.collector_conflicts, 1)
+        )
+
+    # Large ASes see more than single-homed stubs on average — the
+    # 1364-vs-30/12/228 asymmetry.
+    big_view = sum(comparison.per_as_conflicts[asn] for asn in tier1) / len(
+        tier1
+    )
+    stub_view = sum(comparison.per_as_conflicts[asn] for asn in stubs) / len(
+        stubs
+    )
+    assert big_view > stub_view
+
+    print()
+    print(
+        f"[vantage] collector: {comparison.collector_conflicts} conflicts; "
+        f"per-AS: { {asn: count for asn, count in comparison.per_as_conflicts.items()} } "
+        "(paper: RouteViews 1364 vs ISPs 30/12/228)"
+    )

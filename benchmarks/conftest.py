@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+One synthetic study archive (full 1997-2001 window, scale 0.05) is
+generated per benchmark session and analyzed once; every figure bench
+reads from the same results so paper-shape assertions are consistent
+across benches.  ``SCALE`` converts the paper's absolute numbers into
+expected magnitudes for this archive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import StudyPipeline, StudyResults
+from repro.analysis.sources import detections_from_archive
+from repro.core.detector import DayDetection
+from repro.scenario.world import ScenarioConfig, simulate_study
+
+#: Study scale used by all figure benchmarks.
+SCALE = 0.05
+
+#: Tolerance band for scaled paper magnitudes: generated archives are
+#: stochastic, so magnitudes must land within (value*lo, value*hi).
+BAND = (0.55, 1.6)
+
+
+def scaled(paper_value: float) -> float:
+    """The paper magnitude scaled to the benchmark archive size."""
+    return paper_value * SCALE
+
+
+def within_band(measured: float, paper_value: float) -> bool:
+    """Shape check: measured magnitude within the tolerance band."""
+    low, high = BAND
+    target = scaled(paper_value)
+    return target * low <= measured <= target * high
+
+
+@pytest.fixture(scope="session")
+def paper_archive(tmp_path_factory) -> str:
+    directory = tmp_path_factory.mktemp("bench-archive")
+    simulate_study(directory, ScenarioConfig(scale=SCALE))
+    return str(directory)
+
+
+@pytest.fixture(scope="session")
+def detections(paper_archive) -> list[DayDetection]:
+    """All daily detections, materialized once for the session."""
+    return list(detections_from_archive(paper_archive))
+
+
+@pytest.fixture(scope="session")
+def results(detections) -> StudyResults:
+    """The full pipeline output over the benchmark archive."""
+    return StudyPipeline().run(iter(detections))

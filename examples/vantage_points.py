@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Why multi-vantage collection matters (paper Section III).
+
+"At a randomly selected time, the Oregon Route Views server observed
+1364 MOAS conflicts, but three other individual ISPs observed 30, 12,
+and 228 MOAS conflicts during the same period."
+
+This example builds a scaled Internet with an active conflict
+population, then measures how many of those conflicts are visible
+(a) to the multi-peer collector and (b) from individual ASes of
+different sizes — reproducing the ordering above and showing *why*:
+a single AS's neighbors mostly agree on one best origin.
+
+Run:  python examples/vantage_points.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro.analysis.vantage import VantageAnalyzer
+from repro.scenario.world import ScenarioConfig, ScenarioWorld
+from repro.topology.model import Tier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=20011108)
+    args = parser.parse_args()
+
+    print(f"building world at scale {args.scale} ...")
+    world = ScenarioWorld(ScenarioConfig(scale=args.scale, seed=args.seed))
+    peers = list(world.collector.active_peers(0))
+    events = world.generator.initial_events(peers)
+    conflicts = [
+        (event.prefix, list(event.origins))
+        for event in events
+        if event.pivot is None
+    ]
+    print(f"standing conflicts in the network: {len(conflicts)}")
+
+    collector_visible = [
+        world.routing.conflict_visible(origins, peers)
+        for _prefix, origins in conflicts
+    ]
+    collector_count = sum(collector_visible)
+
+    analyzer = VantageAnalyzer(world.model.graph)
+    tier1 = world.model.ases_in_tier(Tier.TIER1)[:2]
+    transits = world.model.ases_in_tier(Tier.TRANSIT)[:3]
+    stubs = [
+        asn
+        for asn in world.model.ases_in_tier(Tier.STUB)
+        if len(world.model.graph.providers_of(asn)) == 1
+    ][:3]
+
+    comparison = analyzer.compare(
+        conflicts, collector_visible, tier1 + transits + stubs
+    )
+
+    print()
+    print(f"{'vantage':<28} {'conflicts seen':>14}")
+    print("-" * 44)
+    print(
+        f"{'Route Views collector':<28} "
+        f"{comparison.collector_conflicts:>14}"
+    )
+    for label, group in (
+        ("tier-1 ISP", tier1),
+        ("regional transit", transits),
+        ("single-homed stub", stubs),
+    ):
+        for asn in group:
+            seen = comparison.per_as_conflicts[asn]
+            print(f"{label + ' AS ' + str(asn):<28} {seen:>14}")
+
+    print()
+    print(
+        "paper: Route Views 1364 vs individual ISPs 30 / 12 / 228 — "
+        "same ordering:\nthe collector aggregates many divergent "
+        "viewpoints; a lone AS sees only what\nits own neighbors "
+        "export, and they mostly agree."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` where ``pip install -e .`` cannot build a
+wheel (no network to fetch build dependencies).
+"""
+
+from setuptools import setup
+
+setup()

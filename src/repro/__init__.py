@@ -1,0 +1,37 @@
+"""repro — reproduction of Zhao et al., *An Analysis of BGP Multiple
+Origin AS (MOAS) Conflicts* (IMC 2001).
+
+The package layers as follows (lowest first):
+
+- :mod:`repro.netbase` — IPv4 prefixes, AS numbers, AS paths, radix trie,
+  RIB snapshots.
+- :mod:`repro.mrt` — MRT archive codec (TABLE_DUMP / TABLE_DUMP_V2 /
+  BGP4MP), our substitute for mrtparse.
+- :mod:`repro.bgp` — a policy-aware BGP route-propagation engine
+  (Gao-Rexford relationships, per-router decision process).
+- :mod:`repro.topology` — Internet-like AS topology and address-space
+  generation for the 1997-2001 study window.
+- :mod:`repro.scenario` — the measurement world: MOAS cause processes,
+  the simulated Route Views collector and the daily snapshot archive.
+- :mod:`repro.core` — the paper's contribution: MOAS detection,
+  classification, episode/duration tracking, statistics and cause
+  attribution, plus a streaming real-time alerter.
+- :mod:`repro.analysis` — the end-to-end study pipeline and the
+  table/figure report generators.
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.netbase import ASPath, PeerId, Prefix, RibSnapshot, Route
+
+__all__ = [
+    "ASPath",
+    "PeerId",
+    "Prefix",
+    "RibSnapshot",
+    "Route",
+    "__version__",
+]

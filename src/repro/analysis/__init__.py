@@ -1,0 +1,35 @@
+"""The end-to-end study pipeline and figure/table generation.
+
+:mod:`repro.analysis.sources` adapts archives (CDS or MRT) into daily
+detections; :mod:`repro.analysis.pipeline` streams them into
+:class:`~repro.analysis.pipeline.StudyResults`;
+:mod:`repro.analysis.report` and :mod:`repro.analysis.figures` render
+the paper's tables and figures; :mod:`repro.analysis.vantage`
+reproduces the Section III vantage-point comparison; and
+:mod:`repro.analysis.baselines` implements the related-work baseline
+(Huston's bare daily counter).
+"""
+
+from repro.analysis.compare import (
+    compare_to_paper,
+    comparison_table,
+    fraction_passing,
+)
+from repro.analysis.export import episodes_csv, summary_json
+from repro.analysis.pipeline import StudyPipeline, StudyResults
+from repro.analysis.sources import (
+    detections_from_archive,
+    detections_from_mrt_files,
+)
+
+__all__ = [
+    "compare_to_paper",
+    "comparison_table",
+    "fraction_passing",
+    "episodes_csv",
+    "summary_json",
+    "StudyPipeline",
+    "StudyResults",
+    "detections_from_archive",
+    "detections_from_mrt_files",
+]

@@ -1,0 +1,40 @@
+"""Related-work baseline: Huston's BGP table statistics counter.
+
+Section II: Geoff Huston's site tracked "a daily count of MOAS
+conflicts ... [but] provides only a basic count of MOAS conflicts and
+no further explanations or analysis."  The baseline reproduces exactly
+that: per-day multi-origin prefix counts with no episode merging, no
+durations, no classification, no cause analysis — the thing the paper
+improves upon.  Benchmarks compare its output (and cost) against the
+full pipeline's.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Iterable
+
+from repro.core.detector import DayDetection
+
+
+class HustonCounter:
+    """The bare daily-count baseline."""
+
+    def __init__(self) -> None:
+        self.series: list[tuple[datetime.date, int]] = []
+
+    def observe(self, detection: DayDetection) -> int:
+        """Record one day; returns that day's count."""
+        count = detection.num_conflicts
+        self.series.append((detection.day, count))
+        return count
+
+    def run(self, detections: Iterable[DayDetection]) -> list[tuple[datetime.date, int]]:
+        """Consume a whole detection stream; returns the series."""
+        for detection in detections:
+            self.observe(detection)
+        return self.series
+
+    def latest(self) -> tuple[datetime.date, int] | None:
+        """The most recent (day, count) pair, if any."""
+        return self.series[-1] if self.series else None

@@ -1,0 +1,129 @@
+"""Programmatic paper-vs-measured comparison.
+
+EXPERIMENTS.md records one reference run; this module generates the
+same comparison for *any* run, so users changing seeds, scales or
+calibrations can immediately see where they stand relative to the
+paper.  Each check returns a structured row with the paper value, the
+scaled expectation, the measured value and a pass/fail verdict under a
+tolerance band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pipeline import StudyResults
+from repro.scenario.calibration import PAPER
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured fact."""
+
+    name: str
+    paper_value: float
+    expected: float  # paper value after scaling (== paper for scale-free)
+    measured: float
+    tolerance: float  # relative band around `expected`
+
+    @property
+    def ratio(self) -> float:
+        if self.expected == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.expected
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.expected * (1 - self.tolerance)
+            <= self.measured
+            <= self.expected * (1 + self.tolerance)
+        )
+
+
+def compare_to_paper(
+    results: StudyResults, *, scale: float, tolerance: float = 0.5
+) -> list[ComparisonRow]:
+    """All headline comparisons for one study run.
+
+    ``scale`` must be the ScenarioConfig scale the archive was generated
+    with; absolute paper counts are multiplied by it, duration-type
+    statistics are compared directly.
+    """
+    rows: list[ComparisonRow] = []
+
+    def absolute(name: str, paper_value: float, measured: float) -> None:
+        rows.append(
+            ComparisonRow(
+                name=name,
+                paper_value=paper_value,
+                expected=paper_value * scale,
+                measured=measured,
+                tolerance=tolerance,
+            )
+        )
+
+    def scale_free(name: str, paper_value: float, measured: float) -> None:
+        rows.append(
+            ComparisonRow(
+                name=name,
+                paper_value=paper_value,
+                expected=paper_value,
+                measured=measured,
+                tolerance=tolerance,
+            )
+        )
+
+    absolute("total conflicts", PAPER.total_conflicts, results.total_conflicts)
+    absolute(
+        "one-time conflicts",
+        PAPER.one_day_conflicts,
+        results.one_time_conflicts,
+    )
+    absolute(
+        "conflicts > 300 days",
+        PAPER.conflicts_over_300_days,
+        results.long_lived_conflicts,
+    )
+    absolute(
+        "ongoing at study end", PAPER.ongoing_at_end, results.ongoing_conflicts
+    )
+    for year, paper_median in PAPER.yearly_medians.items():
+        measured = results.yearly_medians.get(year, 0.0)
+        absolute(f"median {year}", paper_median, measured)
+    scale_free(
+        "max duration (days)", PAPER.max_duration_days, results.max_duration
+    )
+    for threshold, paper_value in PAPER.duration_expectations.items():
+        measured = results.duration_expectations.get(threshold, 0.0)
+        scale_free(
+            f"E[duration | > {threshold}d]", paper_value, measured
+        )
+    return rows
+
+
+def comparison_table(rows: list[ComparisonRow]) -> str:
+    """Render comparison rows as an aligned text table."""
+    return format_table(
+        ["Quantity", "Paper", "Expected here", "Measured", "Ratio", "OK"],
+        [
+            [
+                row.name,
+                row.paper_value,
+                round(row.expected, 1),
+                round(row.measured, 1),
+                f"{row.ratio:.2f}x",
+                "yes" if row.ok else "NO",
+            ]
+            for row in rows
+        ],
+        title="Paper vs measured",
+    )
+
+
+def fraction_passing(rows: list[ComparisonRow]) -> float:
+    """Share of comparisons inside their tolerance band."""
+    if not rows:
+        return 0.0
+    return sum(1 for row in rows if row.ok) / len(rows)

@@ -1,0 +1,96 @@
+"""Exporting study results for downstream consumption.
+
+Research users of the original dataset got raw tables; users of this
+reproduction get tidy CSV/JSON: the per-prefix episode table (the
+study's primary product) and the run's headline aggregates.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.analysis.pipeline import StudyResults
+
+
+def episodes_csv(results: StudyResults) -> str:
+    """The per-prefix conflict table as CSV.
+
+    Columns mirror the episode record: prefix, prefix length, first and
+    last observed day, duration (days observed), every origin AS ever
+    involved, peak simultaneous origins, and whether the conflict was
+    still ongoing at study end.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "prefix",
+            "prefix_length",
+            "first_day",
+            "last_day",
+            "days_observed",
+            "origins",
+            "max_origins_single_day",
+            "ongoing",
+        ]
+    )
+    for prefix in sorted(results.episodes, key=lambda p: p.sort_key()):
+        episode = results.episodes[prefix]
+        writer.writerow(
+            [
+                str(prefix),
+                prefix.length,
+                episode.first_day.isoformat(),
+                episode.last_day.isoformat(),
+                episode.days_observed,
+                " ".join(str(asn) for asn in sorted(episode.origins_ever)),
+                episode.max_origins_single_day,
+                int(episode.ongoing),
+            ]
+        )
+    return out.getvalue()
+
+
+def summary_json(results: StudyResults) -> str:
+    """Headline aggregates as a JSON document."""
+    payload = {
+        "total_days": results.total_days,
+        "total_conflicts": results.total_conflicts,
+        "one_time_conflicts": results.one_time_conflicts,
+        "long_lived_conflicts": results.long_lived_conflicts,
+        "ongoing_conflicts": results.ongoing_conflicts,
+        "max_duration_days": results.max_duration,
+        "exchange_point_conflicts": results.exchange_point_conflicts,
+        "as_set_excluded_max": results.as_set_excluded_max,
+        "yearly_medians": {
+            str(year): median
+            for year, median in results.yearly_medians.items()
+        },
+        "yearly_increase_rates": {
+            str(year): rate
+            for year, rate in results.yearly_increase_rates.items()
+        },
+        "duration_expectations": {
+            str(threshold): value
+            for threshold, value in results.duration_expectations.items()
+        },
+        "peak_days": [
+            {"date": day.isoformat(), "conflicts": count}
+            for day, count in results.peak_days
+        ],
+        "case_studies": [
+            {
+                "date": case.report.day.isoformat(),
+                "total_conflicts": case.report.total_conflicts,
+                "culprit_asn": case.report.culprit_asn,
+                "culprit_involved": case.report.culprit_involved,
+                "upstream_asn": case.upstream_asn,
+                "sequence_involved": case.sequence_involved,
+                "sequence_total": case.sequence_total,
+            }
+            for case in results.case_studies
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,138 @@
+"""Rendering the paper's figures: CSV series plus ASCII charts.
+
+matplotlib is unavailable in the reproduction environment, so every
+figure is emitted twice: a CSV any plotting tool can consume, and an
+ASCII rendering for immediate inspection (and for the benchmark logs).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.analysis.pipeline import StudyResults
+from repro.core.classifier import ConflictClass
+from repro.util.ascii_plot import bar_chart, line_plot
+
+
+def figure1_csv(results: StudyResults) -> str:
+    """Figure 1 series: date, number of conflicts."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["date", "conflicts"])
+    for day, count in results.daily_series:
+        writer.writerow([day.isoformat(), count])
+    return out.getvalue()
+
+
+def figure1_ascii(results: StudyResults, *, width: int = 78) -> str:
+    """Figure 1: the daily conflict count over the study window."""
+    series = [count for _day, count in results.daily_series]
+    first = results.daily_series[0][0]
+    last = results.daily_series[-1][0]
+    return line_plot(
+        {"conflicts": series},
+        width=width,
+        title="Fig. 1. Number of MOAS conflicts per day",
+        x_labels=(first.strftime("%m/%y"), last.strftime("%m/%y")),
+    )
+
+
+def figure3_csv(results: StudyResults) -> str:
+    """Figure 3 series: duration (days), number of conflicts."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["duration_days", "conflicts"])
+    for duration in sorted(results.duration_histogram):
+        writer.writerow([duration, results.duration_histogram[duration]])
+    return out.getvalue()
+
+
+def figure3_ascii(results: StudyResults, *, bins: int = 14) -> str:
+    """Figure 3: log-scale histogram of conflict durations."""
+    histogram = results.duration_histogram
+    if not histogram:
+        return "Fig. 3. (no conflicts)"
+    longest = max(histogram)
+    bin_width = max(1, (longest + bins - 1) // bins)
+    labels = []
+    values = []
+    for bin_index in range(bins):
+        lo = bin_index * bin_width
+        hi = lo + bin_width - 1
+        total = sum(
+            count
+            for duration, count in histogram.items()
+            if lo <= duration <= hi
+        )
+        labels.append(f"{lo}-{hi}d")
+        values.append(total)
+    return bar_chart(
+        labels,
+        values,
+        title="Fig. 3. Duration of MOAS conflicts (log scale)",
+        y_log=True,
+    )
+
+
+def figure5_csv(results: StudyResults) -> str:
+    """Figure 5 series: year, prefix length, mean daily conflicts."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["year", "prefix_length", "mean_daily_conflicts"])
+    for year, by_length in sorted(results.length_distribution.items()):
+        for length, value in sorted(by_length.items()):
+            writer.writerow([year, length, f"{value:.2f}"])
+    return out.getvalue()
+
+
+def figure5_ascii(results: StudyResults, *, year: int | None = None) -> str:
+    """Figure 5: conflicts by prefix length (one year per chart)."""
+    years = sorted(results.length_distribution)
+    if not years:
+        return "Fig. 5. (no data)"
+    target = year if year is not None else years[-1]
+    by_length = results.length_distribution.get(target, {})
+    lengths = list(range(8, 33))
+    values = [by_length.get(length, 0.0) for length in lengths]
+    return bar_chart(
+        [f"/{length}" for length in lengths],
+        values,
+        title=f"Fig. 5. Distribution among prefix length ({target} data)",
+    )
+
+
+def figure6_csv(results: StudyResults) -> str:
+    """Figure 6 series: date and per-class conflict counts."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["date"] + [conflict_class.value for conflict_class in ConflictClass]
+    )
+    for day, counts in results.classification_series:
+        writer.writerow(
+            [day.isoformat()]
+            + [counts[conflict_class] for conflict_class in ConflictClass]
+        )
+    return out.getvalue()
+
+
+def figure6_ascii(results: StudyResults, *, width: int = 78) -> str:
+    """Figure 6: per-class daily counts over the classification window."""
+    if not results.classification_series:
+        return "Fig. 6. (classification window empty)"
+    series = {
+        conflict_class.value: [
+            counts[conflict_class]
+            for _day, counts in results.classification_series
+        ]
+        for conflict_class in ConflictClass
+    }
+    first = results.classification_series[0][0]
+    last = results.classification_series[-1][0]
+    return line_plot(
+        series,
+        width=width,
+        title="Fig. 6. Distribution of classes",
+        x_labels=(first.strftime("%m/%d"), last.strftime("%m/%d")),
+    )

@@ -1,0 +1,88 @@
+"""Rendering the paper's tables from pipeline results."""
+
+from __future__ import annotations
+
+from repro.analysis.pipeline import StudyResults
+from repro.netbase.names import asn_name
+from repro.scenario.calibration import PAPER
+from repro.util.tables import format_table
+
+
+def figure2_table(results: StudyResults) -> str:
+    """Figure 2: median of MOAS conflicts per year, with growth rates."""
+    rows = []
+    for year, median in sorted(results.yearly_medians.items()):
+        rate = results.yearly_increase_rates.get(year)
+        rows.append(
+            [
+                year,
+                median,
+                f"{rate * 100:.1f}%" if rate is not None else "",
+            ]
+        )
+    return format_table(
+        ["Year", "Median of MOAS conflicts", "Increasing rate"],
+        rows,
+        title="Fig. 2. Median of MOAS conflicts per year",
+    )
+
+
+def figure4_table(results: StudyResults) -> str:
+    """Figure 4: expectation of duration under minimum-duration filters."""
+    rows = [
+        [expectation, f"longer than {threshold} days"]
+        for threshold, expectation in sorted(
+            results.duration_expectations.items()
+        )
+    ]
+    return format_table(
+        ["Expectation (days)", "Measured data set"],
+        rows,
+        title="Fig. 4. Expectation of the duration of MOAS conflicts",
+    )
+
+
+def summary_report(results: StudyResults) -> str:
+    """A Section IV/VI style prose summary with paper comparisons."""
+    lines = [
+        "MOAS study summary",
+        "==================",
+        f"observed days:            {results.total_days}"
+        f"  (paper: {PAPER.observation_days})",
+        f"total conflicts:          {results.total_conflicts}"
+        f"  (paper: {PAPER.total_conflicts})",
+        f"one-time conflicts:       {results.one_time_conflicts}"
+        f"  (paper: {PAPER.one_day_conflicts})",
+        f"conflicts > 300 days:     {results.long_lived_conflicts}"
+        f"  (paper: {PAPER.conflicts_over_300_days})",
+        f"ongoing at study end:     {results.ongoing_conflicts}"
+        f"  (paper: {PAPER.ongoing_at_end})",
+        f"longest duration (days):  {results.max_duration}"
+        f"  (paper: {PAPER.max_duration_days})",
+        f"exchange-point conflicts: {results.exchange_point_conflicts}"
+        f"  (paper: {PAPER.exchange_point_prefixes})",
+        f"AS-set prefixes excluded: {results.as_set_excluded_max}"
+        f"  (paper: ~{PAPER.as_set_prefixes})",
+        "",
+        "peak days:",
+    ]
+    for day, count in results.peak_days:
+        lines.append(f"  {day}: {count} conflicts")
+    if results.case_studies:
+        lines.append("")
+        lines.append("detected fault spikes:")
+        for case in results.case_studies:
+            report = case.report
+            lines.append(
+                f"  {report.day}: {report.total_conflicts} conflicts "
+                f"(baseline {report.baseline_median:.0f}); "
+                f"{asn_name(report.culprit_asn)} involved in "
+                f"{report.culprit_involved}"
+            )
+            if case.upstream_asn is not None:
+                lines.append(
+                    f"    sequence ({asn_name(case.upstream_asn)}, "
+                    f"AS {report.culprit_asn}) in "
+                    f"{case.sequence_involved} of {case.sequence_total}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Vantage-point comparison — Section III's motivating observation.
+
+"At a randomly selected time, the Oregon Route Views server observed
+1364 MOAS conflicts, but three other individual ISPs observed 30, 12,
+and 228 MOAS conflicts during the same period."
+
+A single ISP sees a conflict only when *its own* BGP sessions carry
+routes with divergent origins — i.e. when two of its neighbors export
+routes to the same prefix ending at different origin ASes into its
+adj-RIB-in.  A multi-peer collector aggregates many such viewpoints and
+therefore sees far more.  This module computes both sides from the same
+converged routing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.bgp.policy import export_allowed
+from repro.bgp.relationships import ASGraph
+from repro.netbase.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class VantageComparison:
+    """Conflict visibility from the collector vs individual ASes."""
+
+    collector_conflicts: int
+    per_as_conflicts: dict[int, int]
+
+
+class VantageAnalyzer:
+    """Counts conflicts visible from arbitrary vantage ASes."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self._oracle = GaoRexfordOracle(graph)
+
+    def adj_rib_in_origins(
+        self, vantage: int, origins: list[int]
+    ) -> set[int]:
+        """Origins present in ``vantage``'s adj-RIB-in for one prefix.
+
+        Each neighbor exports its best route for the prefix to
+        ``vantage`` if its export policy allows; the origins of those
+        exported routes are what the ISP's own table data would show.
+        """
+        seen: set[int] = set()
+        neighbor_rels = self.graph.neighbors(vantage)
+        for neighbor, relationship in neighbor_rels.items():
+            best = self._best_origin_at(neighbor, origins)
+            if best is None:
+                continue
+            origin, route_type = best
+            # The neighbor exports to `vantage` according to what
+            # `vantage` is *to the neighbor* — the inverse relationship.
+            if export_allowed(route_type, relationship.inverse()):
+                seen.add(origin)
+        # The vantage AS itself may be one of the origins.
+        if vantage in origins:
+            seen.add(vantage)
+        return seen
+
+    def _best_origin_at(self, asn: int, origins: list[int]):
+        best_key = None
+        best = None
+        for origin in origins:
+            route = self._oracle.route(asn, origin)
+            if route is None:
+                continue
+            key = route.preference_key() + (-origin,)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = (origin, route.route_type)
+        return best
+
+    def conflict_visible_at(self, vantage: int, origins: list[int]) -> bool:
+        """Does the single-AS view reveal this conflict?"""
+        return len(self.adj_rib_in_origins(vantage, origins)) >= 2
+
+    def compare(
+        self,
+        conflicts: list[tuple[Prefix, list[int]]],
+        collector_visible: list[bool],
+        vantage_asns: list[int],
+    ) -> VantageComparison:
+        """Count visibility for the collector and each vantage AS.
+
+        ``conflicts`` holds (prefix, origin list) pairs of every
+        *actual* multi-origin prefix; ``collector_visible`` marks which
+        the multi-peer collector records (computed by the caller from
+        collector state).
+        """
+        if len(conflicts) != len(collector_visible):
+            raise ValueError("conflicts and visibility lists must align")
+        per_as = {
+            vantage: sum(
+                1
+                for (_prefix, origins) in conflicts
+                if self.conflict_visible_at(vantage, origins)
+            )
+            for vantage in vantage_asns
+        }
+        return VantageComparison(
+            collector_conflicts=sum(collector_visible),
+            per_as_conflicts=per_as,
+        )

@@ -1,0 +1,37 @@
+"""BGP update abstractions exchanged inside the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A route announcement as it crosses one AS-AS session.
+
+    ``path`` is the path as sent — the sender has already prepended its
+    own ASN (possibly several times, when prepending for traffic
+    engineering).
+    """
+
+    prefix: Prefix
+    path: ASPath
+    sender: int
+
+    def __post_init__(self) -> None:
+        if self.path.first_as() != self.sender:
+            raise ValueError(
+                f"announcement from AS {self.sender} must start with it, "
+                f"got path {self.path}"
+            )
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """A route withdrawal for ``prefix`` from ``sender``."""
+
+    prefix: Prefix
+    sender: int

@@ -1,0 +1,159 @@
+"""Event-driven propagation of BGP updates over an AS graph.
+
+The network delivers updates router-to-router until no router's best
+route changes — a fixpoint that Gao-Rexford policies guarantee exists
+(no dispute wheel).  Deterministic FIFO processing makes converged
+tables reproducible, which the archive generator depends on.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import deque
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.relationships import ASGraph
+from repro.bgp.router import BgpRouter
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+
+
+class ConvergenceError(RuntimeError):
+    """Propagation did not reach a fixpoint within the update budget."""
+
+
+class Network:
+    """All BGP routers of an AS graph plus the update plumbing."""
+
+    #: Updates processed per prefix-origination before declaring
+    #: non-convergence.  Gao-Rexford converges in O(diameter) rounds;
+    #: this bound only exists to catch modelling bugs.
+    DEFAULT_UPDATE_BUDGET = 2_000_000
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self.routers: dict[int, BgpRouter] = {
+            asn: BgpRouter(asn, graph.neighbors(asn)) for asn in graph.ases()
+        }
+        self._queue: deque[tuple[int, Announcement | Withdrawal]] = deque()
+
+    def router(self, asn: int) -> BgpRouter:
+        """The BGP speaker of ``asn`` (KeyError if unknown)."""
+        if asn not in self.routers:
+            raise KeyError(f"unknown AS {asn}")
+        return self.routers[asn]
+
+    # -- origination ----------------------------------------------------
+
+    def originate(self, asn: int, prefix: Prefix) -> None:
+        """AS ``asn`` starts announcing ``prefix`` (queues propagation)."""
+        router = self.router(asn)
+        if router.originate(prefix):
+            self._broadcast(router, prefix)
+
+    def withdraw(self, asn: int, prefix: Prefix) -> None:
+        """AS ``asn`` stops announcing ``prefix`` (queues propagation)."""
+        router = self.router(asn)
+        if router.withdraw_origin(prefix):
+            self._broadcast(router, prefix)
+
+    def refresh_exports(self, asn: int, prefix: Prefix) -> None:
+        """Re-send ``asn``'s current exports for ``prefix``.
+
+        Needed after changing a router's export hook or prepend counts,
+        which alter what neighbors should see without changing the local
+        best route.
+        """
+        self._broadcast(self.router(asn), prefix)
+
+    def _broadcast(self, router: BgpRouter, prefix: Prefix) -> None:
+        for neighbor in sorted(router.neighbors):
+            update = router.export_to(prefix, neighbor)
+            self._queue.append((neighbor, update))
+
+    # -- propagation ----------------------------------------------------
+
+    def run_to_convergence(self, *, update_budget: int | None = None) -> int:
+        """Process queued updates until the network is quiescent.
+
+        Returns the number of updates processed.  Raises
+        :class:`ConvergenceError` if the budget is exhausted, which with
+        valley-free policies indicates a bug rather than divergence.
+        """
+        budget = update_budget or self.DEFAULT_UPDATE_BUDGET
+        processed = 0
+        while self._queue:
+            if processed >= budget:
+                raise ConvergenceError(
+                    f"no convergence after {processed} updates"
+                )
+            receiver_asn, update = self._queue.popleft()
+            processed += 1
+            receiver = self.routers[receiver_asn]
+            if receiver.receive(update):
+                self._broadcast(receiver, update.prefix)
+        return processed
+
+    def is_converged(self) -> bool:
+        """True when no updates remain queued."""
+        return not self._queue
+
+    # -- observation ----------------------------------------------------
+
+    def best_path(self, asn: int, prefix: Prefix) -> ASPath | None:
+        """The AS path ``asn`` would export to a measurement collector.
+
+        This includes ``asn`` itself at the front, exactly as a Route
+        Views peer session would see it.  Self-originated routes export
+        as the bare local ASN.
+        """
+        best = self.router(asn).best_route(prefix)
+        if best is None:
+            return None
+        return best.path.prepend(asn)
+
+    def forwarding_next_as(self, asn: int, prefix: Prefix) -> int | None:
+        """The AS that ``asn`` forwards traffic for ``prefix`` to.
+
+        None when ``asn`` has no route or originates the prefix itself.
+        Used by the fault experiments to show traffic being drawn to a
+        hijacking AS.
+        """
+        best = self.router(asn).best_route(prefix)
+        if best is None:
+            return None
+        return best.neighbor
+
+    def collector_snapshot(
+        self,
+        day: datetime.date,
+        peer_asns: list[int],
+        *,
+        prefixes: list[Prefix] | None = None,
+    ) -> RibSnapshot:
+        """Assemble the Route Views style snapshot for ``day``.
+
+        Each listed peer contributes its full table (Route Views peers
+        export everything to the collector).  ``prefixes`` restricts the
+        dump, which the tests use for focused assertions.
+        """
+        if not self.is_converged():
+            raise ConvergenceError(
+                "collector snapshot requested before convergence"
+            )
+        snapshot = RibSnapshot(day)
+        for asn in peer_asns:
+            router = self.router(asn)
+            peer = PeerId(asn=asn)
+            table = router.loc_rib()
+            wanted = prefixes if prefixes is not None else sorted(
+                table, key=lambda p: p.sort_key()
+            )
+            for prefix in wanted:
+                if prefix not in table:
+                    continue
+                path = self.best_path(asn, prefix)
+                assert path is not None
+                snapshot.add(Route(prefix, path, peer))
+        return snapshot

@@ -1,0 +1,166 @@
+"""Closed-form Gao-Rexford routing: converged paths without messages.
+
+For the 1279-day study the message-passing engine is wasteful — daily
+archives only contain *converged* tables.  Under Gao-Rexford policies
+the converged route from every AS towards one origin is computable with
+three breadth-first passes (Gao 2001):
+
+1. **customer routes** — ASes reaching the origin through a chain of
+   customer links (walking provider-ward from the origin);
+2. **peer routes** — one peer hop off a customer route;
+3. **provider routes** — everything else, learned down provider chains.
+
+Preference is stage order (customer > peer > provider); within a stage,
+shortest path wins and ties break to the lowest next-hop ASN — the same
+tie-break the message engine uses, and the test suite holds the two
+implementations to agreement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.bgp.policy import RouteType
+from repro.bgp.relationships import ASGraph
+
+
+@dataclass(frozen=True)
+class OracleRoute:
+    """The converged route of one AS toward one origin."""
+
+    route_type: RouteType
+    length: int  # number of AS hops from this AS to the origin
+    next_hop: int | None  # None at the origin itself
+
+    def preference_key(self) -> tuple[int, int]:
+        """Sort key: better routes compare greater."""
+        return (int(self.route_type), -self.length)
+
+
+class GaoRexfordOracle:
+    """Converged-route computation with per-origin caching."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self._cache: dict[int, dict[int, OracleRoute]] = {}
+
+    def invalidate(self) -> None:
+        """Drop all cached routing state (call after editing the graph)."""
+        self._cache.clear()
+
+    def routes_to(self, origin: int) -> dict[int, OracleRoute]:
+        """Converged route of every AS that can reach ``origin``."""
+        if origin not in self._cache:
+            self._cache[origin] = self._compute(origin)
+        return self._cache[origin]
+
+    def _compute(self, origin: int) -> dict[int, OracleRoute]:
+        if origin not in self.graph:
+            raise KeyError(f"unknown origin AS {origin}")
+        routes: dict[int, OracleRoute] = {
+            origin: OracleRoute(RouteType.ORIGIN, 0, None)
+        }
+
+        # Stage 1: customer routes, breadth-first toward providers.
+        frontier = [origin]
+        length = 0
+        while frontier:
+            length += 1
+            next_frontier: set[int] = set()
+            for asn in sorted(frontier):
+                for provider in self.graph.providers_of(asn):
+                    if provider in routes:
+                        continue
+                    next_frontier.add(provider)
+            for provider in sorted(next_frontier):
+                next_hop = min(
+                    customer
+                    for customer in self.graph.customers_of(provider)
+                    if customer in routes
+                    and routes[customer].length == length - 1
+                    and routes[customer].route_type
+                    in (RouteType.ORIGIN, RouteType.CUSTOMER)
+                )
+                routes[provider] = OracleRoute(
+                    RouteType.CUSTOMER, length, next_hop
+                )
+            frontier = sorted(next_frontier)
+
+        # Stage 2: peer routes — one peering hop off a customer route.
+        peer_routes: dict[int, OracleRoute] = {}
+        for asn in self.graph.ases():
+            if asn in routes:
+                continue
+            candidates = [
+                (routes[peer].length, peer)
+                for peer in self.graph.peers_of(asn)
+                if peer in routes
+            ]
+            if candidates:
+                best_length, best_peer = min(candidates)
+                peer_routes[asn] = OracleRoute(
+                    RouteType.PEER, best_length + 1, best_peer
+                )
+        routes.update(peer_routes)
+
+        # Stage 3: provider routes — Dijkstra down customer links from
+        # every routed AS (start lengths differ, edges are unit).
+        heap: list[tuple[int, int, int]] = []
+        for asn, route in routes.items():
+            for customer in self.graph.customers_of(asn):
+                if customer not in routes:
+                    heapq.heappush(heap, (route.length + 1, asn, customer))
+        while heap:
+            length, via, asn = heapq.heappop(heap)
+            if asn in routes:
+                continue
+            routes[asn] = OracleRoute(RouteType.PROVIDER, length, via)
+            for customer in self.graph.customers_of(asn):
+                if customer not in routes:
+                    heapq.heappush(heap, (length + 1, asn, customer))
+        return routes
+
+    # -- path level -----------------------------------------------------
+
+    def path(self, from_asn: int, origin: int) -> tuple[int, ...] | None:
+        """AS path from ``from_asn`` to ``origin``, inclusive of both.
+
+        This is the path ``from_asn`` would export to a collector
+        session: itself first, the origin last.  None if unreachable.
+        """
+        routes = self.routes_to(origin)
+        if from_asn not in routes:
+            return None
+        hops = [from_asn]
+        current = from_asn
+        while current != origin:
+            next_hop = routes[current].next_hop
+            assert next_hop is not None
+            hops.append(next_hop)
+            current = next_hop
+        return tuple(hops)
+
+    def route(self, from_asn: int, origin: int) -> OracleRoute | None:
+        """The converged route record, None if unreachable."""
+        return self.routes_to(origin).get(from_asn)
+
+    def best_origin(
+        self, from_asn: int, origins: list[int]
+    ) -> int | None:
+        """Which of several origins for one prefix ``from_asn`` selects.
+
+        This is the decision process applied across a MOAS conflict:
+        the vantage AS prefers customer routes, then peer, then
+        provider, then shortest path, then (deterministically) the
+        lowest origin ASN.  None if it can reach none of them.
+        """
+        best: tuple[tuple[int, int, int], int] | None = None
+        for origin in origins:
+            route = self.routes_to(origin).get(from_asn)
+            if route is None:
+                continue
+            key = route.preference_key() + (-origin,)
+            if best is None or key > best[0]:
+                best = (key, origin)
+        return best[1] if best else None

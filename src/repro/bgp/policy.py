@@ -1,0 +1,69 @@
+"""Gao-Rexford import and export policy.
+
+Two rules generate realistic inter-domain routing:
+
+1. **Preference** — prefer routes learned from customers over peers
+   over providers (economics: customers pay you).
+2. **Export** — routes learned from a peer or provider are exported
+   only to customers; customer routes and self-originated routes go to
+   everyone (you only carry traffic someone pays you for).
+
+These rules are what both the message-passing engine and the oracle
+enforce, so converged tables are valley-free just like the real tables
+the paper measured.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.bgp.relationships import Relationship
+
+
+class RouteType(enum.IntEnum):
+    """How the local AS learned a route.
+
+    Order encodes preference: higher is better.  ``ORIGIN`` (a route the
+    AS itself originates) beats everything, then customer, peer,
+    provider routes.
+    """
+
+    PROVIDER = 0
+    PEER = 1
+    CUSTOMER = 2
+    ORIGIN = 3
+
+    @classmethod
+    def from_relationship(cls, relationship: Relationship) -> "RouteType":
+        """The route type of a route learned from ``relationship``."""
+        if relationship is Relationship.CUSTOMER:
+            return cls.CUSTOMER
+        if relationship is Relationship.PEER:
+            return cls.PEER
+        return cls.PROVIDER
+
+
+#: LOCAL_PREF values by route type — the conventional 80/90/100 ladder.
+_LOCAL_PREF = {
+    RouteType.PROVIDER: 80,
+    RouteType.PEER: 90,
+    RouteType.CUSTOMER: 100,
+    RouteType.ORIGIN: 200,
+}
+
+
+def local_pref_for(route_type: RouteType) -> int:
+    """The LOCAL_PREF a Gao-Rexford import policy assigns."""
+    return _LOCAL_PREF[route_type]
+
+
+def export_allowed(route_type: RouteType, to_neighbor: Relationship) -> bool:
+    """Whether a route of ``route_type`` may be exported to ``to_neighbor``.
+
+    The valley-free rule: only customer routes and self-originated
+    routes are announced to peers and providers; everything is announced
+    to customers.
+    """
+    if to_neighbor is Relationship.CUSTOMER:
+        return True
+    return route_type in (RouteType.CUSTOMER, RouteType.ORIGIN)

@@ -1,0 +1,171 @@
+"""AS-level business relationships (Gao's model).
+
+Inter-AS routing policy in the study era (and now) is dominated by two
+relationship types: customer-provider (the customer pays) and
+settlement-free peering.  Export rules derived from them produce the
+"valley-free" paths that real tables exhibit, which in turn shape which
+MOAS conflicts are *visible* from which vantage points.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+
+from repro.netbase.asn import validate_asn
+
+
+class Relationship(enum.Enum):
+    """The relationship of a neighbor, from the local AS's viewpoint."""
+
+    CUSTOMER = "customer"
+    PROVIDER = "provider"
+    PEER = "peer"
+
+    def inverse(self) -> "Relationship":
+        """The same link seen from the other end."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+class ASGraph:
+    """An annotated AS-level topology.
+
+    Links are stored once and exposed from both endpoints' viewpoints.
+    The graph refuses contradictory duplicate links (e.g. declaring A
+    both provider and peer of B) — a modelling bug we want loud.
+    """
+
+    def __init__(self) -> None:
+        self._neighbors: dict[int, dict[int, Relationship]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_as(self, asn: int) -> None:
+        """Ensure ``asn`` exists (possibly with no links yet)."""
+        validate_asn(asn)
+        self._neighbors.setdefault(asn, {})
+
+    def add_link(
+        self, asn: int, neighbor: int, relationship: Relationship
+    ) -> None:
+        """Declare ``neighbor`` to be ``relationship`` of ``asn``.
+
+        ``add_link(7018, 42, Relationship.CUSTOMER)`` reads "AS 42 is a
+        customer of AS 7018".  The inverse direction is derived.
+        """
+        validate_asn(asn)
+        validate_asn(neighbor)
+        if asn == neighbor:
+            raise ValueError(f"AS {asn} cannot neighbor itself")
+        existing = self._neighbors.get(asn, {}).get(neighbor)
+        if existing is not None and existing is not relationship:
+            raise ValueError(
+                f"conflicting relationship for {asn}-{neighbor}: "
+                f"{existing.value} vs {relationship.value}"
+            )
+        self._neighbors.setdefault(asn, {})[neighbor] = relationship
+        self._neighbors.setdefault(neighbor, {})[asn] = relationship.inverse()
+
+    def add_customer(self, provider: int, customer: int) -> None:
+        """Shorthand: ``customer`` buys transit from ``provider``."""
+        self.add_link(provider, customer, Relationship.CUSTOMER)
+
+    def add_peering(self, left: int, right: int) -> None:
+        """Shorthand: settlement-free peering between two ASes."""
+        self.add_link(left, right, Relationship.PEER)
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._neighbors
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def ases(self) -> Iterator[int]:
+        """All AS numbers in the graph."""
+        return iter(self._neighbors)
+
+    def num_links(self) -> int:
+        """Total number of links (each counted once)."""
+        return sum(len(adj) for adj in self._neighbors.values()) // 2
+
+    def neighbors(self, asn: int) -> dict[int, Relationship]:
+        """Mapping neighbor ASN -> relationship from ``asn``'s viewpoint."""
+        return dict(self._require(asn))
+
+    def relationship(self, asn: int, neighbor: int) -> Relationship:
+        """Relationship of ``neighbor`` from ``asn``'s viewpoint."""
+        adjacency = self._require(asn)
+        if neighbor not in adjacency:
+            raise KeyError(f"AS {asn} has no link to AS {neighbor}")
+        return adjacency[neighbor]
+
+    def has_link(self, asn: int, neighbor: int) -> bool:
+        """True if a link exists between the two ASes."""
+        return neighbor in self._neighbors.get(asn, {})
+
+    def customers_of(self, asn: int) -> list[int]:
+        """ASes buying transit from ``asn``, sorted."""
+        return self._filtered(asn, Relationship.CUSTOMER)
+
+    def providers_of(self, asn: int) -> list[int]:
+        """ASes that ``asn`` buys transit from, sorted."""
+        return self._filtered(asn, Relationship.PROVIDER)
+
+    def peers_of(self, asn: int) -> list[int]:
+        """Settlement-free peers of ``asn``, sorted."""
+        return self._filtered(asn, Relationship.PEER)
+
+    def is_stub(self, asn: int) -> bool:
+        """True if ``asn`` has no customers (an edge/origin-only AS)."""
+        return not self.customers_of(asn)
+
+    def degree(self, asn: int) -> int:
+        """Number of neighbors of ``asn``."""
+        return len(self._require(asn))
+
+    def links(self) -> Iterator[tuple[int, int, Relationship]]:
+        """Each link once, as (asn, neighbor, relationship-from-asn).
+
+        Customer-provider links are reported from the provider side;
+        peering links from the lower ASN.
+        """
+        for asn, adjacency in self._neighbors.items():
+            for neighbor, relationship in adjacency.items():
+                if relationship is Relationship.CUSTOMER:
+                    yield (asn, neighbor, relationship)
+                elif relationship is Relationship.PEER and asn < neighbor:
+                    yield (asn, neighbor, relationship)
+
+    def copy(self) -> "ASGraph":
+        """A deep copy sharing no adjacency state."""
+        duplicate = ASGraph()
+        for asn, adjacency in self._neighbors.items():
+            duplicate._neighbors[asn] = dict(adjacency)
+        return duplicate
+
+    @classmethod
+    def from_links(
+        cls, links: Iterable[tuple[int, int, Relationship]]
+    ) -> "ASGraph":
+        graph = cls()
+        for asn, neighbor, relationship in links:
+            graph.add_link(asn, neighbor, relationship)
+        return graph
+
+    def _require(self, asn: int) -> dict[int, Relationship]:
+        if asn not in self._neighbors:
+            raise KeyError(f"unknown AS {asn}")
+        return self._neighbors[asn]
+
+    def _filtered(self, asn: int, wanted: Relationship) -> list[int]:
+        return sorted(
+            neighbor
+            for neighbor, relationship in self._require(asn).items()
+            if relationship is wanted
+        )

@@ -1,0 +1,220 @@
+"""A single BGP speaker: adj-RIB-in, decision process, export policy.
+
+One router models one AS (the study is AS-granular, as was common in
+routing research of the era).  The decision process implements the
+standard preference ladder restricted to what inter-AS data exhibits:
+LOCAL_PREF (from Gao-Rexford import policy), then shortest AS path, then
+a deterministic lowest-neighbor tie-break standing in for router-id
+comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.policy import RouteType, export_allowed, local_pref_for
+from repro.bgp.relationships import Relationship
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class RibInEntry:
+    """One neighbor's current announcement for one prefix."""
+
+    path: ASPath
+    neighbor: int
+    route_type: RouteType
+
+    @property
+    def local_pref(self) -> int:
+        return local_pref_for(self.route_type)
+
+
+@dataclass(frozen=True)
+class BestRoute:
+    """The decision-process winner for one prefix.
+
+    ``path`` is the path as learned (empty for self-originated routes);
+    exporting prepends the local ASN.
+    """
+
+    path: ASPath
+    route_type: RouteType
+    neighbor: int | None  # None for self-originated routes
+
+    @property
+    def local_pref(self) -> int:
+        return local_pref_for(self.route_type)
+
+
+#: Hook deciding the path exported to a specific neighbor.  Receives
+#: (prefix, best route, neighbor ASN) and returns the path to announce
+#: *before* local prepending, or None to fall through to the default.
+ExportHook = Callable[[Prefix, BestRoute, int], ASPath | None]
+
+
+class BgpRouter:
+    """The BGP speaker of one AS."""
+
+    def __init__(
+        self,
+        asn: int,
+        neighbor_relationships: dict[int, Relationship],
+        *,
+        prepend_counts: dict[int, int] | None = None,
+    ) -> None:
+        self.asn = asn
+        self._relationships = dict(neighbor_relationships)
+        self._adj_rib_in: dict[Prefix, dict[int, RibInEntry]] = {}
+        self._originated: set[Prefix] = set()
+        self._loc_rib: dict[Prefix, BestRoute] = {}
+        #: Per-neighbor AS-prepend count on export (traffic engineering).
+        self._prepend_counts = dict(prepend_counts or {})
+        #: Optional export override used to model SplitView-style TE.
+        self.export_hook: ExportHook | None = None
+
+    # -- local state ----------------------------------------------------
+
+    @property
+    def neighbors(self) -> dict[int, Relationship]:
+        return dict(self._relationships)
+
+    def originated_prefixes(self) -> frozenset[Prefix]:
+        """Prefixes this AS currently originates."""
+        return frozenset(self._originated)
+
+    def loc_rib(self) -> dict[Prefix, BestRoute]:
+        """The current best route per prefix (a copy)."""
+        return dict(self._loc_rib)
+
+    def best_route(self, prefix: Prefix) -> BestRoute | None:
+        """The current decision-process winner for ``prefix``, if any."""
+        return self._loc_rib.get(prefix)
+
+    def rib_in_entries(self, prefix: Prefix) -> list[RibInEntry]:
+        """All candidate routes currently held for ``prefix``."""
+        return list(self._adj_rib_in.get(prefix, {}).values())
+
+    def set_prepend_count(self, neighbor: int, count: int) -> None:
+        """Prepend the local ASN ``count`` times when exporting to ``neighbor``."""
+        if count < 1:
+            raise ValueError(f"prepend count must be >= 1, got {count}")
+        self._prepend_counts[neighbor] = count
+
+    # -- state transitions ----------------------------------------------
+
+    def originate(self, prefix: Prefix) -> bool:
+        """Begin originating ``prefix``; returns True if loc-rib changed."""
+        self._originated.add(prefix)
+        return self._reselect(prefix)
+
+    def withdraw_origin(self, prefix: Prefix) -> bool:
+        """Stop originating ``prefix``; returns True if loc-rib changed."""
+        self._originated.discard(prefix)
+        return self._reselect(prefix)
+
+    def receive(self, message: Announcement | Withdrawal) -> bool:
+        """Apply one update from a neighbor; returns True if best changed."""
+        sender = message.sender
+        if sender not in self._relationships:
+            raise KeyError(f"AS {self.asn} has no session with AS {sender}")
+        if isinstance(message, Announcement):
+            if message.path.contains_as(self.asn):
+                # Loop prevention: drop, and forget any previous route
+                # from this neighbor for the prefix.
+                return self._remove_rib_in(message.prefix, sender)
+            entry = RibInEntry(
+                path=message.path,
+                neighbor=sender,
+                route_type=RouteType.from_relationship(
+                    self._relationships[sender]
+                ),
+            )
+            self._adj_rib_in.setdefault(message.prefix, {})[sender] = entry
+            return self._reselect(message.prefix)
+        return self._remove_rib_in(message.prefix, sender)
+
+    def _remove_rib_in(self, prefix: Prefix, sender: int) -> bool:
+        entries = self._adj_rib_in.get(prefix)
+        if entries and sender in entries:
+            del entries[sender]
+            if not entries:
+                del self._adj_rib_in[prefix]
+            return self._reselect(prefix)
+        return False
+
+    # -- decision process -------------------------------------------------
+
+    def _reselect(self, prefix: Prefix) -> bool:
+        """Re-run the decision process; returns True if the best changed."""
+        best = self._compute_best(prefix)
+        previous = self._loc_rib.get(prefix)
+        if best == previous:
+            return False
+        if best is None:
+            del self._loc_rib[prefix]
+        else:
+            self._loc_rib[prefix] = best
+        return True
+
+    def _compute_best(self, prefix: Prefix) -> BestRoute | None:
+        candidates: list[tuple[tuple[int, int, int], BestRoute]] = []
+        if prefix in self._originated:
+            origin_route = BestRoute(
+                path=ASPath(), route_type=RouteType.ORIGIN, neighbor=None
+            )
+            candidates.append(((origin_route.local_pref, 0, 0), origin_route))
+        for entry in self._adj_rib_in.get(prefix, {}).values():
+            route = BestRoute(
+                path=entry.path,
+                route_type=entry.route_type,
+                neighbor=entry.neighbor,
+            )
+            candidates.append(
+                (
+                    (
+                        route.local_pref,
+                        -entry.path.path_length(),
+                        -entry.neighbor,
+                    ),
+                    route,
+                )
+            )
+        if not candidates:
+            return None
+        # Highest local pref, then shortest path, then lowest neighbor.
+        return max(candidates, key=lambda item: item[0])[1]
+
+    # -- export -----------------------------------------------------------
+
+    def export_to(
+        self, prefix: Prefix, neighbor: int
+    ) -> Announcement | Withdrawal:
+        """The update this router currently owes ``neighbor`` for ``prefix``."""
+        best = self._loc_rib.get(prefix)
+        exported = self._exported_path(prefix, best, neighbor)
+        if exported is None:
+            return Withdrawal(prefix=prefix, sender=self.asn)
+        return Announcement(prefix=prefix, path=exported, sender=self.asn)
+
+    def _exported_path(
+        self, prefix: Prefix, best: BestRoute | None, neighbor: int
+    ) -> ASPath | None:
+        if best is None:
+            return None
+        if best.neighbor == neighbor:
+            # Split horizon: never echo a route back to its sender.
+            return None
+        relationship = self._relationships[neighbor]
+        base: ASPath | None = None
+        if self.export_hook is not None:
+            base = self.export_hook(prefix, best, neighbor)
+        if base is None:
+            if not export_allowed(best.route_type, relationship):
+                return None
+            base = best.path
+        count = self._prepend_counts.get(neighbor, 1)
+        return base.prepend(self.asn, count=count)

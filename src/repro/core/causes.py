@@ -1,0 +1,243 @@
+"""Cause attribution: the Section VI analysis.
+
+From the archive alone (no generator ground truth) the paper could
+identify exchange-point prefixes by address block, leaked private ASNs
+by number range, fault events by their spike signature, and could use
+duration as a (confessedly imperfect) valid/invalid heuristic.  Each of
+those analyses is implemented here; benches compare their output to the
+generator's ground truth.
+"""
+
+from __future__ import annotations
+
+import datetime
+import statistics
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.detector import DailyConflict
+from repro.core.episodes import ConflictEpisode
+from repro.netbase.asn import is_private_asn
+from repro.netbase.prefix import Prefix
+from repro.topology.ixp import IXP_BLOCK
+
+
+def exchange_point_episodes(
+    episodes: Mapping[Prefix, ConflictEpisode],
+) -> list[ConflictEpisode]:
+    """Episodes on prefixes inside the exchange-point address block.
+
+    The paper definitively identified 30 such prefixes out of 38 225
+    conflicts, all of them conflicted for most or all of the study.
+    """
+    return sorted(
+        (
+            episode
+            for prefix, episode in episodes.items()
+            if IXP_BLOCK.contains(prefix)
+        ),
+        key=lambda episode: episode.prefix.sort_key(),
+    )
+
+
+def private_asn_episodes(
+    episodes: Mapping[Prefix, ConflictEpisode],
+) -> list[ConflictEpisode]:
+    """Episodes where a private ASN appeared in origin position.
+
+    Under correct ASE operation the private ASN is stripped; seeing one
+    means an upstream leaked it (Section VI-C).
+    """
+    return sorted(
+        (
+            episode
+            for episode in episodes.values()
+            if any(is_private_asn(origin) for origin in episode.origins_ever)
+        ),
+        key=lambda episode: episode.prefix.sort_key(),
+    )
+
+
+def anycast_like_episodes(
+    episodes: Mapping[Prefix, ConflictEpisode],
+    *,
+    min_origins: int = 4,
+    min_share_of_study: float = 0.5,
+) -> list[ConflictEpisode]:
+    """Candidate anycast prefixes (paper Section VI-D).
+
+    Anycast would appear as a *stable, wide* MOAS conflict: many
+    simultaneous origins for a long time, outside the exchange-point
+    block.  The paper identified **no** anycast prefixes in its data,
+    and the reproduction generates none — this detector exists so that
+    claim is checkable rather than assumed (the pipeline benchmark
+    asserts it returns an empty list).
+    """
+    total_days = max(
+        (episode.days_observed for episode in episodes.values()), default=0
+    )
+    if total_days == 0:
+        return []
+    return sorted(
+        (
+            episode
+            for prefix, episode in episodes.items()
+            if not IXP_BLOCK.contains(prefix)
+            and episode.max_origins_single_day >= min_origins
+            and episode.days_observed
+            >= min_share_of_study * total_days
+        ),
+        key=lambda episode: episode.prefix.sort_key(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault-spike detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpikeReport:
+    """One detected fault day and its dominant culprit."""
+
+    day: datetime.date
+    total_conflicts: int
+    baseline_median: float
+    culprit_asn: int
+    culprit_involved: int
+
+    @property
+    def involvement(self) -> float:
+        return (
+            self.culprit_involved / self.total_conflicts
+            if self.total_conflicts
+            else 0.0
+        )
+
+
+def detect_spikes(
+    daily: Sequence[tuple[datetime.date, Sequence[DailyConflict]]],
+    *,
+    window: int = 30,
+    factor: float = 4.0,
+) -> list[SpikeReport]:
+    """Find days whose conflict count explodes over the local baseline.
+
+    A day is a spike when its count exceeds ``factor`` times the median
+    of the preceding ``window`` observed days.  For each spike the
+    origin AS involved in the most conflicts is reported — the
+    signature that identified AS 8584 and AS 15412 in the paper.
+    """
+    reports: list[SpikeReport] = []
+    counts = [len(conflicts) for _day, conflicts in daily]
+    for index, (day, conflicts) in enumerate(daily):
+        if index == 0:
+            continue
+        start = max(0, index - window)
+        baseline = statistics.median(counts[start:index])
+        if baseline <= 0 or counts[index] < factor * baseline:
+            continue
+        involvement: Counter[int] = Counter()
+        for conflict in conflicts:
+            for origin in conflict.origins:
+                involvement[origin] += 1
+        culprit, involved = involvement.most_common(1)[0]
+        reports.append(
+            SpikeReport(
+                day=day,
+                total_conflicts=counts[index],
+                baseline_median=float(baseline),
+                culprit_asn=culprit,
+                culprit_involved=involved,
+            )
+        )
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Section VI-F: duration as a validity heuristic
+# ---------------------------------------------------------------------------
+
+
+def duration_heuristic(
+    episode: ConflictEpisode, *, threshold_days: int = 9
+) -> bool:
+    """Predict whether a conflict is *valid* (policy, not fault).
+
+    The paper's observation: faults are short, policies are long — but
+    "such differentiation can not be accurate enough to be a solution".
+    Returns True (predicted valid) when the conflict outlived the
+    threshold.
+    """
+    return episode.days_observed > threshold_days
+
+
+@dataclass(frozen=True)
+class HeuristicScore:
+    """Confusion counts of the duration heuristic at one threshold."""
+
+    threshold_days: int
+    true_valid: int
+    false_valid: int
+    true_invalid: int
+    false_invalid: int
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_valid + self.false_valid
+        return self.true_valid / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_valid + self.false_invalid
+        return self.true_valid / actual if actual else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_valid
+            + self.false_valid
+            + self.true_invalid
+            + self.false_invalid
+        )
+        correct = self.true_valid + self.true_invalid
+        return correct / total if total else 0.0
+
+
+def score_duration_heuristic(
+    episodes: Iterable[ConflictEpisode],
+    truth: Mapping[Prefix, bool],
+    *,
+    threshold_days: int,
+) -> HeuristicScore:
+    """Score the heuristic against ground-truth validity labels.
+
+    ``truth`` maps prefix -> True when the conflict had a valid cause.
+    Episodes without a label are skipped (e.g. prefixes conflicted by
+    both a valid and an invalid cause are ambiguous and excluded by the
+    benchmark harness before calling this).
+    """
+    true_valid = false_valid = true_invalid = false_invalid = 0
+    for episode in episodes:
+        label = truth.get(episode.prefix)
+        if label is None:
+            continue
+        predicted_valid = duration_heuristic(
+            episode, threshold_days=threshold_days
+        )
+        if predicted_valid and label:
+            true_valid += 1
+        elif predicted_valid and not label:
+            false_valid += 1
+        elif not predicted_valid and not label:
+            true_invalid += 1
+        else:
+            false_invalid += 1
+    return HeuristicScore(
+        threshold_days=threshold_days,
+        true_valid=true_valid,
+        false_valid=false_valid,
+        true_invalid=true_invalid,
+        false_invalid=false_invalid,
+    )

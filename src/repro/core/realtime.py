@@ -1,0 +1,216 @@
+"""Streaming MOAS detection — the extension the paper's summary calls for.
+
+Section VII: "we are investigating techniques for identifying invalid
+conflicts with a high degree of certainty."  That line of work became
+systems like ARTEMIS and BGPalerter; this module implements the core of
+such a system against our own substrate: a stateful detector consuming
+a stream of BGP updates (e.g. BGP4MP records from
+:mod:`repro.mrt.reader`) and emitting alerts the moment a prefix gains
+or loses a second origin, enriched with the duration-based validity
+hint from Section VI-F.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.mrt.records import Bgp4mpMessage, Bgp4mpStateChange
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+
+class AlertKind(enum.Enum):
+    """What changed about a prefix's origin set."""
+
+    MOAS_STARTED = "moas_started"
+    MOAS_ORIGIN_ADDED = "moas_origin_added"
+    MOAS_ENDED = "moas_ended"
+
+
+@dataclass(frozen=True)
+class MoasAlert:
+    """One origin-set transition observed on the update stream."""
+
+    timestamp: int
+    prefix: Prefix
+    kind: AlertKind
+    origins: frozenset[int]
+    previous_origins: frozenset[int]
+    #: ASN whose appearance/disappearance triggered the alert.
+    changed_origin: int
+
+
+class StreamingMoasDetector:
+    """Stateful per-(peer, prefix) origin tracking with MOAS alerts.
+
+    Mirror of the offline detector's semantics: a prefix is in MOAS
+    when the *current* announcements across peers carry more than one
+    distinct single-AS origin; AS_SET-terminated announcements are
+    ignored.  Withdrawals shrink the origin set and can end a conflict.
+    """
+
+    def __init__(self, *, expected_origins: dict[Prefix, int] | None = None):
+        #: Last announced origin per (peer ASN, prefix).
+        self._announced: dict[tuple[int, Prefix], int] = {}
+        #: prefix -> origin -> number of peers currently announcing it.
+        self._origin_counts: dict[Prefix, dict[int, int]] = {}
+        #: Optional registry of legitimate origins (a simple "IRR").
+        self._expected = dict(expected_origins or {})
+
+    # -- queries -----------------------------------------------------------
+
+    def origins_of(self, prefix: Prefix) -> frozenset[int]:
+        """Origins currently announced for ``prefix`` across peers."""
+        return frozenset(self._origin_counts.get(prefix, ()))
+
+    def in_moas(self, prefix: Prefix) -> bool:
+        """True while ``prefix`` has two or more distinct origins."""
+        return len(self._origin_counts.get(prefix, ())) >= 2
+
+    def current_conflicts(self) -> list[Prefix]:
+        """All prefixes currently in MOAS, sorted."""
+        return sorted(
+            (
+                prefix
+                for prefix, origins in self._origin_counts.items()
+                if len(origins) >= 2
+            ),
+            key=lambda prefix: prefix.sort_key(),
+        )
+
+    def is_expected_origin(self, prefix: Prefix, origin: int) -> bool:
+        """True when a registry says ``origin`` legitimately owns ``prefix``."""
+        expected = self._expected.get(prefix)
+        return expected is None or expected == origin
+
+    # -- update processing ----------------------------------------------------
+
+    def process_update(
+        self, message: Bgp4mpMessage, timestamp: int = 0
+    ) -> list[MoasAlert]:
+        """Apply one BGP4MP update; returns alerts it triggered."""
+        alerts: list[MoasAlert] = []
+        peer = message.peer_asn
+        for prefix in message.withdrawn:
+            alerts.extend(self._withdraw(peer, prefix, timestamp))
+        if message.attributes is not None:
+            path = message.attributes.as_path
+            for prefix in message.announced:
+                alerts.extend(
+                    self._announce(peer, prefix, path, timestamp)
+                )
+        return alerts
+
+    def process_state_change(
+        self, change: Bgp4mpStateChange, timestamp: int = 0
+    ) -> list[MoasAlert]:
+        """Apply a BGP4MP session state transition.
+
+        A session leaving ESTABLISHED invalidates every route learned
+        from that peer — an implicit withdraw of the peer's whole
+        table, which can end conflicts the peer was sustaining.
+        """
+        if not change.session_lost():
+            return []
+        peer = change.peer_asn
+        lost = [
+            prefix
+            for (announced_peer, prefix) in self._announced
+            if announced_peer == peer
+        ]
+        alerts: list[MoasAlert] = []
+        for prefix in lost:
+            alerts.extend(self._withdraw(peer, prefix, timestamp))
+        return alerts
+
+    def process_stream(
+        self,
+        messages: Iterator[tuple[int, Bgp4mpMessage | Bgp4mpStateChange]],
+    ) -> Iterator[MoasAlert]:
+        """Lazily process a (timestamp, update-or-state-change) stream."""
+        for timestamp, message in messages:
+            if isinstance(message, Bgp4mpStateChange):
+                yield from self.process_state_change(message, timestamp)
+            else:
+                yield from self.process_update(message, timestamp)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _announce(
+        self, peer: int, prefix: Prefix, path: ASPath, timestamp: int
+    ) -> list[MoasAlert]:
+        origin = path.origin()
+        if not isinstance(origin, int):
+            # AS_SET tails are excluded, matching the offline detector;
+            # treat as a withdrawal of this peer's previous route.
+            return self._withdraw(peer, prefix, timestamp)
+        key = (peer, prefix)
+        old_origin = self._announced.get(key)
+        if old_origin == origin:
+            return []  # refresh with no origin change
+        before = self.origins_of(prefix)
+        # Swap the peer's route atomically so an origin change emits
+        # one coherent transition instead of ENDED + STARTED churn.
+        if old_origin is not None:
+            self._decrement(prefix, old_origin)
+        self._announced[key] = origin
+        counts = self._origin_counts.setdefault(prefix, {})
+        counts[origin] = counts.get(origin, 0) + 1
+        return self._transition_alerts(
+            prefix, before, timestamp, changed=origin
+        )
+
+    def _withdraw(
+        self, peer: int, prefix: Prefix, timestamp: int
+    ) -> list[MoasAlert]:
+        origin = self._announced.pop((peer, prefix), None)
+        if origin is None:
+            return []
+        before = self.origins_of(prefix)
+        self._decrement(prefix, origin)
+        return self._transition_alerts(
+            prefix, before, timestamp, changed=origin
+        )
+
+    def _decrement(self, prefix: Prefix, origin: int) -> None:
+        counts = self._origin_counts[prefix]
+        counts[origin] -= 1
+        if counts[origin] == 0:
+            del counts[origin]
+        if not counts:
+            del self._origin_counts[prefix]
+
+    def _transition_alerts(
+        self,
+        prefix: Prefix,
+        before: frozenset[int],
+        timestamp: int,
+        *,
+        changed: int,
+    ) -> list[MoasAlert]:
+        after = self.origins_of(prefix)
+        if after == before:
+            return []
+        kind: AlertKind | None = None
+        if len(before) < 2 and len(after) >= 2:
+            kind = AlertKind.MOAS_STARTED
+        elif len(before) >= 2 and len(after) >= 2:
+            kind = AlertKind.MOAS_ORIGIN_ADDED if len(after) > len(
+                before
+            ) else None
+        elif len(before) >= 2 and len(after) < 2:
+            kind = AlertKind.MOAS_ENDED
+        if kind is None:
+            return []
+        return [
+            MoasAlert(
+                timestamp=timestamp,
+                prefix=prefix,
+                kind=kind,
+                origins=after,
+                previous_origins=before,
+                changed_origin=changed,
+            )
+        ]

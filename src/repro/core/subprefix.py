@@ -1,0 +1,120 @@
+"""Sub-prefix anomaly detection — beyond same-prefix MOAS.
+
+The paper's Section VI-E discusses two fault shapes that same-prefix
+MOAS detection cannot see alone:
+
+- **de-aggregation** (the 1997 AS 7007 incident): a faulty AS announces
+  *more-specific* fragments of other organizations' blocks.  There is
+  no same-prefix conflict — the fragments are new prefixes — yet
+  longest-prefix-match forwarding drags all traffic to the faulty AS;
+- **faulty aggregation**: an AS announces a covering aggregate for
+  space it cannot fully reach.
+
+This module detects both from a snapshot, using the radix trie to
+relate every announced prefix to the announced space that covers it.
+Modern systems (ARTEMIS) call the first shape a "sub-prefix hijack";
+implementing it here completes the fault taxonomy the paper opens.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.core.detector import DayDetection
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import RibSnapshot
+from repro.netbase.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class SubPrefixAnomaly:
+    """A more-specific announcement with origins foreign to its cover."""
+
+    prefix: Prefix  # the more-specific announcement
+    covering: Prefix  # the closest covering announcement
+    origins: frozenset[int]  # origins of the more-specific
+    covering_origins: frozenset[int]  # origins of the cover
+
+    @property
+    def is_disjoint(self) -> bool:
+        """True when no origin is shared — the hijack-like shape."""
+        return not (self.origins & self.covering_origins)
+
+
+@dataclass(frozen=True)
+class SubPrefixReport:
+    """All sub-prefix anomalies of one day's table."""
+
+    day: datetime.date
+    anomalies: tuple[SubPrefixAnomaly, ...]
+
+    def disjoint_anomalies(self) -> tuple[SubPrefixAnomaly, ...]:
+        """Anomalies with completely foreign origins (likely faults)."""
+        return tuple(a for a in self.anomalies if a.is_disjoint)
+
+    def by_origin(self, asn: int) -> tuple[SubPrefixAnomaly, ...]:
+        """Anomalies where ``asn`` originates the more-specific."""
+        return tuple(a for a in self.anomalies if asn in a.origins)
+
+
+def _origin_table(snapshot: RibSnapshot) -> PrefixTrie[frozenset[int]]:
+    trie: PrefixTrie[frozenset[int]] = PrefixTrie()
+    for prefix in snapshot.prefixes():
+        origins = snapshot.origins_of(prefix)
+        if origins:
+            trie[prefix] = frozenset(origins)
+    return trie
+
+
+def detect_subprefix_anomalies(snapshot: RibSnapshot) -> SubPrefixReport:
+    """Find more-specific announcements with foreign origin sets.
+
+    For every announced prefix, the closest *covering* announcement is
+    located; when the more-specific's origin set is not a subset of the
+    cover's, the pair is reported.  Legitimate traffic engineering
+    (an org splitting its own block) shares origins and is not flagged.
+    """
+    trie = _origin_table(snapshot)
+    anomalies: list[SubPrefixAnomaly] = []
+    for prefix, origins in trie.items():
+        if prefix.length == 0:
+            continue
+        cover = None
+        for candidate, candidate_origins in trie.covering(prefix):
+            if candidate != prefix:
+                cover = (candidate, candidate_origins)  # keep most specific
+        if cover is None:
+            continue
+        covering_prefix, covering_origins = cover
+        if not origins <= covering_origins:
+            anomalies.append(
+                SubPrefixAnomaly(
+                    prefix=prefix,
+                    covering=covering_prefix,
+                    origins=origins,
+                    covering_origins=covering_origins,
+                )
+            )
+    return SubPrefixReport(
+        day=snapshot.day,
+        anomalies=tuple(
+            sorted(anomalies, key=lambda a: a.prefix.sort_key())
+        ),
+    )
+
+
+def combined_fault_surface(
+    detection: DayDetection, report: SubPrefixReport
+) -> dict[str, int]:
+    """One-day fault summary across both detectors.
+
+    Returns counts of same-prefix MOAS conflicts, sub-prefix anomalies
+    and the disjoint (hijack-like) subset — the complete picture a
+    1997-2001 operator would have wanted.
+    """
+    return {
+        "moas_conflicts": detection.num_conflicts,
+        "subprefix_anomalies": len(report.anomalies),
+        "disjoint_subprefix_anomalies": len(report.disjoint_anomalies()),
+    }

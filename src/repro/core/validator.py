@@ -1,0 +1,212 @@
+"""Multi-signal MOAS conflict validation — the paper's future work.
+
+Section VII: "Based on this MOAS data alone, we can not accurately
+differentiate a fault from a valid policy change, but we can utilize
+the MOAS analysis results as a valuable input ... we are investigating
+techniques for identifying invalid conflicts with a high degree of
+certainty."
+
+This module implements that investigation over our substrate: a
+transparent, rule-based validator that combines every signal the paper
+identifies instead of duration alone —
+
+- **duration** (VI-F): long conflicts lean valid;
+- **exchange-point address space** (VI-A): fabric prefixes are valid;
+- **private-ASN origins** (VI-C): ASE leakage, operationally valid;
+- **spike-day mass origination** (VI-E): conflicts born inside a
+  detected fault spike involving the spike's culprit lean invalid;
+- **origin relationship** (V, VI-B): provider-customer origin pairs
+  (visible as OrigTranAS-shaped paths) indicate multihoming, valid;
+- **recurrence**: conflicts that keep coming back across the study are
+  standing policy, valid.
+
+The benchmark ``bench_validator.py`` scores this against ground truth
+and against the duration-only heuristic; the design goal is exactly the
+paper's: materially higher certainty than duration alone.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.causes import SpikeReport
+from repro.core.detector import DailyConflict
+from repro.core.episodes import ConflictEpisode
+from repro.netbase.asn import is_private_asn
+from repro.topology.ixp import IXP_BLOCK
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One conflict's validity assessment."""
+
+    valid: bool
+    confidence: float  # 0.5 (coin flip) .. 1.0 (certain)
+    reasons: tuple[str, ...]
+
+
+@dataclass
+class ValidatorConfig:
+    """Scoring weights; positive pushes toward *valid*."""
+
+    duration_long_days: int = 30
+    duration_short_days: int = 3
+    weight_exchange_point: float = 3.0
+    weight_private_asn: float = 2.0
+    weight_long_duration: float = 1.5
+    weight_short_duration: float = -1.0
+    weight_spike_member: float = -3.0
+    weight_origin_adjacency: float = 1.5
+    weight_recurrent: float = 1.0
+
+
+@dataclass
+class ConflictValidator:
+    """Combines the paper's Section VI signals into a verdict."""
+
+    config: ValidatorConfig = field(default_factory=ValidatorConfig)
+    #: Day -> culprit ASN for detected fault spikes (from the pipeline's
+    #: case studies); conflicts involving the culprit on those days are
+    #: almost certainly mass-origination victims.
+    spike_culprits: dict[datetime.date, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_case_studies(
+        cls,
+        case_studies: Iterable,
+        config: ValidatorConfig | None = None,
+    ) -> "ConflictValidator":
+        """Build from pipeline case studies (see StudyResults)."""
+        culprits: dict[datetime.date, int] = {}
+        for case in case_studies:
+            report: SpikeReport = case.report
+            culprits[report.day] = report.culprit_asn
+        return cls(config=config or ValidatorConfig(), spike_culprits=culprits)
+
+    # -- signals ---------------------------------------------------------
+
+    def _signals(
+        self,
+        episode: ConflictEpisode,
+        observations: Mapping[datetime.date, DailyConflict] | None,
+    ) -> list[tuple[str, float]]:
+        config = self.config
+        signals: list[tuple[str, float]] = []
+
+        if IXP_BLOCK.contains(episode.prefix):
+            signals.append(
+                ("exchange-point prefix", config.weight_exchange_point)
+            )
+
+        if any(is_private_asn(origin) for origin in episode.origins_ever):
+            signals.append(
+                ("private ASN in origin set", config.weight_private_asn)
+            )
+
+        if episode.days_observed >= config.duration_long_days:
+            signals.append(
+                (
+                    f"duration {episode.days_observed}d >= "
+                    f"{config.duration_long_days}d",
+                    config.weight_long_duration,
+                )
+            )
+        elif episode.days_observed <= config.duration_short_days:
+            signals.append(
+                (
+                    f"duration {episode.days_observed}d <= "
+                    f"{config.duration_short_days}d",
+                    config.weight_short_duration,
+                )
+            )
+
+        spike_hits = 0
+        for day, culprit in self.spike_culprits.items():
+            if (
+                episode.first_day <= day <= episode.last_day
+                and culprit in episode.origins_ever
+            ):
+                spike_hits += 1
+        if spike_hits:
+            signals.append(
+                (
+                    "involves a detected mass-origination culprit",
+                    config.weight_spike_member,
+                )
+            )
+
+        if observations:
+            if self._origins_adjacent_in_paths(episode, observations):
+                signals.append(
+                    (
+                        "origins adjacent in observed paths "
+                        "(provider-customer multihoming shape)",
+                        config.weight_origin_adjacency,
+                    )
+                )
+
+        span = (episode.last_day - episode.first_day).days + 1
+        if span > 2 * episode.days_observed and episode.days_observed >= 4:
+            signals.append(
+                ("recurs intermittently across the study",
+                 config.weight_recurrent)
+            )
+        return signals
+
+    @staticmethod
+    def _origins_adjacent_in_paths(
+        episode: ConflictEpisode,
+        observations: Mapping[datetime.date, DailyConflict],
+    ) -> bool:
+        """Do two conflicting origins appear adjacent on one path?
+
+        That is the OrigTranAS signature: one origin transits the
+        other, i.e. they are provider and customer — multihoming.
+        """
+        origins = episode.origins_ever
+        for conflict in observations.values():
+            for path in conflict.all_paths():
+                for left, right in zip(path, path[1:]):
+                    if left in origins and right in origins:
+                        return True
+        return False
+
+    # -- verdicts ---------------------------------------------------------
+
+    def validate(
+        self,
+        episode: ConflictEpisode,
+        observations: Mapping[datetime.date, DailyConflict] | None = None,
+    ) -> Verdict:
+        """Assess one conflict episode.
+
+        ``observations`` optionally supplies the daily conflict records
+        of this prefix (for path-shape signals); the validator degrades
+        gracefully without them.
+        """
+        signals = self._signals(episode, observations)
+        score = sum(weight for _reason, weight in signals)
+        valid = score >= 0
+        # Squash |score| into a 0.5..1.0 confidence.
+        confidence = 0.5 + min(abs(score), 4.0) / 8.0
+        return Verdict(
+            valid=valid,
+            confidence=confidence,
+            reasons=tuple(reason for reason, _weight in signals),
+        )
+
+    def validate_all(
+        self,
+        episodes: Mapping,
+        observations_by_prefix: Mapping | None = None,
+    ) -> dict:
+        """Verdicts for a whole episode table (prefix -> Verdict)."""
+        verdicts = {}
+        for prefix, episode in episodes.items():
+            observations = None
+            if observations_by_prefix is not None:
+                observations = observations_by_prefix.get(prefix)
+            verdicts[prefix] = self.validate(episode, observations)
+        return verdicts

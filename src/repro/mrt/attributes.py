@@ -1,0 +1,242 @@
+"""BGP path-attribute encoding and decoding.
+
+A TABLE_DUMP entry carries the full attribute set of the best route a
+peer exported.  The MOAS analysis only needs AS_PATH, but a credible
+codec must round-trip the attributes real dumps contain, so ORIGIN,
+NEXT_HOP, MED, LOCAL_PREF, ATOMIC_AGGREGATE, AGGREGATOR and COMMUNITIES
+are all implemented; unknown optional attributes are preserved opaquely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mrt.buffer import Builder, Cursor
+from repro.mrt.constants import (
+    ATTR_FLAG_EXTENDED_LENGTH,
+    ATTR_FLAG_OPTIONAL,
+    BgpAttrType,
+    BgpOrigin,
+    WELL_KNOWN_FLAGS,
+)
+from repro.mrt.errors import MrtDecodeError
+from repro.netbase.aspath import ASPath, Segment, SegmentType
+
+
+@dataclass(frozen=True)
+class UnknownAttribute:
+    """An attribute type we do not interpret, kept byte-exact."""
+
+    flags: int
+    type_code: int
+    payload: bytes
+
+
+@dataclass
+class PathAttributes:
+    """Decoded BGP path attributes of one route."""
+
+    origin: BgpOrigin = BgpOrigin.IGP
+    as_path: ASPath = field(default_factory=ASPath)
+    next_hop: int | None = None
+    med: int | None = None
+    local_pref: int | None = None
+    atomic_aggregate: bool = False
+    aggregator: tuple[int, int] | None = None  # (ASN, router-id)
+    communities: tuple[int, ...] = ()
+    unknown: tuple[UnknownAttribute, ...] = ()
+
+    # -- encoding -----------------------------------------------------
+
+    def encode(self, *, asn_size: int = 2) -> bytes:
+        """Serialize to the wire attribute list (without a length prefix).
+
+        ``asn_size`` is 2 for the classic encoding of the study era and
+        4 for AS4-capable dumps.
+        """
+        builder = Builder()
+        _emit(builder, BgpAttrType.ORIGIN, bytes([self.origin]))
+        _emit(
+            builder,
+            BgpAttrType.AS_PATH,
+            _encode_as_path(self.as_path, asn_size),
+        )
+        if self.next_hop is not None:
+            _emit(
+                builder,
+                BgpAttrType.NEXT_HOP,
+                self.next_hop.to_bytes(4, "big"),
+            )
+        if self.med is not None:
+            _emit(
+                builder,
+                BgpAttrType.MULTI_EXIT_DISC,
+                self.med.to_bytes(4, "big"),
+            )
+        if self.local_pref is not None:
+            _emit(
+                builder,
+                BgpAttrType.LOCAL_PREF,
+                self.local_pref.to_bytes(4, "big"),
+            )
+        if self.atomic_aggregate:
+            _emit(builder, BgpAttrType.ATOMIC_AGGREGATE, b"")
+        if self.aggregator is not None:
+            asn, router_id = self.aggregator
+            _emit(
+                builder,
+                BgpAttrType.AGGREGATOR,
+                asn.to_bytes(asn_size, "big") + router_id.to_bytes(4, "big"),
+            )
+        if self.communities:
+            payload = b"".join(
+                community.to_bytes(4, "big") for community in self.communities
+            )
+            _emit(builder, BgpAttrType.COMMUNITIES, payload)
+        for attribute in self.unknown:
+            _emit_raw(
+                builder, attribute.flags, attribute.type_code, attribute.payload
+            )
+        return builder.getvalue()
+
+    # -- decoding -----------------------------------------------------
+
+    @classmethod
+    def decode(cls, data: bytes, *, asn_size: int = 2) -> "PathAttributes":
+        """Parse a wire attribute list (without a length prefix)."""
+        cursor = Cursor(data)
+        attrs = cls()
+        unknown: list[UnknownAttribute] = []
+        seen: set[int] = set()
+        while not cursor.at_end():
+            flags = cursor.u8("attr flags")
+            type_code = cursor.u8("attr type")
+            if flags & ATTR_FLAG_EXTENDED_LENGTH:
+                length = cursor.u16("attr length")
+            else:
+                length = cursor.u8("attr length")
+            payload = cursor.take(length, f"attr {type_code} payload")
+            if type_code in seen:
+                raise MrtDecodeError(f"duplicate attribute type {type_code}")
+            seen.add(type_code)
+            cls._apply(attrs, unknown, flags, type_code, payload, asn_size)
+        attrs.unknown = tuple(unknown)
+        return attrs
+
+    @staticmethod
+    def _apply(
+        attrs: "PathAttributes",
+        unknown: list[UnknownAttribute],
+        flags: int,
+        type_code: int,
+        payload: bytes,
+        asn_size: int,
+    ) -> None:
+        if type_code == BgpAttrType.ORIGIN:
+            if len(payload) != 1:
+                raise MrtDecodeError(f"ORIGIN length {len(payload)} != 1")
+            try:
+                attrs.origin = BgpOrigin(payload[0])
+            except ValueError as error:
+                raise MrtDecodeError(f"bad ORIGIN value {payload[0]}") from error
+        elif type_code == BgpAttrType.AS_PATH:
+            attrs.as_path = _decode_as_path(payload, asn_size)
+        elif type_code == BgpAttrType.NEXT_HOP:
+            if len(payload) != 4:
+                raise MrtDecodeError(f"NEXT_HOP length {len(payload)} != 4")
+            attrs.next_hop = int.from_bytes(payload, "big")
+        elif type_code == BgpAttrType.MULTI_EXIT_DISC:
+            if len(payload) != 4:
+                raise MrtDecodeError(f"MED length {len(payload)} != 4")
+            attrs.med = int.from_bytes(payload, "big")
+        elif type_code == BgpAttrType.LOCAL_PREF:
+            if len(payload) != 4:
+                raise MrtDecodeError(f"LOCAL_PREF length {len(payload)} != 4")
+            attrs.local_pref = int.from_bytes(payload, "big")
+        elif type_code == BgpAttrType.ATOMIC_AGGREGATE:
+            if payload:
+                raise MrtDecodeError("ATOMIC_AGGREGATE must be empty")
+            attrs.atomic_aggregate = True
+        elif type_code == BgpAttrType.AGGREGATOR:
+            expected = asn_size + 4
+            if len(payload) != expected:
+                raise MrtDecodeError(
+                    f"AGGREGATOR length {len(payload)} != {expected}"
+                )
+            attrs.aggregator = (
+                int.from_bytes(payload[:asn_size], "big"),
+                int.from_bytes(payload[asn_size:], "big"),
+            )
+        elif type_code == BgpAttrType.COMMUNITIES:
+            if len(payload) % 4:
+                raise MrtDecodeError(
+                    f"COMMUNITIES length {len(payload)} not a multiple of 4"
+                )
+            attrs.communities = tuple(
+                int.from_bytes(payload[offset : offset + 4], "big")
+                for offset in range(0, len(payload), 4)
+            )
+        else:
+            if not flags & ATTR_FLAG_OPTIONAL:
+                raise MrtDecodeError(
+                    f"unrecognized well-known attribute {type_code}"
+                )
+            unknown.append(UnknownAttribute(flags, type_code, payload))
+
+
+def _emit(builder: Builder, attr_type: BgpAttrType, payload: bytes) -> None:
+    _emit_raw(builder, WELL_KNOWN_FLAGS[attr_type], attr_type, payload)
+
+
+def _emit_raw(
+    builder: Builder, flags: int, type_code: int, payload: bytes
+) -> None:
+    if len(payload) > 255:
+        builder.u8(flags | ATTR_FLAG_EXTENDED_LENGTH)
+        builder.u8(type_code)
+        builder.u16(len(payload))
+    else:
+        builder.u8(flags & ~ATTR_FLAG_EXTENDED_LENGTH)
+        builder.u8(type_code)
+        builder.u8(len(payload))
+    builder.raw(payload)
+
+
+def _encode_as_path(path: ASPath, asn_size: int) -> bytes:
+    builder = Builder()
+    for segment in path.segments:
+        if len(segment.ases) > 255:
+            raise MrtDecodeError(
+                f"segment of {len(segment.ases)} ASes exceeds wire limit"
+            )
+        builder.u8(segment.kind)
+        builder.u8(len(segment.ases))
+        for asn in segment.ases:
+            if asn >= 1 << (8 * asn_size):
+                raise MrtDecodeError(
+                    f"ASN {asn} does not fit in {asn_size} bytes"
+                )
+            builder.raw(asn.to_bytes(asn_size, "big"))
+    return builder.getvalue()
+
+
+def _decode_as_path(payload: bytes, asn_size: int) -> ASPath:
+    cursor = Cursor(payload)
+    segments: list[Segment] = []
+    while not cursor.at_end():
+        kind_value = cursor.u8("segment type")
+        try:
+            kind = SegmentType(kind_value)
+        except ValueError as error:
+            raise MrtDecodeError(
+                f"bad AS_PATH segment type {kind_value}"
+            ) from error
+        count = cursor.u8("segment count")
+        if count == 0:
+            raise MrtDecodeError("empty AS_PATH segment")
+        ases = tuple(
+            int.from_bytes(cursor.take(asn_size, "segment ASN"), "big")
+            for _ in range(count)
+        )
+        segments.append(Segment(kind, ases))
+    return ASPath(segments)

@@ -1,0 +1,97 @@
+"""Bounds-checked binary cursor used by all MRT decoders."""
+
+from __future__ import annotations
+
+from repro.mrt.errors import MrtTruncatedError
+
+
+class Cursor:
+    """A forward-only reader over a bytes buffer.
+
+    Every read is bounds-checked and raises :class:`MrtTruncatedError`
+    with the field name, which turns corrupt-archive debugging from
+    struct offsets into readable messages.
+    """
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        """True when every byte has been consumed."""
+        return self._pos >= len(self._data)
+
+    def take(self, count: int, field: str = "bytes") -> bytes:
+        """Read exactly ``count`` bytes."""
+        if count < 0:
+            raise MrtTruncatedError(f"negative length for {field}: {count}")
+        end = self._pos + count
+        if end > len(self._data):
+            raise MrtTruncatedError(
+                f"need {count} bytes for {field}, have {self.remaining()}"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def u8(self, field: str = "u8") -> int:
+        """Read one unsigned byte."""
+        return self.take(1, field)[0]
+
+    def u16(self, field: str = "u16") -> int:
+        """Read a big-endian unsigned 16-bit integer."""
+        return int.from_bytes(self.take(2, field), "big")
+
+    def u32(self, field: str = "u32") -> int:
+        """Read a big-endian unsigned 32-bit integer."""
+        return int.from_bytes(self.take(4, field), "big")
+
+    def sub_cursor(self, count: int, field: str = "sub") -> "Cursor":
+        """A cursor limited to the next ``count`` bytes."""
+        return Cursor(self.take(count, field))
+
+
+class Builder:
+    """Append-only byte builder mirroring :class:`Cursor`."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def raw(self, data: bytes) -> "Builder":
+        """Append raw bytes."""
+        self._parts.append(data)
+        return self
+
+    def u8(self, value: int) -> "Builder":
+        """Append one unsigned byte."""
+        self._parts.append(value.to_bytes(1, "big"))
+        return self
+
+    def u16(self, value: int) -> "Builder":
+        """Append a big-endian unsigned 16-bit integer."""
+        self._parts.append(value.to_bytes(2, "big"))
+        return self
+
+    def u32(self, value: int) -> "Builder":
+        """Append a big-endian unsigned 32-bit integer."""
+        self._parts.append(value.to_bytes(4, "big"))
+        return self
+
+    def getvalue(self) -> bytes:
+        """All appended bytes, concatenated."""
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)

@@ -1,0 +1,84 @@
+"""Wire constants for the MRT codec (RFC 6396, RFC 4271)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class MrtType(enum.IntEnum):
+    """MRT record types we understand."""
+
+    TABLE_DUMP = 12
+    TABLE_DUMP_V2 = 13
+    BGP4MP = 16
+
+
+class TableDumpV2Subtype(enum.IntEnum):
+    """TABLE_DUMP_V2 subtypes (RFC 6396 section 4.3)."""
+
+    PEER_INDEX_TABLE = 1
+    RIB_IPV4_UNICAST = 2
+
+
+class Bgp4mpSubtype(enum.IntEnum):
+    """BGP4MP subtypes (RFC 6396 section 4.4)."""
+
+    STATE_CHANGE = 0
+    MESSAGE = 1
+    MESSAGE_AS4 = 4
+
+
+#: AFI value for IPv4 — the only address family in the 2001 study.
+AFI_IPV4 = 1
+
+
+class BgpMessageType(enum.IntEnum):
+    """BGP-4 message types (RFC 4271 section 4.1)."""
+
+    OPEN = 1
+    UPDATE = 2
+    NOTIFICATION = 3
+    KEEPALIVE = 4
+
+
+class BgpAttrType(enum.IntEnum):
+    """BGP path-attribute type codes (RFC 4271 section 5)."""
+
+    ORIGIN = 1
+    AS_PATH = 2
+    NEXT_HOP = 3
+    MULTI_EXIT_DISC = 4
+    LOCAL_PREF = 5
+    ATOMIC_AGGREGATE = 6
+    AGGREGATOR = 7
+    COMMUNITIES = 8
+
+
+class BgpOrigin(enum.IntEnum):
+    """ORIGIN attribute values."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+#: Path-attribute flag bits.
+ATTR_FLAG_OPTIONAL = 0x80
+ATTR_FLAG_TRANSITIVE = 0x40
+ATTR_FLAG_PARTIAL = 0x20
+ATTR_FLAG_EXTENDED_LENGTH = 0x10
+
+#: BGP message marker: 16 bytes of 0xFF (RFC 4271 section 4.1).
+BGP_MARKER = b"\xff" * 16
+
+#: Well-known flag combinations per attribute type.
+WELL_KNOWN_FLAGS = {
+    BgpAttrType.ORIGIN: ATTR_FLAG_TRANSITIVE,
+    BgpAttrType.AS_PATH: ATTR_FLAG_TRANSITIVE,
+    BgpAttrType.NEXT_HOP: ATTR_FLAG_TRANSITIVE,
+    BgpAttrType.MULTI_EXIT_DISC: ATTR_FLAG_OPTIONAL,
+    BgpAttrType.LOCAL_PREF: ATTR_FLAG_TRANSITIVE,
+    BgpAttrType.ATOMIC_AGGREGATE: ATTR_FLAG_TRANSITIVE,
+    BgpAttrType.AGGREGATOR: ATTR_FLAG_OPTIONAL | ATTR_FLAG_TRANSITIVE,
+    BgpAttrType.COMMUNITIES: ATTR_FLAG_OPTIONAL | ATTR_FLAG_TRANSITIVE,
+}

@@ -1,0 +1,20 @@
+"""Exception hierarchy for the MRT codec."""
+
+from __future__ import annotations
+
+
+class MrtError(Exception):
+    """Base class for all MRT codec errors."""
+
+
+class MrtDecodeError(MrtError):
+    """A record or attribute failed structural validation."""
+
+
+class MrtTruncatedError(MrtDecodeError):
+    """Input ended before a declared length was satisfied.
+
+    Distinguished from :class:`MrtDecodeError` because real archives do
+    get truncated by interrupted transfers; readers may choose to treat
+    a trailing truncated record as end-of-file.
+    """

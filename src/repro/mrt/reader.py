@@ -1,0 +1,200 @@
+"""Reading MRT archives into RIB snapshots.
+
+:class:`MrtReader` streams records from a file (gzip is detected by
+magic bytes, matching how Route Views archives are stored);
+:func:`read_rib_snapshot` assembles a full
+:class:`~repro.netbase.rib.RibSnapshot` from either TABLE_DUMP or
+TABLE_DUMP_V2 archives.
+"""
+
+from __future__ import annotations
+
+import datetime
+import gzip
+import io
+from collections.abc import Iterator
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.mrt.constants import MrtType, TableDumpV2Subtype
+from repro.mrt.errors import MrtDecodeError, MrtTruncatedError
+from repro.mrt.records import (
+    Bgp4mpMessage,
+    Bgp4mpStateChange,
+    MrtRecord,
+    PeerIndexTable,
+    RibIpv4Unicast,
+    TableDumpRecord,
+)
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _open_maybe_gzip(path: Path) -> BinaryIO:
+    raw = open(path, "rb")
+    magic = raw.read(2)
+    raw.seek(0)
+    if magic == _GZIP_MAGIC:
+        return gzip.open(raw, "rb")  # type: ignore[return-value]
+    return raw
+
+
+class MrtReader:
+    """Iterate the records of one MRT file.
+
+    Usage::
+
+        with MrtReader(path) as reader:
+            for record in reader:
+                ...
+
+    Unknown record types are yielded as raw :class:`MrtRecord` envelopes
+    so callers can skip what they do not understand — important because
+    real archives interleave record types.
+    """
+
+    def __init__(self, source: Path | str | BinaryIO) -> None:
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = _open_maybe_gzip(Path(source))
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+
+    def __enter__(self) -> "MrtReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying stream if this reader opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __iter__(self) -> Iterator[MrtRecord]:
+        return self.records()
+
+    def records(self) -> Iterator[MrtRecord]:
+        """Yield raw records until end of stream.
+
+        A cleanly-ended stream stops iteration; a stream that ends in
+        the middle of a record raises :class:`MrtTruncatedError`.
+        """
+        while True:
+            header = self._stream.read(MrtRecord.HEADER_LEN)
+            if not header:
+                return
+            if len(header) < MrtRecord.HEADER_LEN:
+                raise MrtTruncatedError(
+                    f"partial MRT header of {len(header)} bytes"
+                )
+            timestamp, mrt_type, subtype, length = MrtRecord.decode_header(
+                header
+            )
+            body = self._stream.read(length)
+            if len(body) < length:
+                raise MrtTruncatedError(
+                    f"record body truncated: need {length}, got {len(body)}"
+                )
+            yield MrtRecord(timestamp, mrt_type, subtype, body)
+
+    def decoded(
+        self,
+    ) -> Iterator[
+        TableDumpRecord
+        | PeerIndexTable
+        | RibIpv4Unicast
+        | Bgp4mpMessage
+        | Bgp4mpStateChange
+    ]:
+        """Yield decoded record bodies, skipping unknown record types."""
+        for record in self.records():
+            decoded = decode_record(record)
+            if decoded is not None:
+                yield decoded
+
+
+def decode_record(
+    record: MrtRecord,
+) -> (
+    TableDumpRecord
+    | PeerIndexTable
+    | RibIpv4Unicast
+    | Bgp4mpMessage
+    | Bgp4mpStateChange
+    | None
+):
+    """Decode one raw record, returning None for unsupported types."""
+    if record.mrt_type == MrtType.TABLE_DUMP:
+        if record.subtype != TableDumpRecord.SUBTYPE:
+            return None  # e.g. IPv6 table dumps
+        return TableDumpRecord.decode_body(record.body)
+    if record.mrt_type == MrtType.TABLE_DUMP_V2:
+        if record.subtype == TableDumpV2Subtype.PEER_INDEX_TABLE:
+            return PeerIndexTable.decode_body(record.body)
+        if record.subtype == TableDumpV2Subtype.RIB_IPV4_UNICAST:
+            return RibIpv4Unicast.decode_body(record.body)
+        return None
+    if record.mrt_type == MrtType.BGP4MP:
+        if record.subtype == Bgp4mpMessage.SUBTYPE:
+            return Bgp4mpMessage.decode_body(record.body)
+        if record.subtype == Bgp4mpStateChange.SUBTYPE:
+            return Bgp4mpStateChange.decode_body(record.body)
+        return None
+    return None
+
+
+def read_rib_snapshot(
+    path: Path | str, *, day: datetime.date | None = None
+) -> RibSnapshot:
+    """Load a whole table-dump file as a :class:`RibSnapshot`.
+
+    Handles both archive generations transparently: v1 TABLE_DUMP rows
+    carry peer identity inline; TABLE_DUMP_V2 files must begin with a
+    PEER_INDEX_TABLE which subsequent RIB records reference.
+
+    ``day`` overrides the snapshot date; by default it is derived from
+    the first record's timestamp (UTC), which matches how the paper's
+    daily archives are named.
+    """
+    snapshot_day = day
+    routes: list[Route] = []
+    peer_table: PeerIndexTable | None = None
+
+    with MrtReader(path) as reader:
+        for record in reader.records():
+            if snapshot_day is None:
+                snapshot_day = datetime.datetime.fromtimestamp(
+                    record.timestamp, tz=datetime.timezone.utc
+                ).date()
+            decoded = decode_record(record)
+            if decoded is None:
+                continue
+            if isinstance(decoded, PeerIndexTable):
+                peer_table = decoded
+            elif isinstance(decoded, TableDumpRecord):
+                peer = PeerId(asn=decoded.peer_asn)
+                routes.append(
+                    Route(decoded.prefix, decoded.attributes.as_path, peer)
+                )
+            elif isinstance(decoded, RibIpv4Unicast):
+                if peer_table is None:
+                    raise MrtDecodeError(
+                        "RIB_IPV4_UNICAST before PEER_INDEX_TABLE"
+                    )
+                for entry in decoded.entries:
+                    if entry.peer_index >= len(peer_table.peers):
+                        raise MrtDecodeError(
+                            f"peer index {entry.peer_index} out of range"
+                        )
+                    peer_entry = peer_table.peers[entry.peer_index]
+                    peer = PeerId(asn=peer_entry.asn)
+                    routes.append(
+                        Route(decoded.prefix, entry.attributes.as_path, peer)
+                    )
+
+    if snapshot_day is None:
+        raise MrtDecodeError("file contains no MRT records")
+    return RibSnapshot.from_routes(snapshot_day, routes)

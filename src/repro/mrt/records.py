@@ -1,0 +1,505 @@
+"""MRT record structures and their wire codecs.
+
+Each record class knows how to encode its body and decode itself from a
+body buffer; the common 12-byte MRT header is handled by
+:class:`MrtRecord`.  Only the record types present in Route Views table
+archives (plus BGP4MP updates for the streaming extension) are modelled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mrt.attributes import PathAttributes
+from repro.mrt.buffer import Builder, Cursor
+from repro.mrt.constants import (
+    AFI_IPV4,
+    BGP_MARKER,
+    Bgp4mpSubtype,
+    BgpMessageType,
+    MrtType,
+    TableDumpV2Subtype,
+)
+from repro.mrt.errors import MrtDecodeError
+from repro.netbase.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class MrtRecord:
+    """One MRT record: common header plus an undecoded body."""
+
+    timestamp: int
+    mrt_type: int
+    subtype: int
+    body: bytes
+
+    HEADER_LEN = 12
+
+    def encode(self) -> bytes:
+        """Serialize header + body."""
+        builder = Builder()
+        builder.u32(self.timestamp)
+        builder.u16(self.mrt_type)
+        builder.u16(self.subtype)
+        builder.u32(len(self.body))
+        builder.raw(self.body)
+        return builder.getvalue()
+
+    @classmethod
+    def decode_header(cls, header: bytes) -> tuple[int, int, int, int]:
+        """Parse the 12-byte header into (timestamp, type, subtype, length)."""
+        cursor = Cursor(header)
+        return (
+            cursor.u32("timestamp"),
+            cursor.u16("type"),
+            cursor.u16("subtype"),
+            cursor.u32("length"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# TABLE_DUMP (MRT type 12) — the format of the NLANR-era archives.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableDumpRecord:
+    """One TABLE_DUMP entry: a single (peer, prefix, attributes) row."""
+
+    view_number: int
+    sequence: int
+    prefix: Prefix
+    status: int
+    originated_time: int
+    peer_address: int
+    peer_asn: int
+    attributes: PathAttributes
+
+    SUBTYPE = AFI_IPV4
+
+    def encode_body(self) -> bytes:
+        """Serialize the record body to its wire form."""
+        attr_bytes = self.attributes.encode(asn_size=2)
+        builder = Builder()
+        builder.u16(self.view_number)
+        builder.u16(self.sequence)
+        builder.u32(self.prefix.network)
+        builder.u8(self.prefix.length)
+        builder.u8(self.status)
+        builder.u32(self.originated_time)
+        builder.u32(self.peer_address)
+        builder.u16(self.peer_asn)
+        builder.u16(len(attr_bytes))
+        builder.raw(attr_bytes)
+        return builder.getvalue()
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "TableDumpRecord":
+        cursor = Cursor(body)
+        view_number = cursor.u16("view number")
+        sequence = cursor.u16("sequence")
+        network = cursor.u32("prefix")
+        length = cursor.u8("prefix length")
+        if length > 32:
+            raise MrtDecodeError(f"IPv4 prefix length {length} > 32")
+        status = cursor.u8("status")
+        originated = cursor.u32("originated time")
+        peer_address = cursor.u32("peer address")
+        peer_asn = cursor.u16("peer AS")
+        attr_len = cursor.u16("attribute length")
+        attributes = PathAttributes.decode(
+            cursor.take(attr_len, "attributes"), asn_size=2
+        )
+        if not cursor.at_end():
+            raise MrtDecodeError(
+                f"{cursor.remaining()} trailing bytes in TABLE_DUMP body"
+            )
+        return cls(
+            view_number=view_number,
+            sequence=sequence,
+            prefix=Prefix(network, length, strict=False),
+            status=status,
+            originated_time=originated,
+            peer_address=peer_address,
+            peer_asn=peer_asn,
+            attributes=attributes,
+        )
+
+    def to_record(self, timestamp: int) -> MrtRecord:
+        """Wrap the encoded body in an MRT record envelope."""
+        return MrtRecord(
+            timestamp, MrtType.TABLE_DUMP, self.SUBTYPE, self.encode_body()
+        )
+
+
+# ---------------------------------------------------------------------------
+# TABLE_DUMP_V2 (MRT type 13) — the format of the PCH-era archives.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PeerEntry:
+    """One peer in a PEER_INDEX_TABLE."""
+
+    bgp_id: int
+    address: int
+    asn: int
+
+    #: Peer-type octet: bit 0 = IPv6 address, bit 1 = 4-byte ASN.  We
+    #: emit IPv4 + 4-byte ASN, and accept 2-byte ASNs on decode.
+    TYPE_AS4 = 0x02
+
+    def encode(self) -> bytes:
+        """Serialize this peer entry to its wire form."""
+        builder = Builder()
+        builder.u8(self.TYPE_AS4)
+        builder.u32(self.bgp_id)
+        builder.u32(self.address)
+        builder.u32(self.asn)
+        return builder.getvalue()
+
+    @classmethod
+    def decode(cls, cursor: Cursor) -> "PeerEntry":
+        peer_type = cursor.u8("peer type")
+        if peer_type & 0x01:
+            raise MrtDecodeError("IPv6 peers unsupported (study is IPv4)")
+        bgp_id = cursor.u32("peer BGP id")
+        address = cursor.u32("peer address")
+        if peer_type & 0x02:
+            asn = cursor.u32("peer ASN")
+        else:
+            asn = cursor.u16("peer ASN")
+        return cls(bgp_id=bgp_id, address=address, asn=asn)
+
+
+@dataclass(frozen=True)
+class PeerIndexTable:
+    """The peer directory that precedes RIB entries in TABLE_DUMP_V2."""
+
+    collector_bgp_id: int
+    view_name: str
+    peers: tuple[PeerEntry, ...]
+
+    SUBTYPE = TableDumpV2Subtype.PEER_INDEX_TABLE
+
+    def encode_body(self) -> bytes:
+        """Serialize the record body to its wire form."""
+        name_bytes = self.view_name.encode("utf-8")
+        builder = Builder()
+        builder.u32(self.collector_bgp_id)
+        builder.u16(len(name_bytes))
+        builder.raw(name_bytes)
+        builder.u16(len(self.peers))
+        for peer in self.peers:
+            builder.raw(peer.encode())
+        return builder.getvalue()
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "PeerIndexTable":
+        cursor = Cursor(body)
+        collector_id = cursor.u32("collector BGP id")
+        name_len = cursor.u16("view name length")
+        view_name = cursor.take(name_len, "view name").decode("utf-8")
+        peer_count = cursor.u16("peer count")
+        peers = tuple(PeerEntry.decode(cursor) for _ in range(peer_count))
+        if not cursor.at_end():
+            raise MrtDecodeError(
+                f"{cursor.remaining()} trailing bytes in PEER_INDEX_TABLE"
+            )
+        return cls(
+            collector_bgp_id=collector_id, view_name=view_name, peers=peers
+        )
+
+    def to_record(self, timestamp: int) -> MrtRecord:
+        """Wrap the encoded body in an MRT record envelope."""
+        return MrtRecord(
+            timestamp, MrtType.TABLE_DUMP_V2, self.SUBTYPE, self.encode_body()
+        )
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One route in a RIB_IPV4_UNICAST record, referencing a peer index."""
+
+    peer_index: int
+    originated_time: int
+    attributes: PathAttributes
+
+    def encode(self) -> bytes:
+        """Serialize this RIB entry to its wire form."""
+        attr_bytes = self.attributes.encode(asn_size=4)
+        builder = Builder()
+        builder.u16(self.peer_index)
+        builder.u32(self.originated_time)
+        builder.u16(len(attr_bytes))
+        builder.raw(attr_bytes)
+        return builder.getvalue()
+
+    @classmethod
+    def decode(cls, cursor: Cursor) -> "RibEntry":
+        peer_index = cursor.u16("peer index")
+        originated = cursor.u32("originated time")
+        attr_len = cursor.u16("attribute length")
+        attributes = PathAttributes.decode(
+            cursor.take(attr_len, "attributes"), asn_size=4
+        )
+        return cls(
+            peer_index=peer_index,
+            originated_time=originated,
+            attributes=attributes,
+        )
+
+
+@dataclass(frozen=True)
+class RibIpv4Unicast:
+    """All peers' routes for one prefix (RFC 6396 section 4.3.2)."""
+
+    sequence: int
+    prefix: Prefix
+    entries: tuple[RibEntry, ...]
+
+    SUBTYPE = TableDumpV2Subtype.RIB_IPV4_UNICAST
+
+    def encode_body(self) -> bytes:
+        """Serialize the record body to its wire form."""
+        builder = Builder()
+        builder.u32(self.sequence)
+        builder.u8(self.prefix.length)
+        builder.raw(self.prefix.to_octets())
+        builder.u16(len(self.entries))
+        for entry in self.entries:
+            builder.raw(entry.encode())
+        return builder.getvalue()
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RibIpv4Unicast":
+        cursor = Cursor(body)
+        sequence = cursor.u32("sequence")
+        length = cursor.u8("prefix length")
+        if length > 32:
+            raise MrtDecodeError(f"IPv4 prefix length {length} > 32")
+        octets = cursor.take((length + 7) // 8, "prefix octets")
+        prefix = Prefix.from_octets(octets, length)
+        entry_count = cursor.u16("entry count")
+        entries = tuple(RibEntry.decode(cursor) for _ in range(entry_count))
+        if not cursor.at_end():
+            raise MrtDecodeError(
+                f"{cursor.remaining()} trailing bytes in RIB_IPV4_UNICAST"
+            )
+        return cls(sequence=sequence, prefix=prefix, entries=entries)
+
+    def to_record(self, timestamp: int) -> MrtRecord:
+        """Wrap the encoded body in an MRT record envelope."""
+        return MrtRecord(
+            timestamp, MrtType.TABLE_DUMP_V2, self.SUBTYPE, self.encode_body()
+        )
+
+
+# ---------------------------------------------------------------------------
+# BGP4MP (MRT type 16) — live UPDATE messages for the streaming alerter.
+# ---------------------------------------------------------------------------
+
+
+class BgpFsmState(enum.IntEnum):
+    """BGP finite-state-machine states (RFC 4271 section 8.2.2)."""
+
+    IDLE = 1
+    CONNECT = 2
+    ACTIVE = 3
+    OPEN_SENT = 4
+    OPEN_CONFIRM = 5
+    ESTABLISHED = 6
+
+
+@dataclass(frozen=True)
+class Bgp4mpStateChange:
+    """A peer session FSM transition (BGP4MP_STATE_CHANGE).
+
+    Real Route Views update archives interleave these with UPDATE
+    messages; a session falling out of ESTABLISHED invalidates every
+    route previously learned from that peer, which stream consumers
+    (like the realtime alerter) must treat as an implicit withdraw.
+    """
+
+    peer_asn: int
+    local_asn: int
+    interface_index: int
+    peer_address: int
+    local_address: int
+    old_state: BgpFsmState
+    new_state: BgpFsmState
+
+    SUBTYPE = Bgp4mpSubtype.STATE_CHANGE
+
+    def encode_body(self) -> bytes:
+        """Serialize the record body to its wire form."""
+        builder = Builder()
+        builder.u16(self.peer_asn)
+        builder.u16(self.local_asn)
+        builder.u16(self.interface_index)
+        builder.u16(AFI_IPV4)
+        builder.u32(self.peer_address)
+        builder.u32(self.local_address)
+        builder.u16(self.old_state)
+        builder.u16(self.new_state)
+        return builder.getvalue()
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "Bgp4mpStateChange":
+        """Parse a BGP4MP_STATE_CHANGE record body."""
+        cursor = Cursor(body)
+        peer_asn = cursor.u16("peer AS")
+        local_asn = cursor.u16("local AS")
+        interface = cursor.u16("interface index")
+        afi = cursor.u16("AFI")
+        if afi != AFI_IPV4:
+            raise MrtDecodeError(f"unsupported AFI {afi}")
+        peer_address = cursor.u32("peer address")
+        local_address = cursor.u32("local address")
+        try:
+            old_state = BgpFsmState(cursor.u16("old state"))
+            new_state = BgpFsmState(cursor.u16("new state"))
+        except ValueError as error:
+            raise MrtDecodeError(f"bad FSM state: {error}") from error
+        if not cursor.at_end():
+            raise MrtDecodeError(
+                f"{cursor.remaining()} trailing bytes in STATE_CHANGE"
+            )
+        return cls(
+            peer_asn=peer_asn,
+            local_asn=local_asn,
+            interface_index=interface,
+            peer_address=peer_address,
+            local_address=local_address,
+            old_state=old_state,
+            new_state=new_state,
+        )
+
+    def to_record(self, timestamp: int) -> MrtRecord:
+        """Wrap the encoded body in an MRT record envelope."""
+        return MrtRecord(
+            timestamp, MrtType.BGP4MP, self.SUBTYPE, self.encode_body()
+        )
+
+    def session_lost(self) -> bool:
+        """True when the session left ESTABLISHED (routes now invalid)."""
+        return (
+            self.old_state is BgpFsmState.ESTABLISHED
+            and self.new_state is not BgpFsmState.ESTABLISHED
+        )
+
+
+@dataclass(frozen=True)
+class Bgp4mpMessage:
+    """A BGP UPDATE carried in a BGP4MP_MESSAGE record (IPv4, 2-byte AS)."""
+
+    peer_asn: int
+    local_asn: int
+    interface_index: int
+    peer_address: int
+    local_address: int
+    withdrawn: tuple[Prefix, ...] = ()
+    attributes: PathAttributes | None = None
+    announced: tuple[Prefix, ...] = ()
+
+    SUBTYPE = Bgp4mpSubtype.MESSAGE
+
+    def encode_body(self) -> bytes:
+        """Serialize the record body to its wire form."""
+        message = self._encode_bgp_update()
+        builder = Builder()
+        builder.u16(self.peer_asn)
+        builder.u16(self.local_asn)
+        builder.u16(self.interface_index)
+        builder.u16(AFI_IPV4)
+        builder.u32(self.peer_address)
+        builder.u32(self.local_address)
+        builder.raw(message)
+        return builder.getvalue()
+
+    def _encode_bgp_update(self) -> bytes:
+        withdrawn_bytes = b"".join(
+            bytes([prefix.length]) + prefix.to_octets()
+            for prefix in self.withdrawn
+        )
+        attr_bytes = (
+            self.attributes.encode(asn_size=2) if self.attributes else b""
+        )
+        nlri_bytes = b"".join(
+            bytes([prefix.length]) + prefix.to_octets()
+            for prefix in self.announced
+        )
+        body = Builder()
+        body.u16(len(withdrawn_bytes))
+        body.raw(withdrawn_bytes)
+        body.u16(len(attr_bytes))
+        body.raw(attr_bytes)
+        body.raw(nlri_bytes)
+        payload = body.getvalue()
+        header = Builder()
+        header.raw(BGP_MARKER)
+        header.u16(19 + len(payload))
+        header.u8(BgpMessageType.UPDATE)
+        return header.getvalue() + payload
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "Bgp4mpMessage":
+        cursor = Cursor(body)
+        peer_asn = cursor.u16("peer AS")
+        local_asn = cursor.u16("local AS")
+        interface = cursor.u16("interface index")
+        afi = cursor.u16("AFI")
+        if afi != AFI_IPV4:
+            raise MrtDecodeError(f"unsupported AFI {afi}")
+        peer_address = cursor.u32("peer address")
+        local_address = cursor.u32("local address")
+
+        marker = cursor.take(16, "BGP marker")
+        if marker != BGP_MARKER:
+            raise MrtDecodeError("bad BGP message marker")
+        msg_len = cursor.u16("BGP length")
+        msg_type = cursor.u8("BGP type")
+        if msg_type != BgpMessageType.UPDATE:
+            raise MrtDecodeError(
+                f"only UPDATE supported in BGP4MP, got type {msg_type}"
+            )
+        payload = cursor.sub_cursor(msg_len - 19, "BGP payload")
+
+        withdrawn_len = payload.u16("withdrawn length")
+        withdrawn = _decode_nlri(
+            payload.sub_cursor(withdrawn_len, "withdrawn routes")
+        )
+        attr_len = payload.u16("attribute length")
+        attr_bytes = payload.take(attr_len, "attributes")
+        attributes = (
+            PathAttributes.decode(attr_bytes, asn_size=2) if attr_bytes else None
+        )
+        announced = _decode_nlri(payload)
+        return cls(
+            peer_asn=peer_asn,
+            local_asn=local_asn,
+            interface_index=interface,
+            peer_address=peer_address,
+            local_address=local_address,
+            withdrawn=withdrawn,
+            attributes=attributes,
+            announced=announced,
+        )
+
+    def to_record(self, timestamp: int) -> MrtRecord:
+        """Wrap the encoded body in an MRT record envelope."""
+        return MrtRecord(
+            timestamp, MrtType.BGP4MP, self.SUBTYPE, self.encode_body()
+        )
+
+
+def _decode_nlri(cursor: Cursor) -> tuple[Prefix, ...]:
+    prefixes: list[Prefix] = []
+    while not cursor.at_end():
+        length = cursor.u8("NLRI length")
+        if length > 32:
+            raise MrtDecodeError(f"NLRI prefix length {length} > 32")
+        octets = cursor.take((length + 7) // 8, "NLRI octets")
+        prefixes.append(Prefix.from_octets(octets, length))
+    return tuple(prefixes)

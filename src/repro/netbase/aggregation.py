@@ -1,0 +1,166 @@
+"""Route aggregation — the paper's "theoretical causes" (Section VI-D).
+
+RFC 1930 notes that aggregation can yield routes ending in AS sets; the
+paper observed ~12 such prefixes and excluded them.  Faulty aggregation
+(Section VI-E) — advertising an aggregate while unable to reach all its
+more-specifics — is a real MOAS-producing fault.  This module provides
+the mechanics both discussions rest on:
+
+- :func:`aggregate` — combine adjacent routes into a supernet route,
+  producing an AS_SET tail when origins differ (proxy aggregation);
+- :func:`find_aggregable_pairs` — trie-driven discovery of sibling
+  routes that could be aggregated;
+- :func:`uncovered_specifics` — given an aggregate announcement and the
+  routes an AS actually has, the more-specific space it *cannot* reach,
+  i.e. the blackhole surface of a faulty aggregate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class AggregateRoute:
+    """The outcome of aggregating a set of component routes."""
+
+    prefix: Prefix
+    path: ASPath
+    atomic: bool  # True when component path information was dropped
+    components: tuple[Prefix, ...]
+
+
+def common_leading_sequence(paths: Sequence[ASPath]) -> tuple[int, ...]:
+    """The longest common leading AS sequence of several paths.
+
+    This is what an aggregating router keeps as the AS_SEQUENCE part;
+    everything that differs gets squashed into a trailing AS_SET
+    (RFC 4271 §9.2.2.2 semantics, simplified to flat sequences).
+    """
+    if not paths:
+        return ()
+    sequences = []
+    for path in paths:
+        try:
+            sequences.append(path.sequence_tuple())
+        except ValueError:
+            sequences.append(tuple(path.as_list()))
+    shortest = min(len(sequence) for sequence in sequences)
+    common: list[int] = []
+    for position in range(shortest):
+        candidate = sequences[0][position]
+        if all(sequence[position] == candidate for sequence in sequences):
+            common.append(candidate)
+        else:
+            break
+    return tuple(common)
+
+
+def aggregate(
+    aggregator_asn: int,
+    routes: Sequence[tuple[Prefix, ASPath]],
+) -> AggregateRoute:
+    """Aggregate component routes into one supernet announcement.
+
+    The aggregate prefix is the common supernet of all components.  If
+    every component shares one origin the result is a plain sequence
+    path; otherwise the differing tail ASes are collected into an
+    AS_SET — the exact mechanism that produced the paper's ~12
+    AS_SET-terminated prefixes.
+    """
+    if not routes:
+        raise ValueError("nothing to aggregate")
+    prefixes = [prefix for prefix, _path in routes]
+    paths = [path for _prefix, path in routes]
+    supernet = prefixes[0]
+    for prefix in prefixes[1:]:
+        supernet = Prefix.common_supernet(supernet, prefix)
+
+    common = common_leading_sequence(paths)
+    leftover: set[int] = set()
+    for path in paths:
+        for asn in path.as_list()[len(common):]:
+            leftover.add(asn)
+
+    base = ASPath.from_sequence((aggregator_asn,) + common)
+    if leftover:
+        path = base.with_set_tail(sorted(leftover))
+        atomic = True
+    else:
+        path = base
+        atomic = False
+    return AggregateRoute(
+        prefix=supernet,
+        path=path,
+        atomic=atomic,
+        components=tuple(sorted(prefixes, key=lambda p: p.sort_key())),
+    )
+
+
+def find_aggregable_pairs(
+    prefixes: Iterable[Prefix],
+) -> list[tuple[Prefix, Prefix, Prefix]]:
+    """Sibling prefixes that merge exactly into their parent.
+
+    Returns ``(low, high, parent)`` triples where ``low`` and ``high``
+    are the two halves of ``parent`` and both are present.  Uses the
+    radix trie so discovery is linear in the table size.
+    """
+    trie: PrefixTrie[bool] = PrefixTrie()
+    for prefix in prefixes:
+        trie[prefix] = True
+    pairs: list[tuple[Prefix, Prefix, Prefix]] = []
+    for prefix, _value in trie.items():
+        if prefix.length == 0:
+            continue
+        # Only consider the low sibling to report each pair once.
+        if prefix.bit(prefix.length - 1) == 1:
+            continue
+        parent = prefix.supernet()
+        low, high = parent.subnets()
+        if low == prefix and high in trie:
+            pairs.append((low, high, parent))
+    return pairs
+
+
+def uncovered_specifics(
+    aggregate_prefix: Prefix,
+    reachable: Iterable[Prefix],
+    *,
+    max_depth: int = 8,
+) -> list[Prefix]:
+    """The sub-space of an aggregate the announcer cannot reach.
+
+    Models the faulty-aggregation hazard of Section VI-E: packets that
+    follow the aggregate announcement but fall into an uncovered
+    more-specific are lost at the faulty AS.  The uncovered space is
+    returned as a minimal list of CIDR blocks, explored to
+    ``max_depth`` bits below the aggregate.
+    """
+    trie: PrefixTrie[bool] = PrefixTrie()
+    for prefix in reachable:
+        if aggregate_prefix.contains(prefix):
+            trie[prefix] = True
+
+    holes: list[Prefix] = []
+
+    def explore(prefix: Prefix, depth: int) -> None:
+        if prefix in trie:
+            return  # fully covered by a reachable route
+        has_descendants = any(True for _ in trie.covered(prefix))
+        if not has_descendants:
+            holes.append(prefix)  # nothing reachable inside: a hole
+            return
+        if depth >= max_depth or prefix.length >= 32:
+            return  # partially covered but too deep to split further
+        low, high = prefix.subnets()
+        explore(low, depth + 1)
+        explore(high, depth + 1)
+
+    explore(aggregate_prefix, 0)
+    return holes

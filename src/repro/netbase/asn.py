@@ -1,0 +1,58 @@
+"""AS-number classification helpers.
+
+The paper's cause analysis (Section VI-C) depends on recognizing
+*private* AS numbers — the ASE multi-homing technique uses them — and the
+MRT codec needs the 2-octet bounds that applied in the 1997-2001 study
+window.  4-octet ASNs (RFC 6793) postdate the paper but are accepted by
+``validate_asn`` so the library remains usable on modern data.
+"""
+
+from __future__ import annotations
+
+#: RFC 1930 / RFC 6996 private-use 16-bit AS range.
+PRIVATE_AS_MIN = 64512
+PRIVATE_AS_MAX = 65534
+
+#: RFC 5398 documentation range.
+DOC_AS_MIN = 64496
+DOC_AS_MAX = 64511
+
+#: Placeholder ASN used for 4-octet transition (RFC 6793).
+AS_TRANS = 23456
+
+_MAX_ASN = (1 << 32) - 1
+
+
+def validate_asn(asn: int) -> int:
+    """Return ``asn`` unchanged if it is a representable AS number.
+
+    Raises :class:`ValueError` otherwise; used at the edges of the
+    library so internal code can assume well-formed ASNs.
+    """
+    if not isinstance(asn, int) or isinstance(asn, bool):
+        raise ValueError(f"ASN must be an int, got {type(asn).__name__}")
+    if not 0 <= asn <= _MAX_ASN:
+        raise ValueError(f"ASN {asn} outside 0..{_MAX_ASN}")
+    return asn
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for RFC 6996 private-use ASNs (16-bit range).
+
+    These are the numbers the ASE technique of Section VI-C would leak
+    into origin position if providers fail to strip them.
+    """
+    return PRIVATE_AS_MIN <= asn <= PRIVATE_AS_MAX
+
+
+def is_documentation_asn(asn: int) -> bool:
+    """True for RFC 5398 documentation ASNs."""
+    return DOC_AS_MIN <= asn <= DOC_AS_MAX
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True for ASNs that must never originate routes.
+
+    Covers 0 (RFC 7607), 65535 (RFC 7300) and AS_TRANS.
+    """
+    return asn in (0, 65535, AS_TRANS)

@@ -1,0 +1,258 @@
+"""AS path model with AS_SEQUENCE and AS_SET segments.
+
+The paper defines a MOAS conflict in terms of the *origin AS* — the last
+AS of the AS path — and explicitly excludes the ~12 routes whose paths
+end in an AS **set** produced by aggregation (Section III).  This module
+therefore models paths as true segment lists, exactly as BGP carries
+them, rather than flat ASN lists.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.netbase.asn import validate_asn
+
+
+class SegmentType(enum.IntEnum):
+    """BGP AS_PATH segment types (wire values from RFC 4271)."""
+
+    AS_SET = 1
+    AS_SEQUENCE = 2
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One AS_PATH segment: an ordered sequence or an unordered set.
+
+    ``ases`` is stored as a tuple either way; for AS_SET segments the
+    tuple is sorted so that equal sets compare and hash equal.
+    """
+
+    kind: SegmentType
+    ases: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ases:
+            raise ValueError("empty AS_PATH segment")
+        for asn in self.ases:
+            validate_asn(asn)
+        if self.kind is SegmentType.AS_SET:
+            deduped = tuple(sorted(set(self.ases)))
+            object.__setattr__(self, "ases", deduped)
+
+    def __str__(self) -> str:
+        if self.kind is SegmentType.AS_SET:
+            return "{" + ",".join(str(asn) for asn in self.ases) + "}"
+        return " ".join(str(asn) for asn in self.ases)
+
+
+_SET_TOKEN = re.compile(r"\{([0-9,\s]*)\}")
+
+
+class ASPath:
+    """An immutable BGP AS path.
+
+    Construct from segments, from a plain ASN sequence
+    (:meth:`from_sequence`) or from Route Views text form
+    (:meth:`parse`, e.g. ``"701 7018 {3561,701}"``).
+    """
+
+    __slots__ = ("_segments", "_hash")
+
+    def __init__(self, segments: Iterable[Segment] = ()) -> None:
+        self._segments = tuple(segments)
+        for segment in self._segments:
+            if not isinstance(segment, Segment):
+                raise TypeError(f"expected Segment, got {type(segment).__name__}")
+        self._hash = hash(self._segments)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_sequence(cls, ases: Iterable[int]) -> "ASPath":
+        """A path made of a single AS_SEQUENCE (the common case)."""
+        ases = tuple(ases)
+        if not ases:
+            return cls()
+        return cls((Segment(SegmentType.AS_SEQUENCE, ases),))
+
+    @classmethod
+    def parse(cls, text: str) -> "ASPath":
+        """Parse the space-separated text form with ``{...}`` AS sets."""
+        segments: list[Segment] = []
+        pending: list[int] = []
+        tokens = text.replace("{", " { ").replace("}", " } ").split()
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "{":
+                if pending:
+                    segments.append(
+                        Segment(SegmentType.AS_SEQUENCE, tuple(pending))
+                    )
+                    pending = []
+                closing = tokens.index("}", index)
+                members = [
+                    int(part)
+                    for part in " ".join(tokens[index + 1 : closing])
+                    .replace(",", " ")
+                    .split()
+                ]
+                segments.append(Segment(SegmentType.AS_SET, tuple(members)))
+                index = closing + 1
+            else:
+                pending.append(int(token.rstrip(",")))
+                index += 1
+        if pending:
+            segments.append(Segment(SegmentType.AS_SEQUENCE, tuple(pending)))
+        return cls(segments)
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return self._segments
+
+    def is_empty(self) -> bool:
+        """True for the empty path (a route local to the speaker)."""
+        return not self._segments
+
+    def origin(self) -> int | frozenset[int] | None:
+        """The path's origin: an ASN, a frozenset for AS_SET tails, or None.
+
+        The paper's methodology reads the *last* element of the path; a
+        frozenset return signals an aggregation AS_SET tail, which the
+        detector excludes from MOAS analysis just as the paper did.
+        """
+        if not self._segments:
+            return None
+        tail = self._segments[-1]
+        if tail.kind is SegmentType.AS_SET:
+            return frozenset(tail.ases)
+        return tail.ases[-1]
+
+    def origin_as(self) -> int:
+        """The origin ASN, raising :class:`ValueError` for AS_SET tails."""
+        origin = self.origin()
+        if isinstance(origin, int):
+            return origin
+        raise ValueError(f"path {self} does not end in a single origin AS")
+
+    def ends_in_as_set(self) -> bool:
+        """True if the path terminates in an aggregation AS_SET."""
+        return bool(self._segments) and (
+            self._segments[-1].kind is SegmentType.AS_SET
+        )
+
+    def first_as(self) -> int | None:
+        """The neighbor-most ASN (first element), None for empty paths."""
+        if not self._segments:
+            return None
+        head = self._segments[0]
+        return head.ases[0]
+
+    def as_list(self) -> list[int]:
+        """All ASNs in path order (AS_SET members in sorted order)."""
+        flattened: list[int] = []
+        for segment in self._segments:
+            flattened.extend(segment.ases)
+        return flattened
+
+    def sequence_tuple(self) -> tuple[int, ...]:
+        """The path as a flat ASN tuple, for paths without AS sets.
+
+        Raises :class:`ValueError` if any AS_SET segment is present —
+        callers that need set-aware handling must walk ``segments``.
+        """
+        for segment in self._segments:
+            if segment.kind is SegmentType.AS_SET:
+                raise ValueError(f"path {self} contains an AS set")
+        return tuple(asn for segment in self._segments for asn in segment.ases)
+
+    def path_length(self) -> int:
+        """BGP path length: sequences count per-AS, each AS_SET counts 1."""
+        total = 0
+        for segment in self._segments:
+            if segment.kind is SegmentType.AS_SEQUENCE:
+                total += len(segment.ases)
+            else:
+                total += 1
+        return total
+
+    def contains_as(self, asn: int) -> bool:
+        """True if ``asn`` appears anywhere in the path."""
+        return any(asn in segment.ases for segment in self._segments)
+
+    def unique_ases(self) -> frozenset[int]:
+        """The set of all ASNs mentioned in the path."""
+        return frozenset(self.as_list())
+
+    def has_loop(self) -> bool:
+        """True if an ASN appears twice *non-consecutively*.
+
+        Consecutive repeats are legitimate path prepending; a
+        non-consecutive repeat means the route looped, which the BGP
+        engine uses for loop prevention.
+        """
+        flattened = self.as_list()
+        seen: dict[int, int] = {}
+        for position, asn in enumerate(flattened):
+            if asn in seen and flattened[position - 1] != asn:
+                return True
+            seen[asn] = position
+        return False
+
+    # -- derivation ---------------------------------------------------
+
+    def prepend(self, asn: int, count: int = 1) -> "ASPath":
+        """A new path with ``asn`` prepended ``count`` times.
+
+        This is what a BGP speaker does on eBGP export; the simulator
+        also uses ``count > 1`` for traffic-engineering prepending.
+        """
+        validate_asn(asn)
+        if count < 1:
+            raise ValueError(f"prepend count must be >= 1, got {count}")
+        addition = (asn,) * count
+        if (
+            self._segments
+            and self._segments[0].kind is SegmentType.AS_SEQUENCE
+        ):
+            head = self._segments[0]
+            merged = Segment(SegmentType.AS_SEQUENCE, addition + head.ases)
+            return ASPath((merged,) + self._segments[1:])
+        return ASPath(
+            (Segment(SegmentType.AS_SEQUENCE, addition),) + self._segments
+        )
+
+    def with_set_tail(self, members: Iterable[int]) -> "ASPath":
+        """A new path ending in an AS_SET — models proxy aggregation."""
+        return ASPath(
+            self._segments + (Segment(SegmentType.AS_SET, tuple(members)),)
+        )
+
+    # -- dunder -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return self.path_length()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ASPath):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return " ".join(str(segment) for segment in self._segments)
+
+    def __repr__(self) -> str:
+        return f"ASPath.parse({str(self)!r})"

@@ -1,0 +1,42 @@
+"""Human-readable names for study-era AS numbers.
+
+The paper's narrative names its actors (AS 8584, AS 7007, Sprint,
+Cable & Wireless); reports read far better when the reproduction can do
+the same.  The table covers the tier-1 backbone set the topology
+generator wires in plus the incident ASNs; everything else renders as a
+plain ``AS n``.
+"""
+
+from __future__ import annotations
+
+from repro.netbase.asn import is_private_asn
+
+#: Era (1997-2001) names for the ASNs the reproduction scripts use.
+AS_NAMES: dict[int, str] = {
+    209: "Qwest",
+    701: "UUNET",
+    1239: "Sprint",
+    2914: "Verio",
+    3356: "Level 3",
+    3561: "Cable & Wireless",
+    6453: "Teleglobe",
+    7018: "AT&T",
+    6447: "Oregon Route Views",
+    7007: "MAI Network Services",
+    8584: "AS 8584 (the 1998-04-07 incident)",
+    15412: "FLAG Telecom",
+}
+
+
+def asn_name(asn: int) -> str:
+    """A display string for ``asn``: name when known, ``AS n`` otherwise."""
+    if asn in AS_NAMES:
+        return f"AS {asn} ({AS_NAMES[asn]})"
+    if is_private_asn(asn):
+        return f"AS {asn} (private)"
+    return f"AS {asn}"
+
+
+def format_as_path(path: tuple[int, ...]) -> str:
+    """A path rendered with names where known, e.g. for reports."""
+    return " -> ".join(asn_name(asn) for asn in path)

@@ -1,0 +1,124 @@
+"""Routing-table snapshot structures.
+
+A :class:`RibSnapshot` is the in-memory form of one day's Route Views
+dump: for each prefix, the set of routes exported by each peer.  The
+MOAS detector consumes snapshots; the MRT codec and the simulated
+collector both produce them.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+
+@dataclass(frozen=True, order=True)
+class PeerId:
+    """Identity of one collector peer (a BGP router exporting its table)."""
+
+    asn: int
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Route:
+    """One table entry: ``prefix`` reachable via ``path``, seen at ``peer``."""
+
+    prefix: Prefix
+    path: ASPath
+    peer: PeerId
+
+    def origin(self) -> int | frozenset[int] | None:
+        """Origin of the route's AS path (see :meth:`ASPath.origin`)."""
+        return self.path.origin()
+
+
+@dataclass
+class RibSnapshot:
+    """All routes visible at the collector on one observation day."""
+
+    day: datetime.date
+    _by_prefix: dict[Prefix, list[Route]] = field(default_factory=dict)
+    _peers: set[PeerId] = field(default_factory=set)
+
+    @classmethod
+    def from_routes(
+        cls, day: datetime.date, routes: Iterable[Route]
+    ) -> "RibSnapshot":
+        """Build a snapshot by grouping ``routes`` by prefix."""
+        snapshot = cls(day)
+        for route in routes:
+            snapshot.add(route)
+        return snapshot
+
+    def add(self, route: Route) -> None:
+        """Insert one route into the snapshot."""
+        self._by_prefix.setdefault(route.prefix, []).append(route)
+        self._peers.add(route.peer)
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def peers(self) -> frozenset[PeerId]:
+        """All peers contributing at least one route."""
+        return frozenset(self._peers)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """All prefixes present in the snapshot (arbitrary order)."""
+        return iter(self._by_prefix)
+
+    def routes_for(self, prefix: Prefix) -> list[Route]:
+        """Routes for ``prefix`` (empty list if absent)."""
+        return list(self._by_prefix.get(prefix, ()))
+
+    def iter_routes(self) -> Iterator[Route]:
+        """Every route in the snapshot."""
+        for routes in self._by_prefix.values():
+            yield from routes
+
+    def iter_prefix_routes(self) -> Iterator[tuple[Prefix, list[Route]]]:
+        """``(prefix, routes)`` pairs — the detector's access pattern."""
+        for prefix, routes in self._by_prefix.items():
+            yield prefix, list(routes)
+
+    def num_prefixes(self) -> int:
+        """Distinct prefixes in the snapshot."""
+        return len(self._by_prefix)
+
+    def num_routes(self) -> int:
+        """Total routes across all prefixes and peers."""
+        return sum(len(routes) for routes in self._by_prefix.values())
+
+    def restricted_to_peer(self, peer: PeerId) -> "RibSnapshot":
+        """The single-vantage-point view of one peer.
+
+        Section III of the paper compares Route Views' collector-wide
+        view against individual ISP views; this produces the latter.
+        """
+        view = RibSnapshot(self.day)
+        for routes in self._by_prefix.values():
+            for route in routes:
+                if route.peer == peer:
+                    view.add(route)
+        return view
+
+    def origins_of(
+        self, prefix: Prefix, *, include_as_set_tails: bool = False
+    ) -> set[int]:
+        """Distinct single-AS origins announced for ``prefix``.
+
+        Routes ending in AS sets are excluded by default, matching the
+        paper's methodology (Section III).
+        """
+        origins: set[int] = set()
+        for route in self._by_prefix.get(prefix, ()):
+            origin = route.path.origin()
+            if isinstance(origin, int):
+                origins.add(origin)
+            elif include_as_set_tails and origin is not None:
+                origins.update(origin)
+        return origins

@@ -1,0 +1,204 @@
+"""Binary radix trie keyed by IPv4 prefixes.
+
+Used wherever the analysis needs structural prefix queries: identifying
+exchange-point address blocks, relating a conflicted prefix to covering
+aggregates (the faulty-aggregation cause of Section VI-E), and
+longest-prefix-match forwarding checks in the BGP engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+from repro.netbase.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "present")
+
+    def __init__(self) -> None:
+        self.children: list[_Node[V] | None] = [None, None]
+        self.value: V | None = None
+        self.present = False
+
+
+class PrefixTrie(Generic[V]):
+    """A mapping from :class:`Prefix` to values with prefix-tree queries.
+
+    Beyond plain ``get``/``set``/``delete`` it supports longest-prefix
+    match, enumeration of covered (more-specific) and covering
+    (less-specific) entries, and lexicographic iteration.
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _find(self, prefix: Prefix) -> _Node[V] | None:
+        """The node for ``prefix`` if its chain exists, else None."""
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[prefix.bit(position)]
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find(prefix)
+        return node is not None and node.present
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        node = self._find(prefix)
+        if node is None or not node.present:
+            raise KeyError(str(prefix))
+        return node.value  # type: ignore[return-value]
+
+    def get(self, prefix: Prefix, default: V | None = None) -> V | None:
+        """Value stored at exactly ``prefix``, or ``default``."""
+        node = self._find(prefix)
+        if node is None or not node.present:
+            return default
+        return node.value
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        node = self._root
+        for position in range(prefix.length):
+            branch = prefix.bit(position)
+            child = node.children[branch]
+            if child is None:
+                child = _Node()
+                node.children[branch] = child
+            node = child
+        if not node.present:
+            self._size += 1
+        node.present = True
+        node.value = value
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        # Walk down recording the path so empty branches can be pruned.
+        path: list[tuple[_Node[V], int]] = []
+        node = self._root
+        for position in range(prefix.length):
+            branch = prefix.bit(position)
+            child = node.children[branch]
+            if child is None:
+                raise KeyError(str(prefix))
+            path.append((node, branch))
+            node = child
+        if not node.present:
+            raise KeyError(str(prefix))
+        node.present = False
+        node.value = None
+        self._size -= 1
+        for parent, branch in reversed(path):
+            child = parent.children[branch]
+            assert child is not None
+            if child.present or any(child.children):
+                break
+            parent.children[branch] = None
+
+    # -- structural queries -------------------------------------------
+
+    def longest_match(self, prefix: Prefix) -> tuple[Prefix, V] | None:
+        """The most specific stored entry containing ``prefix``.
+
+        This is the forwarding-table lookup: a packet destined inside
+        ``prefix`` would be routed by the returned entry.
+        """
+        best: tuple[Prefix, V] | None = None
+        node = self._root
+        consumed = 0
+        if node.present:
+            best = (Prefix(0, 0), node.value)  # type: ignore[arg-type]
+        while consumed < prefix.length:
+            branch = prefix.bit(consumed)
+            child = node.children[branch]
+            if child is None:
+                break
+            consumed += 1
+            node = child
+            if node.present:
+                best = (
+                    Prefix(prefix.network, consumed, strict=False),
+                    node.value,  # type: ignore[arg-type]
+                )
+        return best
+
+    def longest_match_address(self, address: int) -> tuple[Prefix, V] | None:
+        """Longest-prefix match for a single 32-bit address."""
+        return self.longest_match(Prefix(address, 32))
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """All stored entries that contain ``prefix``, shortest first.
+
+        Includes ``prefix`` itself if stored — "covering" in the
+        route-aggregation sense.
+        """
+        node = self._root
+        if node.present:
+            yield (Prefix(0, 0), node.value)  # type: ignore[misc]
+        consumed = 0
+        while consumed < prefix.length:
+            branch = prefix.bit(consumed)
+            child = node.children[branch]
+            if child is None:
+                return
+            consumed += 1
+            node = child
+            if node.present:
+                yield (
+                    Prefix(prefix.network, consumed, strict=False),
+                    node.value,  # type: ignore[misc]
+                )
+
+    def covered(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """All stored entries equal to or more specific than ``prefix``."""
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[prefix.bit(position)]
+            if child is None:
+                return
+            node = child
+        yield from self._walk(node, prefix.network, prefix.length)
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """All entries in lexicographic (network, length) trie order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def keys(self) -> Iterator[Prefix]:
+        """All stored prefixes in trie order."""
+        for prefix, _value in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        """All stored values in trie order."""
+        for _prefix, value in self.items():
+            yield value
+
+    def _walk(
+        self, node: _Node[V], network: int, depth: int
+    ) -> Iterator[tuple[Prefix, V]]:
+        stack: list[tuple[_Node[V], int, int]] = [(node, network, depth)]
+        while stack:
+            current, net, length = stack.pop()
+            if current.present:
+                yield (
+                    Prefix(net, length, strict=False),
+                    current.value,  # type: ignore[misc]
+                )
+            # Push right before left so left pops first (sorted order).
+            right = current.children[1]
+            if right is not None and length < 32:
+                stack.append(
+                    (right, net | (1 << (31 - length)), length + 1)
+                )
+            left = current.children[0]
+            if left is not None and length < 32:
+                stack.append((left, net, length + 1))

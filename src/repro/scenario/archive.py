@@ -1,0 +1,317 @@
+"""The compact daily-snapshot (CDS) archive format.
+
+The real study consumed ~1279 daily MRT table dumps.  Storing full
+per-peer tables for a multi-year synthetic study would be billions of
+rows, nearly all of them single-origin prefixes every peer agrees on.
+The CDS format stores exactly the information content of those dumps in
+a sparse form:
+
+- a **prefix registry** (``registry.bin``): every prefix ever announced,
+  with its owner AS and creation day — the owner is what every peer's
+  table shows for a prefix on days when no event touches it;
+- a **path table** (``paths.bin``): interned AS paths;
+- **day chunks** (``days.bin``): per observed day, the alive-prefix
+  count, the active collector peers, and one row per (event-touched
+  prefix x peer) giving that peer's chosen origin and path.
+
+The analysis pipeline treats this as its raw input and never sees the
+generator's event bookkeeping; ``ground_truth.json`` (written beside the
+archive for benchmark validation) is consumed only by benches.
+:mod:`repro.mrt` export of individual days provides the bridge to real
+MRT tooling.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path as FsPath
+
+from repro.netbase.prefix import Prefix
+
+MAGIC = b"CDS1"
+
+_REGISTRY_ROW = struct.Struct("<IBIHB")  # network, length, owner, day, flags
+_DAY_HEADER = struct.Struct("<IIHI")  # day_index, alive, n_peers, n_rows
+_ROW = struct.Struct("<IIII")  # prefix_id, peer_asn, origin, path_id
+_U32 = struct.Struct("<I")
+
+FLAG_AS_SET_TAIL = 0x01
+FLAG_EXCHANGE_POINT = 0x02
+
+
+@dataclass(frozen=True)
+class PeerRow:
+    """One peer's table entry for an event-touched prefix on one day."""
+
+    prefix_id: int
+    peer_asn: int
+    origin: int
+    path_id: int
+
+
+@dataclass(frozen=True)
+class DayRecord:
+    """Everything the collector archived for one observed day."""
+
+    day: datetime.date
+    day_index: int
+    alive_count: int  # prefixes with id < alive_count are announced
+    active_peers: tuple[int, ...]
+    rows: tuple[PeerRow, ...]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One prefix's registry row."""
+
+    prefix: Prefix
+    owner: int
+    created_day: int
+    flags: int
+
+    @property
+    def as_set_tail(self) -> bool:
+        return bool(self.flags & FLAG_AS_SET_TAIL)
+
+    @property
+    def exchange_point(self) -> bool:
+        return bool(self.flags & FLAG_EXCHANGE_POINT)
+
+
+class ArchiveWriter:
+    """Builds a CDS archive directory incrementally."""
+
+    def __init__(self, directory: FsPath | str) -> None:
+        self.directory = FsPath(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._registry: list[RegistryEntry] = []
+        self._prefix_ids: dict[Prefix, int] = {}
+        self._paths: list[tuple[int, ...]] = []
+        self._path_ids: dict[tuple[int, ...], int] = {}
+        self._days_file = open(self.directory / "days.bin", "wb")
+        self._days_file.write(MAGIC)
+        self._num_days = 0
+        self._finalized = False
+
+    # -- registry -------------------------------------------------------
+
+    def register_prefix(
+        self,
+        prefix: Prefix,
+        owner: int,
+        created_day: int,
+        *,
+        flags: int = 0,
+    ) -> int:
+        """Add a prefix to the registry; returns its dense id.
+
+        Ids are assigned in creation order, so "alive on day d" is the
+        id range ``[0, alive_count_d)``.
+        """
+        if prefix in self._prefix_ids:
+            raise ValueError(f"{prefix} already registered")
+        prefix_id = len(self._registry)
+        self._registry.append(
+            RegistryEntry(prefix, owner, created_day, flags)
+        )
+        self._prefix_ids[prefix] = prefix_id
+        return prefix_id
+
+    def prefix_id(self, prefix: Prefix) -> int:
+        """The dense id assigned to ``prefix`` at registration."""
+        return self._prefix_ids[prefix]
+
+    def has_prefix(self, prefix: Prefix) -> bool:
+        """True if ``prefix`` is already registered."""
+        return prefix in self._prefix_ids
+
+    @property
+    def num_registered(self) -> int:
+        """Prefixes registered so far (ids are creation-ordered)."""
+        return len(self._registry)
+
+    def registry_entry(self, prefix_id: int) -> RegistryEntry:
+        """The registry row for ``prefix_id``."""
+        return self._registry[prefix_id]
+
+    def path_by_id(self, path_id: int) -> tuple[int, ...]:
+        """The interned AS path for ``path_id``."""
+        return self._paths[path_id]
+
+    def intern_path(self, path: tuple[int, ...]) -> int:
+        """Deduplicate an AS path; returns its table id."""
+        if path in self._path_ids:
+            return self._path_ids[path]
+        path_id = len(self._paths)
+        self._paths.append(path)
+        self._path_ids[path] = path_id
+        return path_id
+
+    # -- day chunks -------------------------------------------------------
+
+    def write_day(self, record: DayRecord) -> None:
+        """Append one observed day's chunk to the archive."""
+        if self._finalized:
+            raise RuntimeError("archive already finalized")
+        if record.alive_count > len(self._registry):
+            raise ValueError(
+                f"alive_count {record.alive_count} exceeds registry size "
+                f"{len(self._registry)}"
+            )
+        out = self._days_file
+        out.write(
+            _DAY_HEADER.pack(
+                record.day_index,
+                record.alive_count,
+                len(record.active_peers),
+                len(record.rows),
+            )
+        )
+        for peer in record.active_peers:
+            out.write(_U32.pack(peer))
+        for row in record.rows:
+            out.write(
+                _ROW.pack(row.prefix_id, row.peer_asn, row.origin, row.path_id)
+            )
+        self._num_days += 1
+
+    # -- finalization -----------------------------------------------------
+
+    def finalize(self, manifest_extra: dict | None = None) -> None:
+        """Write registry, paths and manifest; close the day stream."""
+        if self._finalized:
+            return
+        self._days_file.close()
+        with open(self.directory / "registry.bin", "wb") as registry:
+            registry.write(MAGIC)
+            for entry in self._registry:
+                registry.write(
+                    _REGISTRY_ROW.pack(
+                        entry.prefix.network,
+                        entry.prefix.length,
+                        entry.owner,
+                        entry.created_day,
+                        entry.flags,
+                    )
+                )
+        with open(self.directory / "paths.bin", "wb") as paths:
+            paths.write(MAGIC)
+            for path in self._paths:
+                paths.write(struct.pack("<B", len(path)))
+                for asn in path:
+                    paths.write(_U32.pack(asn))
+        manifest = {
+            "format": "cds-1",
+            "num_prefixes": len(self._registry),
+            "num_paths": len(self._paths),
+            "num_days": self._num_days,
+        }
+        manifest.update(manifest_extra or {})
+        with open(self.directory / "manifest.json", "w") as handle:
+            json.dump(manifest, handle, indent=2, default=str)
+        self._finalized = True
+
+    def write_ground_truth(self, events: list[dict]) -> None:
+        """Persist generator bookkeeping for benchmark validation only."""
+        with open(self.directory / "ground_truth.json", "w") as handle:
+            json.dump(events, handle, default=str)
+
+
+class ArchiveReader:
+    """Streams a CDS archive back as :class:`DayRecord` objects."""
+
+    def __init__(self, directory: FsPath | str) -> None:
+        self.directory = FsPath(directory)
+        with open(self.directory / "manifest.json") as handle:
+            self.manifest = json.load(handle)
+        self.registry = self._load_registry()
+        self.paths = self._load_paths()
+        start = self.manifest.get("calendar_start")
+        self._calendar_start = (
+            datetime.date.fromisoformat(start) if start else None
+        )
+
+    def _load_registry(self) -> list[RegistryEntry]:
+        entries: list[RegistryEntry] = []
+        raw = (self.directory / "registry.bin").read_bytes()
+        if raw[:4] != MAGIC:
+            raise ValueError("bad registry magic")
+        for network, length, owner, day, flags in _REGISTRY_ROW.iter_unpack(
+            raw[4:]
+        ):
+            entries.append(
+                RegistryEntry(
+                    Prefix(network, length, strict=False), owner, day, flags
+                )
+            )
+        return entries
+
+    def _load_paths(self) -> list[tuple[int, ...]]:
+        paths: list[tuple[int, ...]] = []
+        raw = (self.directory / "paths.bin").read_bytes()
+        if raw[:4] != MAGIC:
+            raise ValueError("bad paths magic")
+        offset = 4
+        while offset < len(raw):
+            count = raw[offset]
+            offset += 1
+            asns = struct.unpack_from(f"<{count}I", raw, offset)
+            offset += 4 * count
+            paths.append(tuple(asns))
+        return paths
+
+    @property
+    def num_days(self) -> int:
+        return int(self.manifest["num_days"])
+
+    @property
+    def num_prefixes(self) -> int:
+        return len(self.registry)
+
+    def prefix(self, prefix_id: int) -> Prefix:
+        """The prefix registered under ``prefix_id``."""
+        return self.registry[prefix_id].prefix
+
+    def path(self, path_id: int) -> tuple[int, ...]:
+        """The interned AS path stored under ``path_id``."""
+        return self.paths[path_id]
+
+    def date_of_index(self, day_index: int) -> datetime.date:
+        """Calendar date of a day index (needs manifest calendar_start)."""
+        if self._calendar_start is None:
+            raise ValueError("archive manifest lacks calendar_start")
+        return self._calendar_start + datetime.timedelta(days=day_index)
+
+    def iter_days(self) -> Iterator[DayRecord]:
+        """Stream day records in chronological order."""
+        with open(self.directory / "days.bin", "rb") as handle:
+            if handle.read(4) != MAGIC:
+                raise ValueError("bad days magic")
+            while True:
+                header = handle.read(_DAY_HEADER.size)
+                if not header:
+                    return
+                day_index, alive, n_peers, n_rows = _DAY_HEADER.unpack(header)
+                peers = struct.unpack(
+                    f"<{n_peers}I", handle.read(4 * n_peers)
+                )
+                rows_raw = handle.read(_ROW.size * n_rows)
+                rows = tuple(
+                    PeerRow(*fields) for fields in _ROW.iter_unpack(rows_raw)
+                )
+                yield DayRecord(
+                    day=self.date_of_index(day_index),
+                    day_index=day_index,
+                    alive_count=alive,
+                    active_peers=peers,
+                    rows=rows,
+                )
+
+    def ground_truth(self) -> list[dict]:
+        """Generator bookkeeping (benchmark validation only)."""
+        with open(self.directory / "ground_truth.json") as handle:
+            return json.load(handle)

@@ -1,0 +1,146 @@
+"""Calibration constants, with the paper value recorded beside each rate.
+
+Everything the generator aims for is expressed *per prefix-day* or as a
+scale-free proportion, so a study at ``scale=0.125`` produces the same
+medians, duration expectations and class mixes as a full-size run, with
+absolute totals scaled linearly.
+
+Sources for every target are the paper's Section IV-VI numbers:
+
+- 38 225 total conflicted prefixes over 1279 observed days,
+- 13 730 one-observation conflicts, 11 358 of them from the 1998-04-07
+  AS 8584 incident (11 842 conflicts that day, 11 357 involving 8584),
+- the 2001-04 incident: peak 10 226 on 04-06; (3561, 15412) involved in
+  5 532 of 6 627 conflicts on 04-10,
+- yearly medians 683 / 810.5 / 951 / 1294,
+- duration expectations 30.9 / 47.7 / 107.5 / 175.3 / 281.8 days for
+  minimum-duration filters >0/>1/>9/>29/>89,
+- 1 002 conflicts longer than 300 days, max duration 1 246, about 1 326
+  conflicts ongoing at study end,
+- 30 identified exchange-point prefixes, all long-lived,
+- ~12 prefixes with AS_SET-terminated paths, excluded from analysis,
+- figure 6: DistinctPaths dominant (≈2 000+/day) over OrigTranAS and
+  SplitView (each a few hundred) in mid-2001.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """Verbatim numbers from the paper, unscaled."""
+
+    total_conflicts: int = 38_225
+    observation_days: int = 1_279
+    one_day_conflicts: int = 13_730
+    one_day_from_1998_fault: int = 11_358
+    spike_1998_date: datetime.date = datetime.date(1998, 4, 7)
+    spike_1998_total: int = 11_842
+    spike_1998_faulty_asn: int = 8584
+    spike_1998_involving_fault: int = 11_357
+    spike_2001_start: datetime.date = datetime.date(2001, 4, 6)
+    spike_2001_peak: int = 10_226
+    spike_2001_faulty_asn: int = 15_412
+    spike_2001_upstream_asn: int = 3_561
+    spike_2001_apr10_involving: int = 5_532
+    spike_2001_apr10_total: int = 6_627
+    yearly_medians: dict[int, float] = field(
+        default_factory=lambda: {
+            1998: 683.0,
+            1999: 810.5,
+            2000: 951.0,
+            2001: 1294.0,
+        }
+    )
+    duration_expectations: dict[int, float] = field(
+        default_factory=lambda: {
+            0: 30.9,
+            1: 47.7,
+            9: 107.5,
+            29: 175.3,
+            89: 281.8,
+        }
+    )
+    conflicts_over_300_days: int = 1_002
+    max_duration_days: int = 1_246
+    ongoing_at_end: int = 1_326
+    exchange_point_prefixes: int = 30
+    as_set_prefixes: int = 12
+
+
+PAPER = PaperTargets()
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Generator rates tuned so the analysis recovers the paper's shape.
+
+    Birth rates are *visible conflicts born per day at scale=1.0 at
+    study start*; they ramp linearly with the table-size factor (the
+    table doubles over the window, and so did Huston's daily conflict
+    counts, roughly).  Durations are in observed days.
+    """
+
+    # -- standing population (long-lived causes) -----------------------
+    #: Multi-homing without BGP (Section VI-B): the dominant long-lived
+    #: cause.  Pre-seeded standing count at day 0, plus daily births.
+    initial_static_multihoming: int = 600
+    static_multihoming_births_per_day: float = 1.6
+    #: Mean duration (days) for long-lived policy conflicts.
+    static_multihoming_mean_duration: float = 330.0
+    #: Fraction where the provider co-originates alongside the customer
+    #: (OrigTranAS-shaped); the rest front a BGP-silent customer.
+    static_multihoming_cooriginate_fraction: float = 0.08
+
+    #: Private-AS substitution (Section VI-C): "not widely used".
+    initial_private_as: int = 28
+    private_as_births_per_day: float = 0.09
+    private_as_mean_duration: float = 300.0
+    #: Probability an upstream fails to strip the private ASN (leak).
+    private_as_leak_probability: float = 0.02
+
+    #: Traffic engineering (OrigTranAS / SplitView sources).
+    initial_traffic_engineering: int = 160
+    traffic_engineering_births_per_day: float = 2.5
+    traffic_engineering_mean_duration: float = 55.0
+    #: Fraction shaped as SplitView (shared upstream, two sites).
+    traffic_engineering_splitview_fraction: float = 0.72
+
+    # -- short-lived causes ---------------------------------------------
+    #: Provider-transition conflicts (Section VI-F): days-long.
+    provider_transition_births_per_day: float = 4.0
+    provider_transition_mean_duration: float = 6.5
+
+    #: Small-scale misconfigurations: the organic one-timers.
+    misconfig_births_per_day: float = 4.6
+    misconfig_mean_duration: float = 1.3
+
+    # -- visibility-pattern knobs ----------------------------------------
+    #: Fraction of long-lived conflicts that flicker (visible subset of
+    #: days) — the paper counts total days "regardless of whether the
+    #: conflict was continuous".
+    intermittent_fraction: float = 0.35
+    intermittent_duty_cycle: float = 0.75
+
+    # -- scripted faults (scaled at generation time) ---------------------
+    spike_1998_conflicts: int = 11_357
+    #: Daily event sizes for 2001-04-06 .. 2001-04-11 (the component
+    #: attributable to AS 15412; background conflicts add the rest).
+    spike_2001_daily: tuple[int, ...] = (9_300, 8_400, 7_400, 6_500, 5_532, 2_300)
+
+    #: Growth of the daily birth rates across the window, matching the
+    #: table-size doubling (end rate = start rate * ramp_factor).
+    ramp_factor: float = 2.0
+
+    def ramp(self, day_index: int, num_days: int) -> float:
+        """Linear birth-rate multiplier for ``day_index``."""
+        if num_days <= 1:
+            return 1.0
+        fraction = day_index / (num_days - 1)
+        return 1.0 + (self.ramp_factor - 1.0) * fraction
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,89 @@
+"""The simulated Route Views collector configuration.
+
+The real collector peered with 54 routers in 43 ASes by mid-2001,
+having grown from a handful of peers in 1997.  Peer growth matters: a
+conflict is recorded only if peers with *divergent* best routes exist,
+so more peers reveal more conflicts — one of the drivers behind the
+rising daily counts in figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.model import InternetModel, Tier
+from repro.util.rng import RngStreams
+
+#: Oregon Route Views' own AS number.
+COLLECTOR_ASN = 6447
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Peer sessions and their activation days."""
+
+    #: ``(peer ASN, calendar day index the session came up)`` pairs.
+    peer_schedule: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        asns = [asn for asn, _day in self.peer_schedule]
+        if len(set(asns)) != len(asns):
+            raise ValueError("duplicate peer ASN in schedule")
+        if not self.peer_schedule:
+            raise ValueError("collector needs at least one peer")
+
+    @property
+    def all_peer_asns(self) -> tuple[int, ...]:
+        return tuple(asn for asn, _day in self.peer_schedule)
+
+    def active_peers(self, day_index: int) -> tuple[int, ...]:
+        """Peers whose sessions are up on ``day_index``, sorted by ASN."""
+        return tuple(
+            sorted(
+                asn
+                for asn, join_day in self.peer_schedule
+                if join_day <= day_index
+            )
+        )
+
+    @classmethod
+    def default_for_model(
+        cls,
+        model: InternetModel,
+        streams: RngStreams,
+        *,
+        num_days: int,
+        num_peers: int = 12,
+        initial_peers: int = 5,
+    ) -> "CollectorConfig":
+        """A realistic schedule: big ISPs first, more joining over time.
+
+        Two tier-1 peers anchor the view from day 0 (the real collector
+        always had backbone feeds); the rest are transit ASes joining at
+        a steady rate over the first ~80% of the study.
+        """
+        rng = streams.python("collector-peers")
+        tier1 = model.ases_in_tier(Tier.TIER1)
+        transits = model.ases_in_tier(Tier.TRANSIT)
+        anchors = [701, 1239] if 701 in tier1 and 1239 in tier1 else tier1[:2]
+        # Transit peers first (like the real collector's ISP feeds);
+        # remaining tier-1s fill in when a small model runs short.
+        pool = [asn for asn in transits if asn not in anchors]
+        pool += [asn for asn in tier1 if asn not in anchors]
+        num_peers = min(num_peers, len(anchors) + len(pool))
+        initial_peers = min(initial_peers, num_peers)
+        needed = num_peers - len(anchors)
+        chosen = rng.sample(pool, k=needed)
+        schedule: list[tuple[int, int]] = [(asn, 0) for asn in anchors]
+        for position, asn in enumerate(chosen):
+            slot = len(anchors) + position
+            if slot < initial_peers:
+                join_day = 0
+            else:
+                late_slots = num_peers - initial_peers
+                late_rank = slot - initial_peers
+                join_day = round(
+                    (late_rank + 1) * 0.8 * num_days / (late_slots + 1)
+                )
+            schedule.append((asn, join_day))
+        return cls(peer_schedule=tuple(schedule))

@@ -1,0 +1,110 @@
+"""MOAS cause processes.
+
+Every cause the paper discusses in Section VI is a first-class event
+type here, with origin-selection logic that reproduces the *path
+structure* each cause creates (which is what the figure-6 classifier
+sees):
+
+- ``EXCHANGE_POINT`` — IXP members all originate the fabric prefix;
+  valid, lasts essentially the whole study (VI-A).
+- ``STATIC_MULTIHOMING`` — multi-homing without BGP (VI-B): either a
+  provider originates its customer's prefix alongside the customer
+  (creating OrigTranAS-shaped path pairs) or two providers front a
+  BGP-silent customer.
+- ``PRIVATE_AS`` — ASE multi-homing (VI-C): observationally identical
+  to the hidden-customer case, with a small chance of leaking the
+  private ASN into origin position.
+- ``TRAFFIC_ENGINEERING`` — multi-path announcement practices (V):
+  dual-site organizations behind a shared upstream (SplitView-shaped)
+  or provider+customer co-origination (OrigTranAS-shaped).
+- ``PROVIDER_TRANSITION`` — both old and new provider originate during
+  a customer's move (VI-F); short-lived and valid.
+- ``MISCONFIG`` — an unrelated AS falsely originates the prefix (VI-E);
+  short-lived and invalid.
+- ``FAULT_MASS_ORIGINATION`` — the scripted historical incidents
+  (AS 8584 on 1998-04-07, AS 15412 via AS 3561 starting 2001-04-06).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netbase.asn import PRIVATE_AS_MIN
+from repro.netbase.prefix import Prefix
+from repro.util.rng import derive_seed
+
+
+class Cause(enum.Enum):
+    """Why a prefix has multiple origins."""
+
+    EXCHANGE_POINT = "exchange_point"
+    STATIC_MULTIHOMING = "static_multihoming"
+    PRIVATE_AS = "private_as"
+    TRAFFIC_ENGINEERING = "traffic_engineering"
+    PROVIDER_TRANSITION = "provider_transition"
+    MISCONFIG = "misconfig"
+    FAULT_MASS_ORIGINATION = "fault_mass_origination"
+
+    @property
+    def is_valid(self) -> bool:
+        """True for operationally-intended conflicts (paper VI-A..D, F)."""
+        return self not in (Cause.MISCONFIG, Cause.FAULT_MASS_ORIGINATION)
+
+
+@dataclass(frozen=True)
+class ConflictEvent:
+    """One cause instance making ``prefix`` multi-origin for a while.
+
+    ``start_index``/``end_index`` are calendar day indices (inclusive);
+    ``start_index`` may be negative for conflicts already in progress
+    when the study window opens.  Intermittent events (duty cycle < 1)
+    flicker deterministically: the paper's duration metric counts total
+    days present "regardless of whether the conflict was continuous".
+    """
+
+    prefix: Prefix
+    origins: tuple[int, ...]
+    cause: Cause
+    start_index: int
+    end_index: int
+    duty_cycle: float = 1.0
+    flicker_seed: int = 0
+    #: For OrigTranAS / SplitView shaped conflicts: the AS announcing
+    #: *different* routes for the prefix to different neighbors
+    #: (Section V).  Collector peers then see the pivot's alternatives
+    #: rather than choosing among independent origin trees.  The pivot
+    #: may itself be one of the origins (provider co-origination).
+    pivot: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.origins) < 2:
+            raise ValueError(
+                f"conflict event needs >= 2 origins, got {self.origins}"
+            )
+        if self.end_index < self.start_index:
+            raise ValueError(
+                f"event ends ({self.end_index}) before it starts "
+                f"({self.start_index})"
+            )
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle {self.duty_cycle} outside (0, 1]")
+        if self.pivot is not None and len(self.origins) != 2:
+            raise ValueError("pivot events must have exactly two origins")
+
+    def active_on(self, day_index: int) -> bool:
+        """Whether the conflict is visible on ``day_index``."""
+        if not self.start_index <= day_index <= self.end_index:
+            return False
+        if self.duty_cycle >= 1.0:
+            return True
+        # First and last days always show, so recorded durations span
+        # the event's true extent.
+        if day_index in (self.start_index, self.end_index):
+            return True
+        draw = derive_seed(self.flicker_seed, str(day_index)) % 10_000
+        return draw < self.duty_cycle * 10_000
+
+    def uses_private_asn(self) -> bool:
+        """True if a private ASN leaked into origin position."""
+        return any(origin >= PRIVATE_AS_MIN for origin in self.origins)

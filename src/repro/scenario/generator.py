@@ -1,0 +1,442 @@
+"""Stochastic birth of MOAS cause events, calibrated to the paper.
+
+The generator owns all randomness behind conflict creation: which
+prefixes become multi-origin, why, with which partner ASes, and for how
+long.  Visibility at the collector is checked at birth — events no peer
+divergence would reveal are recorded as invisible ground truth, exactly
+mirroring the paper's caveat that even Route Views undercounts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable
+
+from repro.netbase.asn import PRIVATE_AS_MIN
+from repro.netbase.prefix import Prefix
+from repro.scenario.calibration import Calibration
+from repro.scenario.events import Cause, ConflictEvent
+from repro.scenario.routing import CollectorRouting
+from repro.topology.model import InternetModel, Tier
+from repro.util.rng import RngStreams
+
+#: How many candidate draws to make before giving up on producing a
+#: visible event of some cause on some day.
+_MAX_ATTEMPTS = 8
+
+
+class EventGenerator:
+    """Draws cause events against the current world state."""
+
+    def __init__(
+        self,
+        model: InternetModel,
+        routing: CollectorRouting,
+        calibration: Calibration,
+        streams: RngStreams,
+        *,
+        num_days: int,
+        scale: float,
+        is_conflicted: Callable[[Prefix], bool],
+    ) -> None:
+        self.model = model
+        self.routing = routing
+        self.calibration = calibration
+        self.num_days = num_days
+        self.scale = scale
+        self._is_conflicted = is_conflicted
+        self._rng = streams.python("events")
+        self._poisson = streams.numpy("event-counts")
+        self._flicker_counter = 0
+        self._population_cache: list[Prefix] = []
+        self.invisible_births = 0
+
+    # -- public API -------------------------------------------------------
+
+    def initial_events(self, active_peers: list[int]) -> list[ConflictEvent]:
+        """The standing population already conflicting at day 0.
+
+        Long-lived causes pre-date the study window: each event gets a
+        full lifetime plus a uniformly-drawn elapsed portion, so day 0
+        sees a stationary mix of young and old conflicts.
+        """
+        events: list[ConflictEvent] = []
+        taken: set[Prefix] = set()
+        seeds = (
+            (
+                Cause.STATIC_MULTIHOMING,
+                self._scaled(self.calibration.initial_static_multihoming),
+            ),
+            (Cause.PRIVATE_AS, self._scaled(self.calibration.initial_private_as)),
+            (
+                Cause.TRAFFIC_ENGINEERING,
+                self._scaled(self.calibration.initial_traffic_engineering),
+            ),
+        )
+        for cause, count in seeds:
+            for _ in range(count):
+                event = self._try_birth(
+                    cause, day_index=0, active_peers=active_peers,
+                    taken=taken, pre_window=True,
+                )
+                if event is not None:
+                    events.append(event)
+                    taken.add(event.prefix)
+        events.extend(self._exchange_point_events())
+        return events
+
+    def births(
+        self, day_index: int, active_peers: list[int]
+    ) -> list[ConflictEvent]:
+        """Organic events born on ``day_index`` (scripted faults excluded)."""
+        ramp = self.calibration.ramp(day_index, self.num_days)
+        events: list[ConflictEvent] = []
+        taken: set[Prefix] = set()
+        rates = (
+            (
+                Cause.STATIC_MULTIHOMING,
+                self.calibration.static_multihoming_births_per_day,
+            ),
+            (Cause.PRIVATE_AS, self.calibration.private_as_births_per_day),
+            (
+                Cause.TRAFFIC_ENGINEERING,
+                self.calibration.traffic_engineering_births_per_day,
+            ),
+            (
+                Cause.PROVIDER_TRANSITION,
+                self.calibration.provider_transition_births_per_day,
+            ),
+            (Cause.MISCONFIG, self.calibration.misconfig_births_per_day),
+        )
+        for cause, rate in rates:
+            count = int(self._poisson.poisson(rate * ramp * self.scale))
+            for _ in range(count):
+                event = self._try_birth(
+                    cause,
+                    day_index=day_index,
+                    active_peers=active_peers,
+                    taken=taken,
+                )
+                if event is not None:
+                    events.append(event)
+                    taken.add(event.prefix)
+        return events
+
+    def mass_origination(
+        self,
+        *,
+        faulty_asn: int,
+        day_index: int,
+        durations: list[int],
+        active_peers: list[int],
+    ) -> list[ConflictEvent]:
+        """A scripted fault: ``faulty_asn`` falsely originates many prefixes.
+
+        ``durations`` holds one entry per conflict to create (in days);
+        the 1998 incident is ~11.3k one-day entries, the 2001 incident a
+        decaying multi-day profile.  Prefixes are sampled from the whole
+        table, exactly how a leaked full-table misconfiguration behaves.
+        """
+        events: list[ConflictEvent] = []
+        taken: set[Prefix] = set()
+        attempts = 0
+        # Visibility at the collector filters heavily (many peers agree
+        # on the legitimate origin); oversample until the historical
+        # visible count is reached.
+        budget = len(durations) * 16
+        prefixes = self._prefix_population()
+        wanted = iter(durations)
+        current = next(wanted, None)
+        while current is not None and attempts < budget:
+            attempts += 1
+            prefix = self._rng.choice(prefixes)
+            owner = self.model.prefix_owner[prefix]
+            if (
+                owner == faulty_asn
+                or prefix in taken
+                or self._is_conflicted(prefix)
+            ):
+                continue
+            origins = [owner, faulty_asn]
+            if not self.routing.conflict_visible(origins, active_peers):
+                self.invisible_births += 1
+                continue
+            events.append(
+                ConflictEvent(
+                    prefix=prefix,
+                    origins=tuple(origins),
+                    cause=Cause.FAULT_MASS_ORIGINATION,
+                    start_index=day_index,
+                    end_index=day_index + current - 1,
+                )
+            )
+            taken.add(prefix)
+            current = next(wanted, None)
+        return events
+
+    # -- cause-specific construction ---------------------------------------
+
+    def _try_birth(
+        self,
+        cause: Cause,
+        *,
+        day_index: int,
+        active_peers: list[int],
+        taken: set[Prefix],
+        pre_window: bool = False,
+    ) -> ConflictEvent | None:
+        for _ in range(_MAX_ATTEMPTS):
+            candidate = self._draw_candidate(cause, day_index, pre_window)
+            if candidate is None:
+                continue
+            prefix, origins, duration, pivot = candidate
+            if prefix in taken or self._is_conflicted(prefix):
+                continue
+            if pivot is not None:
+                # Pivot conflicts are visible as long as two peers can
+                # reach the inconsistently-announcing AS.
+                if (
+                    self.routing.pivot_reachable_peers(pivot, active_peers)
+                    < 2
+                ):
+                    self.invisible_births += 1
+                    continue
+            elif not self.routing.conflict_visible(
+                list(origins), active_peers
+            ):
+                self.invisible_births += 1
+                continue
+            start = day_index
+            if pre_window:
+                elapsed = self._rng.randrange(max(1, duration))
+                start = day_index - elapsed
+            duty_cycle = 1.0
+            flicker_seed = 0
+            if (
+                duration > 30
+                and self._rng.random()
+                < self.calibration.intermittent_fraction
+            ):
+                duty_cycle = self.calibration.intermittent_duty_cycle
+                self._flicker_counter += 1
+                flicker_seed = self._flicker_counter
+            return ConflictEvent(
+                prefix=prefix,
+                origins=origins,
+                cause=cause,
+                start_index=start,
+                end_index=start + duration - 1,
+                duty_cycle=duty_cycle,
+                flicker_seed=flicker_seed,
+                pivot=pivot,
+            )
+        return None
+
+    def _draw_candidate(
+        self, cause: Cause, day_index: int, pre_window: bool
+    ) -> tuple[Prefix, tuple[int, ...], int, int | None] | None:
+        calibration = self.calibration
+        rng = self._rng
+        if cause is Cause.STATIC_MULTIHOMING:
+            picked = self._pick_prefix_with_provider()
+            if picked is None:
+                return None
+            prefix, owner, providers = picked
+            duration = self._long_duration(
+                calibration.static_multihoming_mean_duration
+            )
+            if (
+                rng.random()
+                < calibration.static_multihoming_cooriginate_fraction
+            ):
+                # Provider statically co-originates the customer route
+                # while also transiting the customer's own announcement:
+                # it exports its origination to some neighbors and the
+                # customer route to others (OrigTranAS-shaped, pivot).
+                provider = rng.choice(providers)
+                return prefix, (owner, provider), duration, provider
+            # BGP-silent customer fronted by two upstreams.
+            if len(providers) >= 2:
+                chosen = rng.sample(providers, k=2)
+            else:
+                other = self._random_transit(exclude={owner, providers[0]})
+                if other is None:
+                    return None
+                chosen = [providers[0], other]
+            return prefix, tuple(sorted(chosen)), duration, None
+
+        if cause is Cause.PRIVATE_AS:
+            picked = self._pick_prefix_with_provider()
+            if picked is None:
+                return None
+            prefix, owner, providers = picked
+            duration = self._long_duration(calibration.private_as_mean_duration)
+            if len(providers) >= 2:
+                chosen = rng.sample(providers, k=2)
+            else:
+                other = self._random_transit(exclude={owner, providers[0]})
+                if other is None:
+                    return None
+                chosen = [providers[0], other]
+            if rng.random() < calibration.private_as_leak_probability:
+                # One upstream forgot to strip the private ASN: the
+                # private AS becomes visible behind that provider, so it
+                # joins the graph as a (leaf) customer there.
+                leaked = self._fresh_private_asn()
+                self.model.graph.add_as(leaked)
+                self.model.graph.add_customer(chosen[1], leaked)
+                chosen[1] = leaked
+            return prefix, tuple(sorted(chosen)), duration, None
+
+        if cause is Cause.TRAFFIC_ENGINEERING:
+            duration = self._long_duration(
+                calibration.traffic_engineering_mean_duration
+            )
+            if (
+                rng.random()
+                < calibration.traffic_engineering_splitview_fraction
+            ):
+                # Two sites of one organization behind a shared
+                # upstream, which announces site A's route to some
+                # neighbors and site B's to others: peers' paths share
+                # the upstream but end at different origin ASes
+                # (SplitView-shaped, pivot = the upstream).
+                upstream = self._random_transit(exclude=set())
+                if upstream is None:
+                    return None
+                customers = self.model.graph.customers_of(upstream)
+                if len(customers) < 2:
+                    return None
+                site_a, site_b = rng.sample(customers, k=2)
+                prefix = self._random_prefix_of(site_a)
+                if prefix is None:
+                    return None
+                return (
+                    prefix,
+                    tuple(sorted((site_a, site_b))),
+                    duration,
+                    upstream,
+                )
+            picked = self._pick_prefix_with_provider()
+            if picked is None:
+                return None
+            prefix, owner, providers = picked
+            provider = rng.choice(providers)
+            return prefix, (owner, provider), duration, provider
+
+        if cause is Cause.PROVIDER_TRANSITION:
+            picked = self._pick_prefix_with_provider()
+            if picked is None:
+                return None
+            prefix, owner, providers = picked
+            new_provider = self._random_transit(
+                exclude={owner, *providers}
+            )
+            if new_provider is None:
+                return None
+            duration = self._short_duration(
+                calibration.provider_transition_mean_duration, minimum=2
+            )
+            return (
+                prefix,
+                tuple(sorted((providers[0], new_provider))),
+                duration,
+                None,
+            )
+
+        if cause is Cause.MISCONFIG:
+            prefix = self._rng.choice(self._prefix_population())
+            owner = self.model.prefix_owner[prefix]
+            culprit = self._random_any_as(exclude={owner})
+            if culprit is None:
+                return None
+            duration = self._short_duration(
+                calibration.misconfig_mean_duration, minimum=1
+            )
+            return prefix, (owner, culprit), duration, None
+
+        raise ValueError(f"unsupported cause {cause}")
+
+    def _exchange_point_events(self) -> list[ConflictEvent]:
+        """IXP fabric prefixes: conflicted for (almost) the whole study."""
+        events: list[ConflictEvent] = []
+        for ixp in self.model.ixps:
+            self._flicker_counter += 1
+            events.append(
+                ConflictEvent(
+                    prefix=ixp.prefix,
+                    origins=ixp.members,
+                    cause=Cause.EXCHANGE_POINT,
+                    start_index=0,
+                    end_index=self.num_days - 1,
+                    # Near-total presence: the paper's IXP conflicts
+                    # lasted "most or all" of the observation period.
+                    duty_cycle=0.98,
+                    flicker_seed=self._flicker_counter,
+                )
+            )
+        return events
+
+    # -- draw helpers -------------------------------------------------------
+
+    def _scaled(self, count: int) -> int:
+        return max(1, round(count * self.scale))
+
+    def _prefix_population(self) -> list[Prefix]:
+        # Growth adds prefixes daily; rebuild the cached list only when
+        # the table size changed to avoid quadratic copying.
+        if len(self._population_cache) != len(self.model.prefix_owner):
+            self._population_cache = list(self.model.prefix_owner)
+        return self._population_cache
+
+    def _pick_prefix_with_provider(
+        self,
+    ) -> tuple[Prefix, int, list[int]] | None:
+        for _ in range(_MAX_ATTEMPTS):
+            prefix = self._rng.choice(self._prefix_population())
+            owner = self.model.prefix_owner[prefix]
+            providers = self.model.graph.providers_of(owner)
+            if providers:
+                return prefix, owner, providers
+        return None
+
+    def _random_prefix_of(self, asn: int) -> Prefix | None:
+        prefixes = self.model.prefixes_of(asn)
+        if not prefixes:
+            return None
+        return self._rng.choice(prefixes)
+
+    def _random_transit(self, exclude: set[int]) -> int | None:
+        transits = [
+            asn
+            for asn in self.model.ases_in_tier(Tier.TRANSIT)
+            if asn not in exclude
+        ]
+        if not transits:
+            return None
+        return self._rng.choice(transits)
+
+    def _fresh_private_asn(self) -> int:
+        while True:
+            candidate = PRIVATE_AS_MIN + self._rng.randrange(1022)
+            if candidate not in self.model.graph:
+                return candidate
+
+    def _random_any_as(self, exclude: set[int]) -> int | None:
+        for _ in range(_MAX_ATTEMPTS):
+            asn = self._rng.choice(list(self.model.as_info))
+            if asn not in exclude:
+                return asn
+        return None
+
+    def _long_duration(self, mean: float) -> int:
+        """Heavy-tailed duration for policy-driven conflicts."""
+        sigma = 1.0
+        mu = math.log(mean) - sigma * sigma / 2.0
+        value = self._rng.lognormvariate(mu, sigma)
+        return max(7, min(int(value), self.num_days * 2))
+
+    def _short_duration(self, mean: float, *, minimum: int) -> int:
+        value = self._rng.expovariate(1.0 / mean)
+        return max(minimum, int(round(value)))

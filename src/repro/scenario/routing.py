@@ -1,0 +1,154 @@
+"""Collector-side routing: what each peer's table says about an origin.
+
+Wraps the Gao-Rexford oracle but keeps only the collector peers' rows,
+so memory stays bounded while the study touches thousands of origins.
+The topology is append-only (see :mod:`repro.topology.growth`), so a
+peer view computed once stays valid for the rest of the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.bgp.policy import RouteType
+from repro.bgp.relationships import ASGraph
+
+
+@dataclass(frozen=True)
+class PeerView:
+    """One collector peer's converged route towards one origin AS."""
+
+    route_type: RouteType
+    length: int
+    path: tuple[int, ...]  # starts at the peer, ends at the origin
+
+    def preference_key(self) -> tuple[int, int]:
+        """Sort key: better routes compare greater."""
+        return (int(self.route_type), -self.length)
+
+
+class CollectorRouting:
+    """Per-origin peer views with bounded caching."""
+
+    def __init__(self, graph: ASGraph, peer_asns: list[int]) -> None:
+        self.graph = graph
+        self.peer_asns = list(peer_asns)
+        self._oracle = GaoRexfordOracle(graph)
+        self._views: dict[int, dict[int, PeerView]] = {}
+
+    def peer_views(self, origin: int) -> dict[int, PeerView]:
+        """Each peer's route to ``origin`` (peers without a route omitted)."""
+        if origin in self._views:
+            return self._views[origin]
+        views: dict[int, PeerView] = {}
+        routes = self._oracle.routes_to(origin)
+        for peer in self.peer_asns:
+            route = routes.get(peer)
+            if route is None:
+                continue
+            path = self._oracle.path(peer, origin)
+            assert path is not None
+            views[peer] = PeerView(
+                route_type=route.route_type, length=route.length, path=path
+            )
+        # Evict the oracle's full per-AS table: only peer rows are
+        # needed again, and the full tables are what would blow memory.
+        self._oracle._cache.pop(origin, None)
+        self._views[origin] = views
+        return views
+
+    def choose_origins(
+        self, origins: list[int], active_peers: list[int]
+    ) -> dict[int, tuple[int, PeerView]]:
+        """Decision process across a MOAS conflict, per active peer.
+
+        Each peer picks its best route among ``origins`` (customer >
+        peer > provider, then shortest, then lowest origin ASN).
+        Returns ``{peer: (chosen origin, view)}``; peers that reach no
+        origin are omitted.
+        """
+        views_by_origin = {
+            origin: self.peer_views(origin) for origin in origins
+        }
+        chosen: dict[int, tuple[int, PeerView]] = {}
+        for peer in active_peers:
+            best: tuple[tuple[int, int, int], int, PeerView] | None = None
+            for origin in origins:
+                view = views_by_origin[origin].get(peer)
+                if view is None:
+                    continue
+                key = view.preference_key() + (-origin,)
+                if best is None or key > best[0]:
+                    best = (key, origin, view)
+            if best is not None:
+                chosen[peer] = (best[1], best[2])
+        return chosen
+
+    def pivot_views(
+        self,
+        pivot: int,
+        origins: tuple[int, ...],
+        active_peers: list[int],
+    ) -> dict[int, tuple[int, PeerView]]:
+        """Views when ``pivot`` exports different routes to different peers.
+
+        This realizes the paper's OrigTranAS and SplitView patterns: a
+        single AS announces, for the same prefix, alternatives ending at
+        different origins.  Which alternative reaches which collector
+        peer depends on the pivot's per-neighbor export choices; we
+        partition peers deterministically (round-robin in ASN order),
+        guaranteeing both alternatives stay visible whenever at least
+        two peers can reach the pivot.
+
+        Peers' paths run to the pivot as usual; alternatives whose
+        origin is not the pivot extend the path one hop beyond it.
+        """
+        base = self.peer_views(pivot)
+        reachable = [peer for peer in sorted(active_peers) if peer in base]
+        result: dict[int, tuple[int, PeerView]] = {}
+        for index, peer in enumerate(reachable):
+            origin = origins[index % len(origins)]
+            view = base[peer]
+            if origin != pivot:
+                view = PeerView(
+                    route_type=view.route_type,
+                    length=view.length + 1,
+                    path=view.path + (origin,),
+                )
+            result[peer] = (origin, view)
+        return result
+
+    def pivot_reachable_peers(
+        self, pivot: int, active_peers: list[int]
+    ) -> int:
+        """How many active peers have a route to ``pivot``."""
+        base = self.peer_views(pivot)
+        return sum(1 for peer in active_peers if peer in base)
+
+    def visible_origins(
+        self, origins: list[int], active_peers: list[int]
+    ) -> set[int]:
+        """Origins that appear in at least one active peer's table."""
+        return {
+            origin for origin, _view in
+            self.choose_origins(origins, active_peers).values()
+        }
+
+    def conflict_visible(
+        self, origins: list[int], active_peers: list[int]
+    ) -> bool:
+        """Whether the collector would record a MOAS conflict.
+
+        True iff at least two distinct origins win somewhere among the
+        active peers — the collector-side analogue of the paper's
+        observation that single-ISP views see far fewer conflicts.
+        """
+        seen: set[int] = set()
+        for origin, _view in self.choose_origins(
+            origins, active_peers
+        ).values():
+            seen.add(origin)
+            if len(seen) >= 2:
+                return True
+        return False

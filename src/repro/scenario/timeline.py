@@ -1,0 +1,101 @@
+"""The study timeline: 1349 calendar days, 1279 observed snapshots.
+
+The paper's figure-1 window runs 1997-11-08 → 2001-07-18 (1349 calendar
+days) but reports "1279 days" of archived tables: the real NLANR/PCH
+archive had about 70 unusable or missing days.  The timeline reproduces
+that: a deterministic subset of ~70 gap days is chosen, excluding dates
+the paper's analysis depends on (the 1998 and 2001 fault spikes, the
+first and last days, and the figure-6 classification window).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.util.dates import PAPER_CALENDAR, PAPER_SNAPSHOT_DAYS, StudyCalendar
+from repro.util.rng import RngStreams
+
+#: Dates whose snapshots must exist for the paper's case studies.
+PROTECTED_DATES = (
+    datetime.date(1997, 11, 8),  # first day
+    datetime.date(1998, 4, 6),
+    datetime.date(1998, 4, 7),  # AS 8584 incident
+    datetime.date(1998, 4, 8),
+    datetime.date(2001, 4, 5),
+    datetime.date(2001, 4, 6),  # AS 15412 incident begins
+    datetime.date(2001, 4, 7),
+    datetime.date(2001, 4, 8),
+    datetime.date(2001, 4, 9),
+    datetime.date(2001, 4, 10),  # (3561, 15412) spike day
+    datetime.date(2001, 4, 11),
+    datetime.date(2001, 7, 18),  # last day
+)
+
+#: The figure-6 classification window (2001-05-15 → 2001-08-15 in the
+#: paper; our archive ends 07-18 with the calendar, so the overlap).
+CLASSIFICATION_WINDOW = (
+    datetime.date(2001, 5, 15),
+    datetime.date(2001, 7, 18),
+)
+
+
+@dataclass(frozen=True)
+class StudyTimeline:
+    """Calendar window plus the set of observed (archived) days."""
+
+    calendar: StudyCalendar
+    observed: frozenset[datetime.date]
+    _observed_sorted: tuple[datetime.date, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        for day in self.observed:
+            if day not in self.calendar:
+                raise ValueError(f"observed day {day} outside calendar")
+        object.__setattr__(
+            self, "_observed_sorted", tuple(sorted(self.observed))
+        )
+
+    @classmethod
+    def paper_timeline(
+        cls, streams: RngStreams, *, gap_days: int | None = None
+    ) -> "StudyTimeline":
+        """The 1279-of-1349 observation pattern of the paper's archive."""
+        calendar = PAPER_CALENDAR
+        if gap_days is None:
+            gap_days = calendar.num_days - PAPER_SNAPSHOT_DAYS
+        protected = set(PROTECTED_DATES)
+        window_start, window_end = CLASSIFICATION_WINDOW
+        candidates = [
+            day
+            for day in calendar
+            if day not in protected
+            and not window_start <= day <= window_end
+        ]
+        rng = streams.python("timeline-gaps")
+        gaps = set(rng.sample(candidates, k=gap_days))
+        observed = frozenset(day for day in calendar if day not in gaps)
+        return cls(calendar=calendar, observed=observed)
+
+    @classmethod
+    def fully_observed(cls, calendar: StudyCalendar) -> "StudyTimeline":
+        """A timeline with no archive gaps (used by small studies)."""
+        return cls(calendar=calendar, observed=frozenset(calendar))
+
+    @property
+    def num_observation_days(self) -> int:
+        return len(self.observed)
+
+    def is_observed(self, day: datetime.date) -> bool:
+        """True if the archive has a snapshot for ``day``."""
+        return day in self.observed
+
+    def observation_days(self) -> tuple[datetime.date, ...]:
+        """All observed days in chronological order."""
+        return self._observed_sorted
+
+    def last_observed_day(self) -> datetime.date:
+        """The final day with a snapshot (ongoing-ness reference)."""
+        return self._observed_sorted[-1]

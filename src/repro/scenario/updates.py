@@ -1,0 +1,146 @@
+"""Replaying a CDS archive as a live BGP update stream.
+
+The archive stores daily table snapshots; real collectors also log the
+*updates* between them (the BGP4MP files Route Views keeps alongside
+RIB dumps).  This module reconstructs that update stream: diffing
+consecutive day records per (peer, prefix) yields the announcements and
+withdrawals that must have happened in between, emitted as genuine
+:class:`~repro.mrt.records.Bgp4mpMessage` objects.
+
+This is what feeds the streaming detector
+(:mod:`repro.core.realtime`) with archive-faithful workloads — the
+bridge between the paper's offline methodology and the real-time
+systems its conclusion anticipates.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Iterator
+
+from repro.mrt.attributes import PathAttributes
+from repro.mrt.records import Bgp4mpMessage
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import ArchiveReader, DayRecord
+
+#: Synthetic collector-side address used in generated messages.
+_COLLECTOR_ADDRESS = 0xC6336401  # 198.51.100.1
+_COLLECTOR_ASN = 6447
+
+
+def _timestamp(day: datetime.date, offset_seconds: int = 0) -> int:
+    midnight = datetime.datetime.combine(
+        day, datetime.time(0, 0), tzinfo=datetime.timezone.utc
+    )
+    return int(midnight.timestamp()) + offset_seconds
+
+
+def _route_map(
+    record: DayRecord, reader: ArchiveReader
+) -> dict[tuple[int, int], tuple[int, ...]]:
+    """(peer, prefix_id) -> AS path for all event-touched rows."""
+    return {
+        (row.peer_asn, row.prefix_id): reader.path(row.path_id)
+        for row in record.rows
+    }
+
+
+def diff_days(
+    previous: DayRecord,
+    current: DayRecord,
+    reader: ArchiveReader,
+) -> Iterator[tuple[int, Bgp4mpMessage]]:
+    """Updates that transform ``previous`` into ``current``.
+
+    Only event-touched rows change between snapshots (base-table growth
+    is announced too: new prefixes appear as announcements from every
+    active peer).  Yields ``(timestamp, message)`` pairs ordered by
+    peer then prefix, spread across the day for realism.
+    """
+    before = _route_map(previous, reader)
+    after = _route_map(current, reader)
+
+    changes: list[tuple[int, Prefix, tuple[int, ...] | None]] = []
+    for key, path in after.items():
+        if before.get(key) != path:
+            peer, prefix_id = key
+            changes.append((peer, reader.prefix(prefix_id), path))
+    for key in before:
+        if key not in after:
+            peer, prefix_id = key
+            changes.append((peer, reader.prefix(prefix_id), None))
+    # New base-table prefixes (growth) announce from every active peer.
+    for prefix_id in range(previous.alive_count, current.alive_count):
+        entry = reader.registry[prefix_id]
+        if any(key[1] == prefix_id for key in after):
+            continue  # already covered by event rows
+        for peer in current.active_peers:
+            changes.append(
+                (peer, entry.prefix, (peer, entry.owner))
+            )
+
+    changes.sort(key=lambda item: (item[0], item[1].sort_key()))
+    spread = max(1, 86_000 // max(len(changes), 1))
+    for index, (peer, prefix, path) in enumerate(changes):
+        timestamp = _timestamp(current.day, index * spread % 86_000)
+        if path is None:
+            message = Bgp4mpMessage(
+                peer_asn=peer,
+                local_asn=_COLLECTOR_ASN,
+                interface_index=0,
+                peer_address=_COLLECTOR_ADDRESS,
+                local_address=_COLLECTOR_ADDRESS,
+                withdrawn=(prefix,),
+            )
+        else:
+            message = Bgp4mpMessage(
+                peer_asn=peer,
+                local_asn=_COLLECTOR_ASN,
+                interface_index=0,
+                peer_address=_COLLECTOR_ADDRESS,
+                local_address=_COLLECTOR_ADDRESS,
+                attributes=PathAttributes(
+                    as_path=ASPath.from_sequence(path)
+                ),
+                announced=(prefix,),
+            )
+        yield (timestamp, message)
+
+
+def replay_archive(
+    archive_dir,
+    *,
+    include_initial_table: bool = False,
+) -> Iterator[tuple[int, Bgp4mpMessage]]:
+    """The archive's full life as a (timestamp, update) stream.
+
+    With ``include_initial_table`` the first snapshot is emitted as a
+    burst of announcements (a session reset / initial table transfer);
+    otherwise the stream starts with the first day-to-day diff.
+    """
+    reader = ArchiveReader(archive_dir)
+    previous: DayRecord | None = None
+    for record in reader.iter_days():
+        if previous is None:
+            if include_initial_table:
+                for row in record.rows:
+                    yield (
+                        _timestamp(record.day),
+                        Bgp4mpMessage(
+                            peer_asn=row.peer_asn,
+                            local_asn=_COLLECTOR_ASN,
+                            interface_index=0,
+                            peer_address=_COLLECTOR_ADDRESS,
+                            local_address=_COLLECTOR_ADDRESS,
+                            attributes=PathAttributes(
+                                as_path=ASPath.from_sequence(
+                                    reader.path(row.path_id)
+                                )
+                            ),
+                            announced=(reader.prefix(row.prefix_id),),
+                        ),
+                    )
+        else:
+            yield from diff_days(previous, record, reader)
+        previous = record

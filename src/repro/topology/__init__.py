@@ -1,0 +1,29 @@
+"""Internet-like topology and address-space generation, 1997-2001 era.
+
+The paper measured the real Internet as it grew from roughly 50k to 104k
+prefixes and 3k to 11k ASes.  This subpackage generates a synthetic
+equivalent: a tiered, policy-annotated AS graph
+(:mod:`repro.topology.generator`), realistic prefix allocation
+(:mod:`repro.topology.addressing`), append-only daily growth
+(:mod:`repro.topology.growth`) and exchange points
+(:mod:`repro.topology.ixp`).  All magnitudes scale linearly with the
+``scale`` parameter so laptop-size studies keep paper-shaped statistics.
+"""
+
+from repro.topology.addressing import AddressPlan, PREFIX_LENGTH_WEIGHTS
+from repro.topology.generator import TopologyConfig, build_initial_model
+from repro.topology.growth import GrowthModel
+from repro.topology.ixp import ExchangePoint
+from repro.topology.model import ASInfo, InternetModel, Tier
+
+__all__ = [
+    "AddressPlan",
+    "PREFIX_LENGTH_WEIGHTS",
+    "TopologyConfig",
+    "build_initial_model",
+    "GrowthModel",
+    "ExchangePoint",
+    "ASInfo",
+    "InternetModel",
+    "Tier",
+]

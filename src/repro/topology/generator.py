@@ -1,0 +1,236 @@
+"""Initial Internet construction: a tiered, policy-annotated AS graph.
+
+The generated topology mirrors the well-known structure of the
+study-era Internet:
+
+- a small clique of tier-1 providers (we use the era's famous ASNs:
+  UUNET 701, Sprint 1239, Cable & Wireless 3561, AT&T 7018, ...) that
+  peer with each other and sell transit;
+- a middle tier of regional transit ASes, multihomed to 1-3 upstreams
+  chosen by preferential attachment, with some transit-transit peering;
+- a large fringe of stub ASes (the paper's origins), a configurable
+  fraction of them multihomed — multihoming is one of the paper's main
+  candidate causes of MOAS conflicts.
+
+ASNs that the paper's fault case studies name (8584, 15412, 7007) are
+reserved and wired into era-correct positions so the event scripts in
+:mod:`repro.scenario.events` can re-enact the real incidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.addressing import AddressPlan
+from repro.topology.ixp import ExchangePoint, ixp_prefix
+from repro.topology.model import ASInfo, InternetModel, Tier
+from repro.util.rng import RngStreams
+
+#: Era tier-1 backbone ASNs.  3561 (Cable & Wireless) must be present:
+#: the April 2001 fault event propagates through it.
+TIER1_ASNS = (209, 701, 1239, 2914, 3356, 3561, 6453, 7018)
+
+#: ASNs with scripted roles in the paper's fault case studies.
+AS_8584 = 8584  # falsely originated ~11k prefixes on 1998-04-07
+AS_15412 = 15412  # C&W customer; misconfiguration of 2001-04-06
+AS_7007 = 7007  # the 1997-04-25 de-aggregation incident
+
+RESERVED_ASNS = frozenset(TIER1_ASNS) | {AS_8584, AS_15412, AS_7007}
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Knobs for the initial (day-0) Internet.
+
+    Defaults approximate November 1997 at ``scale=1.0``: about 3000
+    ASes and 52k prefixes.  Every count scales linearly so smaller
+    studies keep the same shape.
+    """
+
+    scale: float = 0.125
+    initial_as_count: int = 3000
+    initial_prefix_count: int = 52_000
+    transit_fraction: float = 0.10
+    #: Probability that a stub is multihomed (2 providers).
+    stub_multihome_prob: float = 0.30
+    #: Probability that a transit AS gets a third upstream.
+    transit_third_provider_prob: float = 0.25
+    #: Peering links among transit ASes, as a fraction of transit count.
+    transit_peering_fraction: float = 0.50
+    #: Number of exchange points (paper: 30 identified prefixes).
+    ixp_count: int = 30
+
+    def scaled(self, value: int | float) -> int:
+        """``value`` scaled down, never below 1."""
+        return max(1, round(value * self.scale))
+
+    @property
+    def num_ases(self) -> int:
+        return self.scaled(self.initial_as_count)
+
+    @property
+    def num_prefixes(self) -> int:
+        return self.scaled(self.initial_prefix_count)
+
+    @property
+    def num_transit(self) -> int:
+        return max(4, round(self.num_ases * self.transit_fraction))
+
+    @property
+    def num_ixps(self) -> int:
+        return max(2, round(self.ixp_count * self.scale))
+
+
+class AsnFactory:
+    """Hands out unused, realistic ASNs."""
+
+    def __init__(self, streams: RngStreams) -> None:
+        self._rng = streams.python("asn-factory")
+        self._used: set[int] = set(RESERVED_ASNS)
+
+    def reserve(self, asn: int) -> int:
+        """Claim a specific ASN (for scripted roles)."""
+        if asn in self._used and asn not in RESERVED_ASNS:
+            raise ValueError(f"ASN {asn} already in use")
+        self._used.add(asn)
+        return asn
+
+    def next_asn(self) -> int:
+        """A random unused public 16-bit ASN (study era: 2-byte only)."""
+        while True:
+            candidate = self._rng.randint(1, 64000)
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+
+
+def build_initial_model(
+    config: TopologyConfig, streams: RngStreams
+) -> tuple[InternetModel, AddressPlan, AsnFactory]:
+    """Build the day-0 Internet.
+
+    Returns the model plus the allocator and ASN factory so the growth
+    model can keep extending the same address plan without collisions.
+    """
+    rng = streams.python("topology")
+    model = InternetModel()
+    plan = AddressPlan(streams)
+    asn_factory = AsnFactory(streams)
+
+    # Tier-1 clique.
+    for asn in TIER1_ASNS:
+        model.add_as(ASInfo(asn=asn, tier=Tier.TIER1, join_day=0))
+    for index, left in enumerate(TIER1_ASNS):
+        for right in TIER1_ASNS[index + 1 :]:
+            model.graph.add_peering(left, right)
+
+    # Transit tier, preferentially attached to tier-1s and earlier
+    # transits (rich get richer — produces the observed skewed degrees).
+    transit_asns: list[int] = []
+    attachment_pool: list[int] = list(TIER1_ASNS)
+    num_transit = config.num_transit
+    scripted_transit = [AS_15412]  # C&W customer with a second upstream
+    for position in range(num_transit):
+        if position < len(scripted_transit):
+            asn = asn_factory.reserve(scripted_transit[position])
+        else:
+            asn = asn_factory.next_asn()
+        model.add_as(ASInfo(asn=asn, tier=Tier.TRANSIT, join_day=0))
+        if asn == AS_15412:
+            # Era-correct: FLAG Telecom bought transit from C&W (3561).
+            providers = [3561, rng.choice([701, 7018])]
+        else:
+            provider_count = 2 if rng.random() < 0.7 else 1
+            if rng.random() < config.transit_third_provider_prob:
+                provider_count += 1
+            providers = _distinct_choices(rng, attachment_pool, provider_count)
+        for provider in providers:
+            model.graph.add_customer(provider, asn)
+        transit_asns.append(asn)
+        # Transits join the attachment pool with multiplicity: degree-
+        # proportional attachment without bookkeeping.
+        attachment_pool.extend([asn] * 2)
+
+    # Transit-transit peering.
+    peering_target = round(num_transit * config.transit_peering_fraction)
+    added = 0
+    while added < peering_target:
+        left, right = rng.sample(transit_asns, k=2)
+        if not model.graph.has_link(left, right):
+            model.graph.add_peering(left, right)
+            added += 1
+
+    # Stub tier.
+    stub_count = config.num_ases - model.num_ases()
+    scripted_stubs = [AS_8584, AS_7007]
+    stub_attachment = transit_asns + list(TIER1_ASNS)
+    for position in range(stub_count):
+        if position < len(scripted_stubs):
+            asn = asn_factory.reserve(scripted_stubs[position])
+        else:
+            asn = asn_factory.next_asn()
+        model.add_as(ASInfo(asn=asn, tier=Tier.STUB, join_day=0))
+        if asn == AS_7007:
+            # Era-correct: the 7007 incident propagated via Sprint (1239).
+            providers = [1239]
+        elif rng.random() < config.stub_multihome_prob:
+            providers = _distinct_choices(rng, stub_attachment, 2)
+        else:
+            providers = _distinct_choices(rng, stub_attachment, 1)
+        for provider in providers:
+            model.graph.add_customer(provider, asn)
+
+    # Address space: every AS gets at least one prefix; remaining
+    # prefixes go to random ASes weighted by tier.
+    all_asns = sorted(model.as_info)
+    for asn in all_asns:
+        model.assign_prefix(plan.allocate_random_length(), asn)
+    remaining = config.num_prefixes - model.num_prefixes()
+    weighted = _tier_weighted_asns(model)
+    for _ in range(max(0, remaining)):
+        owner = rng.choice(weighted)
+        model.assign_prefix(plan.allocate_random_length(), owner)
+
+    # Exchange points among transit/tier-1 ASes.
+    candidates = transit_asns + list(TIER1_ASNS)
+    for index in range(config.num_ixps):
+        member_count = rng.randint(3, min(8, len(candidates)))
+        members = tuple(
+            sorted(_distinct_choices(rng, candidates, member_count))
+        )
+        ixp = ExchangePoint(
+            name=f"IXP-{index}", prefix=ixp_prefix(index), members=members
+        )
+        model.ixps.append(ixp)
+
+    return model, plan, asn_factory
+
+
+def _distinct_choices(rng, pool: list[int], count: int) -> list[int]:
+    """``count`` distinct draws from a pool that may contain repeats."""
+    chosen: list[int] = []
+    attempts = 0
+    while len(chosen) < count and attempts < 100 * count:
+        candidate = rng.choice(pool)
+        attempts += 1
+        if candidate not in chosen:
+            chosen.append(candidate)
+    if len(chosen) < count:
+        raise ValueError(
+            f"could not draw {count} distinct ASes from pool of "
+            f"{len(set(pool))}"
+        )
+    return chosen
+
+
+def _tier_weighted_asns(model: InternetModel) -> list[int]:
+    """ASNs with multiplicity by tier: big ASes own more prefixes."""
+    weighted: list[int] = []
+    for asn, info in model.as_info.items():
+        if info.tier is Tier.TIER1:
+            weighted.extend([asn] * 12)
+        elif info.tier is Tier.TRANSIT:
+            weighted.extend([asn] * 4)
+        else:
+            weighted.append(asn)
+    return weighted

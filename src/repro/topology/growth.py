@@ -1,0 +1,124 @@
+"""Append-only daily growth of the synthetic Internet.
+
+Between November 1997 and July 2001 the global table roughly doubled
+(≈52k → ≈104k prefixes) and the AS count nearly quadrupled (≈3k →
+≈11.5k).  The growth model adds stub ASes and prefixes day by day to hit
+those era totals (scaled), using fractional accumulators so any window
+length lands on target.
+
+Growth is *append-only*: new ASes attach as customers of existing ASes,
+and no links between pre-existing ASes are added or removed.  This keeps
+converged routes of existing origins stable, which (a) matches the
+archive-level stability of real tables at day granularity and (b) lets
+the Gao-Rexford oracle cache per-origin routing for the whole study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.addressing import AddressPlan
+from repro.topology.generator import AsnFactory, TopologyConfig
+from repro.topology.model import ASInfo, InternetModel, Tier
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class GrowthTargets:
+    """End-of-study targets at ``scale=1.0``."""
+
+    final_as_count: int = 11_500
+    final_prefix_count: int = 104_000
+
+
+class GrowthModel:
+    """Daily growth driver over an :class:`InternetModel`."""
+
+    def __init__(
+        self,
+        model: InternetModel,
+        plan: AddressPlan,
+        asn_factory: AsnFactory,
+        config: TopologyConfig,
+        streams: RngStreams,
+        *,
+        num_days: int,
+        targets: GrowthTargets | None = None,
+    ) -> None:
+        if num_days < 1:
+            raise ValueError(f"num_days must be >= 1, got {num_days}")
+        self.model = model
+        self.plan = plan
+        self.asn_factory = asn_factory
+        self.config = config
+        self._rng = streams.python("growth")
+        targets = targets or GrowthTargets()
+        final_ases = config.scaled(targets.final_as_count)
+        final_prefixes = config.scaled(targets.final_prefix_count)
+        self._as_per_day = max(
+            0.0, (final_ases - model.num_ases()) / num_days
+        )
+        self._prefix_per_day = max(
+            0.0, (final_prefixes - model.num_prefixes()) / num_days
+        )
+        self._as_accumulator = 0.0
+        self._prefix_accumulator = 0.0
+        self._attachment_pool = self._build_attachment_pool()
+
+    def _build_attachment_pool(self) -> list[int]:
+        pool: list[int] = []
+        for asn, info in self.model.as_info.items():
+            if info.tier is Tier.TRANSIT:
+                pool.extend([asn] * 3)
+            elif info.tier is Tier.TIER1:
+                pool.extend([asn] * 2)
+        return pool
+
+    def grow_one_day(self, day_index: int) -> tuple[list[int], list]:
+        """Apply one day of growth; returns (new ASNs, new prefixes)."""
+        self._as_accumulator += self._as_per_day
+        self._prefix_accumulator += self._prefix_per_day
+        new_asns: list[int] = []
+        new_prefixes = []
+
+        while self._as_accumulator >= 1.0:
+            self._as_accumulator -= 1.0
+            asn = self.asn_factory.next_asn()
+            self.model.add_as(
+                ASInfo(asn=asn, tier=Tier.STUB, join_day=day_index)
+            )
+            provider_count = (
+                2
+                if self._rng.random() < self.config.stub_multihome_prob
+                else 1
+            )
+            providers: list[int] = []
+            while len(providers) < provider_count:
+                provider = self._rng.choice(self._attachment_pool)
+                if provider not in providers:
+                    providers.append(provider)
+            for provider in providers:
+                self.model.graph.add_customer(provider, asn)
+            new_asns.append(asn)
+            # Every new AS brings at least one prefix.
+            prefix = self.plan.allocate_random_length()
+            self.model.assign_prefix(prefix, asn)
+            new_prefixes.append(prefix)
+            self._prefix_accumulator -= 1.0
+
+        while self._prefix_accumulator >= 1.0:
+            self._prefix_accumulator -= 1.0
+            owner = self._pick_prefix_owner(new_asns)
+            prefix = self.plan.allocate_random_length()
+            self.model.assign_prefix(prefix, owner)
+            new_prefixes.append(prefix)
+
+        return new_asns, new_prefixes
+
+    def _pick_prefix_owner(self, new_asns: list[int]) -> int:
+        # Mostly existing ASes grow their announcements; occasionally a
+        # brand-new AS brings several prefixes at once.
+        if new_asns and self._rng.random() < 0.3:
+            return self._rng.choice(new_asns)
+        all_asns = list(self.model.as_info)
+        return self._rng.choice(all_asns)

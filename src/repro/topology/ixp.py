@@ -1,0 +1,44 @@
+"""Exchange-point modelling.
+
+Section VI-A of the paper: a prefix numbering an exchange-point fabric
+is directly reachable from every member AS, and members may all
+advertise it as locally originated — a *valid*, long-lived MOAS
+conflict.  The paper definitively identified 30 such prefixes, all
+conflicted for "most or all of the observation period".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netbase.prefix import Prefix
+
+#: Historical exchange-point address block (ep.net allocations).
+IXP_BLOCK = Prefix.parse("198.32.0.0/16")
+
+
+@dataclass(frozen=True)
+class ExchangePoint:
+    """One exchange point: a fabric prefix and its member ASes."""
+
+    name: str
+    prefix: Prefix
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError(
+                f"exchange point {self.name} needs >= 2 members, "
+                f"got {len(self.members)}"
+            )
+        if not IXP_BLOCK.contains(self.prefix):
+            raise ValueError(
+                f"exchange point prefix {self.prefix} outside {IXP_BLOCK}"
+            )
+
+
+def ixp_prefix(index: int) -> Prefix:
+    """The ``index``-th /24 inside the exchange-point block."""
+    if not 0 <= index < 256:
+        raise ValueError(f"IXP index {index} outside 0..255")
+    return Prefix(IXP_BLOCK.network | (index << 8), 24)

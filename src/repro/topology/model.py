@@ -1,0 +1,81 @@
+"""The mutable world model shared by topology generation and scenarios."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bgp.relationships import ASGraph
+from repro.netbase.prefix import Prefix
+from repro.topology.ixp import ExchangePoint
+
+
+class Tier(enum.Enum):
+    """Coarse role of an AS in the hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+@dataclass(frozen=True)
+class ASInfo:
+    """Static metadata about one AS."""
+
+    asn: int
+    tier: Tier
+    join_day: int  # study-day index when the AS appeared (0 = start)
+
+
+@dataclass
+class InternetModel:
+    """The synthetic Internet at a point in time.
+
+    ``graph`` holds business relationships; ``prefix_owner`` maps every
+    allocated prefix to the AS that legitimately owns it (origination is
+    tracked separately by the scenario world, because MOAS conflicts are
+    precisely about origination diverging from ownership).
+    """
+
+    graph: ASGraph = field(default_factory=ASGraph)
+    as_info: dict[int, ASInfo] = field(default_factory=dict)
+    prefix_owner: dict[Prefix, int] = field(default_factory=dict)
+    owner_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
+    ixps: list[ExchangePoint] = field(default_factory=list)
+
+    def add_as(self, info: ASInfo) -> None:
+        """Register a new AS (must not already exist)."""
+        if info.asn in self.as_info:
+            raise ValueError(f"AS {info.asn} already exists")
+        self.as_info[info.asn] = info
+        self.graph.add_as(info.asn)
+        self.owner_prefixes.setdefault(info.asn, [])
+
+    def assign_prefix(self, prefix: Prefix, owner: int) -> None:
+        """Record ``owner`` as the legitimate holder of ``prefix``."""
+        if prefix in self.prefix_owner:
+            raise ValueError(f"{prefix} already assigned")
+        if owner not in self.as_info:
+            raise KeyError(f"unknown owner AS {owner}")
+        self.prefix_owner[prefix] = owner
+        self.owner_prefixes[owner].append(prefix)
+
+    # -- convenience queries -------------------------------------------
+
+    def ases_in_tier(self, tier: Tier) -> list[int]:
+        """All ASNs of one tier, sorted."""
+        return sorted(
+            asn for asn, info in self.as_info.items() if info.tier is tier
+        )
+
+    def num_ases(self) -> int:
+        """Number of ASes in the model."""
+        return len(self.as_info)
+
+    def num_prefixes(self) -> int:
+        """Number of allocated prefixes."""
+        return len(self.prefix_owner)
+
+    def prefixes_of(self, asn: int) -> list[Prefix]:
+        """Prefixes owned by ``asn`` (possibly empty)."""
+        return list(self.owner_prefixes.get(asn, ()))

@@ -1,0 +1,110 @@
+"""Topology characterization — checking the synthetic Internet's shape.
+
+The credibility of every scaled experiment rests on the synthetic
+topology having real-Internet structure: heavy-tailed degrees, a small
+dense core, short valley-free paths (the measured AS-path length of the
+era averaged ≈ 3-4 hops), and a large single-/dual-homed fringe.  These
+functions compute those properties; tests assert them.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.bgp.relationships import ASGraph
+from repro.topology.model import InternetModel, Tier
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Headline structural statistics of one AS graph."""
+
+    num_ases: int
+    num_links: int
+    max_degree: int
+    mean_degree: float
+    degree_gini: float
+    stub_fraction: float
+    multihomed_stub_fraction: float
+    mean_path_length: float
+
+
+def degree_distribution(graph: ASGraph) -> Counter[int]:
+    """degree -> number of ASes with that degree."""
+    return Counter(graph.degree(asn) for asn in graph.ases())
+
+
+def gini(values: list[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, 1 = skewed).
+
+    The real AS-level degree distribution is extremely unequal (a few
+    tier-1s with hundreds of links, thousands of stubs with one); the
+    generator must reproduce that inequality.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for rank, value in enumerate(ordered, start=1):
+        cumulative += value
+        weighted += cumulative
+    n = len(ordered)
+    return (n + 1 - 2 * weighted / total) / n
+
+
+def mean_as_path_length(
+    graph: ASGraph,
+    *,
+    origins: list[int],
+    vantages: list[int],
+) -> float:
+    """Mean converged AS-path hop count between vantage/origin samples.
+
+    Uses the Gao-Rexford oracle, so this is policy path length (what
+    tables show), not shortest-path distance.
+    """
+    oracle = GaoRexfordOracle(graph)
+    lengths: list[int] = []
+    for origin in origins:
+        routes = oracle.routes_to(origin)
+        for vantage in vantages:
+            route = routes.get(vantage)
+            if route is not None and vantage != origin:
+                lengths.append(route.length)
+    return statistics.fmean(lengths) if lengths else 0.0
+
+
+def summarize_model(
+    model: InternetModel, *, path_samples: int = 20
+) -> TopologySummary:
+    """Structural summary of a generated Internet model."""
+    graph = model.graph
+    degrees = [graph.degree(asn) for asn in graph.ases()]
+    stubs = model.ases_in_tier(Tier.STUB)
+    multihomed = [
+        asn for asn in stubs if len(graph.providers_of(asn)) >= 2
+    ]
+    sample_origins = stubs[:path_samples]
+    sample_vantages = (
+        model.ases_in_tier(Tier.TIER1)[:4]
+        + model.ases_in_tier(Tier.TRANSIT)[:8]
+    )
+    return TopologySummary(
+        num_ases=len(graph),
+        num_links=graph.num_links(),
+        max_degree=max(degrees, default=0),
+        mean_degree=statistics.fmean(degrees) if degrees else 0.0,
+        degree_gini=gini([float(degree) for degree in degrees]),
+        stub_fraction=len(stubs) / max(len(graph), 1),
+        multihomed_stub_fraction=len(multihomed) / max(len(stubs), 1),
+        mean_path_length=mean_as_path_length(
+            graph, origins=sample_origins, vantages=sample_vantages
+        ),
+    )

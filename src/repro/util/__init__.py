@@ -1,0 +1,19 @@
+"""Shared utilities: dates, deterministic RNG streams, ASCII plotting, tables."""
+
+from repro.util.dates import (
+    DAY,
+    StudyCalendar,
+    date_range,
+    parse_date,
+)
+from repro.util.rng import RngStreams
+from repro.util.tables import format_table
+
+__all__ = [
+    "DAY",
+    "StudyCalendar",
+    "date_range",
+    "parse_date",
+    "RngStreams",
+    "format_table",
+]

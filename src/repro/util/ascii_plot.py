@@ -1,0 +1,119 @@
+"""ASCII rendering of the paper's figures.
+
+matplotlib is not available in the reproduction environment, so figure
+benchmarks emit (a) CSV series for external plotting and (b) the ASCII
+charts produced here for immediate visual inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_BAR = "#"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 78,
+    height: int = 16,
+    title: str = "",
+    y_log: bool = False,
+    x_labels: tuple[str, str] | None = None,
+) -> str:
+    """Render one or more equally-long series as an ASCII line chart.
+
+    Each series is drawn with its own marker character; a legend maps
+    markers back to series names.  ``y_log`` plots log10 of the values
+    (zeros are clamped to the smallest positive value).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    if length == 0:
+        raise ValueError("series are empty")
+
+    markers = "*+o.x@%&"
+    transformed: dict[str, list[float]] = {}
+    for name, values in series.items():
+        if y_log:
+            positive = [value for value in values if value > 0]
+            floor = min(positive) if positive else 1.0
+            transformed[name] = [
+                math.log10(max(value, floor)) for value in values
+            ]
+        else:
+            transformed[name] = [float(value) for value in values]
+
+    lo = min(min(values) for values in transformed.values())
+    hi = max(max(values) for values in transformed.values())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(transformed.items()):
+        marker = markers[index % len(markers)]
+        for x_cell in range(width):
+            src = x_cell * (length - 1) / max(width - 1, 1) if length > 1 else 0
+            value = values[round(src)]
+            y_cell = int((value - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y_cell][x_cell] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** hi:.0f}" if y_log else f"{hi:.0f}"
+    bottom_label = f"{10 ** lo:.0f}" if y_log else f"{lo:.0f}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    if x_labels:
+        left, right = x_labels
+        gap = max(width - len(left) - len(right), 1)
+        lines.append(" " * (label_width + 2) + left + " " * gap + right)
+    legend = "  ".join(
+        f"{markers[index % len(markers)]}={name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    *,
+    width: int = 60,
+    title: str = "",
+    y_log: bool = False,
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("nothing to plot")
+
+    def transform(value: float) -> float:
+        if not y_log:
+            return float(value)
+        return math.log10(value) if value > 0 else 0.0
+
+    scaled = [transform(value) for value in values]
+    peak = max(scaled) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value, mag in zip(labels, values, scaled):
+        bar = _BAR * max(int(mag / peak * width), 1 if value > 0 else 0)
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)

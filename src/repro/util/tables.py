@@ -1,0 +1,61 @@
+"""Plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned fixed-width table.
+
+    Numeric cells are right-aligned, text cells left-aligned; column
+    widths adapt to content.  Returns the table as a single string
+    (no trailing newline) suitable for ``print``.
+    """
+    cells = [[_render(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for col, text in enumerate(row):
+            widths[col] = max(widths[col], len(text))
+
+    numeric = [
+        all(_is_numeric(row[col]) for row in rows) if rows else False
+        for col in range(len(headers))
+    ]
+
+    def fmt_row(texts: Sequence[str]) -> str:
+        parts = []
+        for col, text in enumerate(texts):
+            if numeric[col]:
+                parts.append(text.rjust(widths[col]))
+            else:
+                parts.append(text.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,111 @@
+"""Tests for the programmatic paper comparison."""
+
+import datetime
+from collections import Counter
+
+import pytest
+
+from repro.analysis.compare import (
+    ComparisonRow,
+    compare_to_paper,
+    comparison_table,
+    fraction_passing,
+)
+from repro.analysis.pipeline import StudyResults
+from repro.scenario.calibration import PAPER
+
+
+def make_results(scale: float, fidelity: float = 1.0) -> StudyResults:
+    """Synthetic results at `fidelity` x the scaled paper values."""
+    day = datetime.date(1998, 1, 1)
+    return StudyResults(
+        daily_series=[(day, 1)],
+        episodes={},
+        yearly_medians={
+            year: median * scale * fidelity
+            for year, median in PAPER.yearly_medians.items()
+        },
+        yearly_increase_rates={},
+        peak_days=[(day, 1)],
+        duration_histogram=Counter(),
+        duration_expectations={
+            threshold: value * fidelity
+            for threshold, value in PAPER.duration_expectations.items()
+        },
+        one_time_conflicts=round(PAPER.one_day_conflicts * scale * fidelity),
+        long_lived_conflicts=round(
+            PAPER.conflicts_over_300_days * scale * fidelity
+        ),
+        ongoing_conflicts=round(PAPER.ongoing_at_end * scale * fidelity),
+        max_duration=round(PAPER.max_duration_days * fidelity),
+        length_distribution={},
+        classification_series=[],
+        case_studies=[],
+        exchange_point_conflicts=0,
+        as_set_excluded_max=0,
+        total_days=1279,
+    )
+
+
+class _FakeEpisodes(dict):
+    def __len__(self):
+        return round(PAPER.total_conflicts * 0.05)
+
+
+class TestComparison:
+    def test_perfect_run_passes_everything(self):
+        results = make_results(scale=0.05)
+        # total_conflicts is len(episodes); patch via a fake mapping.
+        results.episodes = _FakeEpisodes()
+        rows = compare_to_paper(results, scale=0.05)
+        assert fraction_passing(rows) == 1.0
+
+    def test_terrible_run_fails(self):
+        results = make_results(scale=0.05, fidelity=0.1)
+        results.episodes = {}
+        rows = compare_to_paper(results, scale=0.05)
+        assert fraction_passing(rows) < 0.3
+
+    def test_scale_free_rows_not_scaled(self):
+        results = make_results(scale=0.05)
+        rows = compare_to_paper(results, scale=0.05)
+        duration_rows = [
+            row for row in rows if row.name.startswith("E[duration")
+        ]
+        for row in duration_rows:
+            assert row.expected == row.paper_value
+
+    def test_absolute_rows_scaled(self):
+        results = make_results(scale=0.05)
+        rows = compare_to_paper(results, scale=0.05)
+        total = next(row for row in rows if row.name == "total conflicts")
+        assert total.expected == pytest.approx(
+            PAPER.total_conflicts * 0.05
+        )
+
+    def test_ratio_and_ok(self):
+        row = ComparisonRow(
+            name="x", paper_value=100, expected=100, measured=140,
+            tolerance=0.5,
+        )
+        assert row.ratio == pytest.approx(1.4)
+        assert row.ok
+        tight = ComparisonRow(
+            name="x", paper_value=100, expected=100, measured=140,
+            tolerance=0.2,
+        )
+        assert not tight.ok
+
+    def test_zero_expected_handled(self):
+        row = ComparisonRow(
+            name="x", paper_value=0, expected=0, measured=0, tolerance=0.5
+        )
+        assert row.ratio == 1.0
+
+    def test_table_renders(self):
+        results = make_results(scale=0.05)
+        rows = compare_to_paper(results, scale=0.05)
+        table = comparison_table(rows)
+        assert "Paper vs measured" in table
+        assert "total conflicts" in table
+        assert "Ratio" in table

@@ -1,0 +1,100 @@
+"""Tests for result export formats."""
+
+import csv
+import datetime
+import io
+import json
+from collections import Counter
+
+import pytest
+
+from repro.analysis.export import episodes_csv, summary_json
+from repro.analysis.pipeline import CaseStudy, StudyResults
+from repro.core.causes import SpikeReport
+from repro.core.episodes import ConflictEpisode
+from repro.netbase.prefix import Prefix
+
+
+@pytest.fixture()
+def results():
+    day0 = datetime.date(1998, 1, 1)
+    prefixes = [Prefix.parse("10.0.0.0/24"), Prefix.parse("9.0.0.0/8")]
+    episodes = {
+        prefix: ConflictEpisode(
+            prefix=prefix,
+            first_day=day0,
+            last_day=day0 + datetime.timedelta(days=index),
+            days_observed=index + 1,
+            origins_ever=frozenset({42, 43 + index}),
+            max_origins_single_day=2,
+            ongoing=bool(index),
+        )
+        for index, prefix in enumerate(prefixes)
+    }
+    case = CaseStudy(
+        report=SpikeReport(
+            day=day0,
+            total_conflicts=100,
+            baseline_median=10.0,
+            culprit_asn=8584,
+            culprit_involved=95,
+        ),
+        upstream_asn=3561,
+        sequence_involved=90,
+        sequence_total=100,
+    )
+    return StudyResults(
+        daily_series=[(day0, 2)],
+        episodes=episodes,
+        yearly_medians={1998: 2.0},
+        yearly_increase_rates={},
+        peak_days=[(day0, 2)],
+        duration_histogram=Counter({1: 1, 2: 1}),
+        duration_expectations={0: 1.5},
+        one_time_conflicts=1,
+        long_lived_conflicts=0,
+        ongoing_conflicts=1,
+        max_duration=2,
+        length_distribution={1998: {24: 1.0, 8: 1.0}},
+        classification_series=[],
+        case_studies=[case],
+        exchange_point_conflicts=0,
+        as_set_excluded_max=0,
+        total_days=1,
+    )
+
+
+class TestEpisodesCsv:
+    def test_rows_sorted_by_prefix(self, results):
+        rows = list(csv.DictReader(io.StringIO(episodes_csv(results))))
+        assert [row["prefix"] for row in rows] == [
+            "9.0.0.0/8",
+            "10.0.0.0/24",
+        ]
+
+    def test_fields_roundtrip(self, results):
+        rows = list(csv.DictReader(io.StringIO(episodes_csv(results))))
+        row = rows[1]  # 10.0.0.0/24
+        assert row["prefix_length"] == "24"
+        assert row["days_observed"] == "1"
+        assert row["origins"] == "42 43"
+        assert row["ongoing"] == "0"
+
+    def test_ongoing_flag(self, results):
+        rows = list(csv.DictReader(io.StringIO(episodes_csv(results))))
+        assert rows[0]["ongoing"] == "1"
+
+
+class TestSummaryJson:
+    def test_parses_and_has_keys(self, results):
+        payload = json.loads(summary_json(results))
+        assert payload["total_conflicts"] == 2
+        assert payload["yearly_medians"]["1998"] == 2.0
+        assert payload["duration_expectations"]["0"] == 1.5
+
+    def test_case_study_serialized(self, results):
+        payload = json.loads(summary_json(results))
+        case = payload["case_studies"][0]
+        assert case["culprit_asn"] == 8584
+        assert case["upstream_asn"] == 3561
+        assert case["date"] == "1998-01-01"

@@ -1,0 +1,90 @@
+"""End-to-end invariant: every generated conflict is actually detected.
+
+The generator only admits events it deems visible at the collector; the
+detector must therefore find each event's prefix in conflict on at
+least one observed day.  Any divergence means the generator's
+visibility model and the detector disagree — the strongest consistency
+check the architecture allows without the pipeline peeking at ground
+truth.
+"""
+
+import datetime
+
+import pytest
+
+from repro.analysis.sources import detections_from_archive
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import ArchiveReader
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import StudyCalendar
+
+CALENDAR = StudyCalendar(
+    datetime.date(1997, 11, 8), datetime.date(1998, 2, 15)
+)  # 100 days
+
+
+@pytest.fixture(scope="module")
+def study(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("consistency")
+    config = ScenarioConfig(
+        scale=0.02, calendar=CALENDAR, paper_archive_gaps=False
+    )
+    simulate_study(directory, config)
+    return directory
+
+
+def test_every_visible_event_detected(study):
+    detected_prefixes: set[Prefix] = set()
+    detected_origin_sets: dict[Prefix, set[int]] = {}
+    for detection in detections_from_archive(study):
+        for conflict in detection.conflicts:
+            detected_prefixes.add(conflict.prefix)
+            detected_origin_sets.setdefault(
+                conflict.prefix, set()
+            ).update(conflict.origins)
+
+    truth = ArchiveReader(study).ground_truth()
+    assert truth
+    missing = []
+    for entry in truth:
+        prefix = Prefix.parse(entry["prefix"])
+        # Events wholly outside the archive window (ended before day 0
+        # never happens; ongoing ones are clamped) must be detected.
+        if prefix not in detected_prefixes:
+            missing.append(entry)
+    assert not missing, (
+        f"{len(missing)} ground-truth events never detected, e.g. "
+        f"{missing[:3]}"
+    )
+
+
+def test_detected_origins_cover_event_origins(study):
+    detected_origin_sets: dict[Prefix, set[int]] = {}
+    for detection in detections_from_archive(study):
+        for conflict in detection.conflicts:
+            detected_origin_sets.setdefault(
+                conflict.prefix, set()
+            ).update(conflict.origins)
+
+    for entry in ArchiveReader(study).ground_truth():
+        prefix = Prefix.parse(entry["prefix"])
+        seen = detected_origin_sets.get(prefix, set())
+        event_origins = set(entry["origins"])
+        # At least two of the event's origins must have surfaced
+        # (visibility may hide some of a >2-origin set, never all).
+        assert len(seen & event_origins) >= 2, (
+            f"{prefix}: event origins {event_origins}, detected {seen}"
+        )
+
+
+def test_no_detection_without_cause(study):
+    """Conversely: every detected conflict traces back to some event."""
+    truth_prefixes = {
+        Prefix.parse(entry["prefix"])
+        for entry in ArchiveReader(study).ground_truth()
+    }
+    for detection in detections_from_archive(study):
+        for conflict in detection.conflicts:
+            assert conflict.prefix in truth_prefixes, (
+                f"spurious conflict on {conflict.prefix}"
+            )

@@ -1,0 +1,122 @@
+"""Tests for table and figure rendering."""
+
+import datetime
+from collections import Counter
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_ascii,
+    figure1_csv,
+    figure3_ascii,
+    figure3_csv,
+    figure5_ascii,
+    figure5_csv,
+    figure6_ascii,
+    figure6_csv,
+)
+from repro.analysis.pipeline import StudyResults
+from repro.analysis.report import figure2_table, figure4_table, summary_report
+from repro.core.classifier import ConflictClass
+from repro.core.episodes import ConflictEpisode
+from repro.netbase.prefix import Prefix
+
+
+@pytest.fixture()
+def results() -> StudyResults:
+    day0 = datetime.date(1998, 1, 1)
+    day1 = datetime.date(1998, 1, 2)
+    prefix = Prefix.parse("10.0.0.0/24")
+    episode = ConflictEpisode(
+        prefix=prefix,
+        first_day=day0,
+        last_day=day1,
+        days_observed=2,
+        origins_ever=frozenset({1, 2}),
+        max_origins_single_day=2,
+        ongoing=True,
+    )
+    return StudyResults(
+        daily_series=[(day0, 5), (day1, 8)],
+        episodes={prefix: episode},
+        yearly_medians={1998: 6.5},
+        yearly_increase_rates={},
+        peak_days=[(day1, 8)],
+        duration_histogram=Counter({2: 1}),
+        duration_expectations={0: 2.0},
+        one_time_conflicts=0,
+        long_lived_conflicts=0,
+        ongoing_conflicts=1,
+        max_duration=2,
+        length_distribution={1998: {24: 6.5}},
+        classification_series=[
+            (
+                day0,
+                {
+                    ConflictClass.ORIG_TRAN_AS: 1,
+                    ConflictClass.SPLIT_VIEW: 2,
+                    ConflictClass.DISTINCT_PATHS: 2,
+                },
+            )
+        ],
+        case_studies=[],
+        exchange_point_conflicts=0,
+        as_set_excluded_max=2,
+        total_days=2,
+    )
+
+
+class TestTables:
+    def test_figure2_table(self, results):
+        table = figure2_table(results)
+        assert "1998" in table and "6.5" in table
+
+    def test_figure4_table(self, results):
+        table = figure4_table(results)
+        assert "longer than 0 days" in table
+        assert "2.0" in table
+
+    def test_summary_mentions_paper_values(self, results):
+        text = summary_report(results)
+        assert "38225" in text  # paper totals shown for comparison
+        assert "total conflicts:          1" in text
+
+
+class TestFigures:
+    def test_figure1_csv(self, results):
+        csv_text = figure1_csv(results)
+        assert "date,conflicts" in csv_text
+        assert "1998-01-01,5" in csv_text
+
+    def test_figure1_ascii(self, results):
+        assert "Fig. 1" in figure1_ascii(results, width=30)
+
+    def test_figure3_csv(self, results):
+        assert "duration_days,conflicts" in figure3_csv(results)
+
+    def test_figure3_ascii(self, results):
+        assert "Fig. 3" in figure3_ascii(results)
+
+    def test_figure5_csv(self, results):
+        csv_text = figure5_csv(results)
+        assert "1998,24,6.50" in csv_text
+
+    def test_figure5_ascii(self, results):
+        text = figure5_ascii(results)
+        assert "/24" in text
+
+    def test_figure5_ascii_specific_year(self, results):
+        assert "1998" in figure5_ascii(results, year=1998)
+
+    def test_figure6_csv(self, results):
+        csv_text = figure6_csv(results)
+        assert "OrigTranAS" in csv_text
+        assert "1998-01-01,1,2,2" in csv_text
+
+    def test_figure6_ascii(self, results):
+        text = figure6_ascii(results, width=30)
+        assert "DistinctPaths" in text
+
+    def test_figure6_empty_window(self, results):
+        results.classification_series = []
+        assert "empty" in figure6_ascii(results)

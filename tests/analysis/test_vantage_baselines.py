@@ -1,0 +1,113 @@
+"""Tests for the vantage-point analysis and the Huston baseline."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.baselines import HustonCounter
+from repro.analysis.vantage import VantageAnalyzer
+from repro.bgp.relationships import ASGraph
+from repro.core.detector import DayDetection, DailyConflict
+from repro.netbase.prefix import Prefix
+
+
+def small_internet() -> ASGraph:
+    graph = ASGraph()
+    graph.add_peering(701, 1239)
+    graph.add_customer(701, 100)
+    graph.add_customer(1239, 200)
+    graph.add_customer(100, 7)
+    graph.add_customer(200, 8)
+    graph.add_customer(100, 9)
+    graph.add_customer(200, 9)
+    return graph
+
+
+class TestVantageAnalyzer:
+    def test_adj_rib_in_sees_neighbor_exports(self):
+        analyzer = VantageAnalyzer(small_internet())
+        # 701 hears origin 7 from customer 100 and origin 8 from peer
+        # 1239 (customer route of 1239, exportable to peers).
+        origins = analyzer.adj_rib_in_origins(701, [7, 8])
+        assert origins == {7, 8}
+
+    def test_stub_vantage_sees_less(self):
+        analyzer = VantageAnalyzer(small_internet())
+        # Stub 7 has one provider (100): one route, one origin.
+        origins = analyzer.adj_rib_in_origins(7, [8, 9])
+        assert len(origins) == 1
+
+    def test_multihomed_stub_can_see_conflict(self):
+        analyzer = VantageAnalyzer(small_internet())
+        # 9 hears from both providers; 7 under 100, 8 under 200.
+        assert analyzer.conflict_visible_at(9, [7, 8])
+
+    def test_vantage_as_origin_counts_itself(self):
+        analyzer = VantageAnalyzer(small_internet())
+        origins = analyzer.adj_rib_in_origins(7, [7, 8])
+        assert 7 in origins
+
+    def test_valley_free_export_limits(self):
+        # 100's provider route to 8 must not be exported to peer
+        # vantage points, only to customers.
+        graph = small_internet()
+        graph.add_peering(100, 200)
+        analyzer = VantageAnalyzer(graph)
+        # From 100's perspective: 8 reachable via peer 200 (customer
+        # route at 200 -> exported to peer 100: OK).
+        assert 8 in analyzer.adj_rib_in_origins(100, [8])
+
+    def test_compare_collector_vs_vantages(self):
+        analyzer = VantageAnalyzer(small_internet())
+        conflicts = [
+            (Prefix.parse("10.0.0.0/8"), [7, 8]),
+            (Prefix.parse("192.0.2.0/24"), [7, 9]),
+        ]
+        comparison = analyzer.compare(
+            conflicts, [True, True], vantage_asns=[701, 7]
+        )
+        assert comparison.collector_conflicts == 2
+        # The big ISP sees at least as much as the stub.
+        assert (
+            comparison.per_as_conflicts[701]
+            >= comparison.per_as_conflicts[7]
+        )
+
+    def test_compare_length_mismatch_rejected(self):
+        analyzer = VantageAnalyzer(small_internet())
+        with pytest.raises(ValueError, match="align"):
+            analyzer.compare([], [True], vantage_asns=[701])
+
+
+class TestHustonCounter:
+    def _detection(self, day, count):
+        conflicts = tuple(
+            DailyConflict(
+                prefix=Prefix.parse(f"10.{i}.0.0/24"),
+                origins=frozenset({1, 2}),
+            )
+            for i in range(count)
+        )
+        return DayDetection(
+            day=day,
+            conflicts=conflicts,
+            prefixes_scanned=1000,
+            as_set_excluded=0,
+        )
+
+    def test_counts_per_day(self):
+        counter = HustonCounter()
+        day = datetime.date(2001, 2, 18)
+        assert counter.observe(self._detection(day, 3)) == 3
+        assert counter.latest() == (day, 3)
+
+    def test_run_over_stream(self):
+        counter = HustonCounter()
+        series = counter.run(
+            self._detection(datetime.date(2001, 2, 18 + offset), offset)
+            for offset in range(3)
+        )
+        assert [count for _day, count in series] == [0, 1, 2]
+
+    def test_empty(self):
+        assert HustonCounter().latest() is None

@@ -1,0 +1,154 @@
+"""Tests for network-wide propagation and convergence."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.network import ConvergenceError, Network
+from repro.bgp.relationships import ASGraph
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+DAY = datetime.date(2001, 4, 6)
+
+
+def small_internet() -> ASGraph:
+    """Two tier-1s (701, 1239) peering; transits 100, 200; stubs 7, 8, 9.
+
+    7 is customer of 100; 8 of 200; 9 is multihomed to 100 and 200.
+    """
+    graph = ASGraph()
+    graph.add_peering(701, 1239)
+    graph.add_customer(701, 100)
+    graph.add_customer(1239, 200)
+    graph.add_customer(100, 7)
+    graph.add_customer(200, 8)
+    graph.add_customer(100, 9)
+    graph.add_customer(200, 9)
+    return graph
+
+
+class TestPropagation:
+    def test_route_reaches_everyone(self):
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        network.run_to_convergence()
+        for asn in (100, 701, 1239, 200, 8, 9):
+            assert network.best_path(asn, PREFIX) is not None
+
+    def test_paths_are_valley_free(self):
+        network = Network(small_internet())
+        network.originate(8, PREFIX)
+        network.run_to_convergence()
+        # AS 7's path must go up through its provider chain and down.
+        path = network.best_path(7, PREFIX)
+        assert path == ASPath.from_sequence([7, 100, 701, 1239, 200, 8])
+
+    def test_multihomed_stub_prefers_shortest(self):
+        network = Network(small_internet())
+        network.originate(9, PREFIX)
+        network.run_to_convergence()
+        # From AS 8, the route via 200 is shorter than via 701/1239.
+        path = network.best_path(8, PREFIX)
+        assert path == ASPath.from_sequence([8, 200, 9])
+
+    def test_withdrawal_propagates(self):
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        network.run_to_convergence()
+        network.withdraw(7, PREFIX)
+        network.run_to_convergence()
+        for asn in (100, 701, 1239, 200, 8, 9):
+            assert network.best_path(asn, PREFIX) is None
+
+    def test_failover_on_withdrawal(self):
+        # 9 is multihomed; when one origin withdraws, routes survive
+        # only if another origin exists.
+        network = Network(small_internet())
+        network.originate(9, PREFIX)
+        network.originate(7, PREFIX)
+        network.run_to_convergence()
+        network.withdraw(9, PREFIX)
+        network.run_to_convergence()
+        path = network.best_path(8, PREFIX)
+        assert path is not None
+        assert path.origin() == 7
+
+    def test_origin_path_is_bare_asn(self):
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        network.run_to_convergence()
+        assert network.best_path(7, PREFIX) == ASPath.from_sequence([7])
+
+    def test_forwarding_next_as(self):
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        network.run_to_convergence()
+        assert network.forwarding_next_as(9, PREFIX) == 100
+        assert network.forwarding_next_as(7, PREFIX) is None
+
+    def test_unknown_as_raises(self):
+        network = Network(small_internet())
+        with pytest.raises(KeyError):
+            network.originate(999, PREFIX)
+
+
+class TestMoasScenarios:
+    def test_hijack_creates_two_origins(self):
+        # AS 8 falsely originates 7's prefix: the collector sees both.
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        network.originate(8, PREFIX)
+        network.run_to_convergence()
+        snapshot = network.collector_snapshot(DAY, [9, 701, 1239])
+        assert snapshot.origins_of(PREFIX) == {7, 8}
+
+    def test_single_vantage_may_miss_conflict(self):
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        network.originate(8, PREFIX)
+        network.run_to_convergence()
+        # AS 9 alone picks exactly one best route: no conflict visible.
+        snapshot = network.collector_snapshot(DAY, [9])
+        assert len(snapshot.origins_of(PREFIX)) == 1
+
+    def test_collector_requires_convergence(self):
+        network = Network(small_internet())
+        network.originate(7, PREFIX)
+        with pytest.raises(ConvergenceError):
+            network.collector_snapshot(DAY, [9])
+
+
+class TestCollectorSnapshot:
+    def test_snapshot_contains_all_peer_tables(self):
+        network = Network(small_internet())
+        other = Prefix.parse("192.0.2.0/24")
+        network.originate(7, PREFIX)
+        network.originate(8, other)
+        network.run_to_convergence()
+        snapshot = network.collector_snapshot(DAY, [701, 1239])
+        assert snapshot.num_prefixes() == 2
+        assert snapshot.num_routes() == 4  # 2 peers x 2 prefixes
+
+    def test_snapshot_prefix_filter(self):
+        network = Network(small_internet())
+        other = Prefix.parse("192.0.2.0/24")
+        network.originate(7, PREFIX)
+        network.originate(8, other)
+        network.run_to_convergence()
+        snapshot = network.collector_snapshot(DAY, [701], prefixes=[PREFIX])
+        assert snapshot.num_prefixes() == 1
+
+    def test_refresh_exports_after_prepend_change(self):
+        network = Network(small_internet())
+        network.originate(9, PREFIX)
+        network.run_to_convergence()
+        # 9 starts prepending towards 200; 8's path through 200 lengthens
+        # enough that 8 still uses 200 (only route), but the path shows
+        # the prepending.
+        network.router(9).set_prepend_count(200, 3)
+        network.refresh_exports(9, PREFIX)
+        network.run_to_convergence()
+        path = network.best_path(8, PREFIX)
+        assert path == ASPath.from_sequence([8, 200, 9, 9, 9])

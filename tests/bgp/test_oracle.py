@@ -1,0 +1,162 @@
+"""Tests for the Gao-Rexford oracle, including agreement with the engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.network import Network
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.bgp.policy import RouteType
+from repro.bgp.relationships import ASGraph
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def small_internet() -> ASGraph:
+    graph = ASGraph()
+    graph.add_peering(701, 1239)
+    graph.add_customer(701, 100)
+    graph.add_customer(1239, 200)
+    graph.add_customer(100, 7)
+    graph.add_customer(200, 8)
+    graph.add_customer(100, 9)
+    graph.add_customer(200, 9)
+    return graph
+
+
+class TestOracleRoutes:
+    def test_origin_route(self):
+        oracle = GaoRexfordOracle(small_internet())
+        route = oracle.route(7, 7)
+        assert route.route_type is RouteType.ORIGIN
+        assert route.length == 0
+
+    def test_customer_route_up_provider_chain(self):
+        oracle = GaoRexfordOracle(small_internet())
+        assert oracle.route(100, 7).route_type is RouteType.CUSTOMER
+        assert oracle.route(701, 7).route_type is RouteType.CUSTOMER
+        assert oracle.route(701, 7).length == 2
+
+    def test_peer_route(self):
+        oracle = GaoRexfordOracle(small_internet())
+        route = oracle.route(1239, 7)
+        assert route.route_type is RouteType.PEER
+        assert route.next_hop == 701
+
+    def test_provider_route(self):
+        oracle = GaoRexfordOracle(small_internet())
+        route = oracle.route(8, 7)
+        assert route.route_type is RouteType.PROVIDER
+        assert route.next_hop == 200
+
+    def test_path_reconstruction(self):
+        oracle = GaoRexfordOracle(small_internet())
+        assert oracle.path(8, 7) == (8, 200, 1239, 701, 100, 7)
+
+    def test_unreachable_returns_none(self):
+        graph = small_internet()
+        graph.add_as(9999)  # isolated AS
+        oracle = GaoRexfordOracle(graph)
+        assert oracle.path(9999, 7) is None
+        assert oracle.route(9999, 7) is None
+
+    def test_unknown_origin_raises(self):
+        oracle = GaoRexfordOracle(small_internet())
+        with pytest.raises(KeyError):
+            oracle.routes_to(31337)
+
+    def test_cache_invalidation(self):
+        graph = small_internet()
+        oracle = GaoRexfordOracle(graph)
+        assert oracle.route(8, 7).length == 5
+        graph.add_customer(200, 7)  # new shortcut
+        oracle.invalidate()
+        assert oracle.route(8, 7).length == 2
+
+    def test_multihomed_customer_route_tie_break(self):
+        # 9 reaches both providers; from 701 the route to 9 goes through
+        # customer 100 (customer route), length 2.
+        oracle = GaoRexfordOracle(small_internet())
+        assert oracle.path(701, 9) == (701, 100, 9)
+
+
+class TestBestOrigin:
+    def test_prefers_customer_origin(self):
+        oracle = GaoRexfordOracle(small_internet())
+        # From 100: origin 7 is its customer; origin 8 is via provider.
+        assert oracle.best_origin(100, [7, 8]) == 7
+
+    def test_prefers_shorter_within_type(self):
+        oracle = GaoRexfordOracle(small_internet())
+        # From 701, origins 7 (customer, len 2) vs 9 (customer, len 2):
+        # tie broken to the lowest origin ASN.
+        assert oracle.best_origin(701, [9, 7]) == 7
+
+    def test_unreachable_origins_skipped(self):
+        graph = small_internet()
+        graph.add_as(9999)
+        oracle = GaoRexfordOracle(graph)
+        assert oracle.best_origin(8, [9999, 7]) == 7
+        assert oracle.best_origin(8, [9999]) is None
+
+
+def random_graph(seed: int, num_ases: int) -> ASGraph:
+    """A random small multi-tier topology for differential testing."""
+    import random
+
+    rng = random.Random(seed)
+    graph = ASGraph()
+    tier1 = list(range(1, 4))
+    for left in tier1:
+        for right in tier1:
+            if left < right:
+                graph.add_peering(left, right)
+    asns = list(tier1)
+    for asn in range(4, num_ases + 1):
+        providers = rng.sample(asns, k=min(len(asns), rng.choice([1, 1, 2])))
+        for provider in providers:
+            graph.add_customer(provider, asn)
+        asns.append(asn)
+    # A few random peerings between non-tier1 ASes.
+    for _ in range(num_ases // 4):
+        left, right = rng.sample(asns[3:], k=2) if len(asns) > 5 else (None, None)
+        if left and right and not graph.has_link(left, right):
+            graph.add_peering(left, right)
+    return graph
+
+
+class TestOracleEngineAgreement:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_ases=st.integers(min_value=4, max_value=24),
+    )
+    def test_oracle_matches_engine_paths(self, seed, num_ases):
+        """The closed-form oracle and the message engine must agree.
+
+        Agreement is on reachability, route preference class and path
+        length for every (vantage, origin) pair; the concrete path can
+        differ only when tie-breaks see equivalent candidates, so we
+        also require path equality (both use lowest-next-hop ties).
+        """
+        graph = random_graph(seed, num_ases)
+        origin = num_ases  # the newest stub AS
+        if origin not in graph:
+            return
+        network = Network(graph)
+        network.originate(origin, PREFIX)
+        network.run_to_convergence()
+        oracle = GaoRexfordOracle(graph)
+        for asn in graph.ases():
+            engine_path = network.best_path(asn, PREFIX)
+            oracle_path = oracle.path(asn, origin)
+            if engine_path is None:
+                assert oracle_path is None, (
+                    f"AS {asn}: oracle found {oracle_path}, engine none"
+                )
+            else:
+                assert oracle_path == engine_path.sequence_tuple(), (
+                    f"AS {asn}: oracle {oracle_path} != engine "
+                    f"{engine_path.sequence_tuple()}"
+                )

@@ -1,0 +1,55 @@
+"""Tests for Gao-Rexford policy rules."""
+
+from repro.bgp.policy import RouteType, export_allowed, local_pref_for
+from repro.bgp.relationships import Relationship
+
+
+class TestPreference:
+    def test_preference_ladder(self):
+        assert (
+            local_pref_for(RouteType.CUSTOMER)
+            > local_pref_for(RouteType.PEER)
+            > local_pref_for(RouteType.PROVIDER)
+        )
+
+    def test_origin_beats_everything(self):
+        assert local_pref_for(RouteType.ORIGIN) > local_pref_for(
+            RouteType.CUSTOMER
+        )
+
+    def test_route_type_order_matches_local_pref(self):
+        ordered = sorted(RouteType, key=local_pref_for)
+        assert ordered == sorted(RouteType, key=int)
+
+    def test_from_relationship(self):
+        assert (
+            RouteType.from_relationship(Relationship.CUSTOMER)
+            is RouteType.CUSTOMER
+        )
+        assert RouteType.from_relationship(Relationship.PEER) is RouteType.PEER
+        assert (
+            RouteType.from_relationship(Relationship.PROVIDER)
+            is RouteType.PROVIDER
+        )
+
+
+class TestExportRules:
+    def test_everything_exports_to_customers(self):
+        for route_type in RouteType:
+            assert export_allowed(route_type, Relationship.CUSTOMER)
+
+    def test_customer_routes_export_everywhere(self):
+        for relationship in Relationship:
+            assert export_allowed(RouteType.CUSTOMER, relationship)
+
+    def test_origin_routes_export_everywhere(self):
+        for relationship in Relationship:
+            assert export_allowed(RouteType.ORIGIN, relationship)
+
+    def test_peer_routes_do_not_leak(self):
+        assert not export_allowed(RouteType.PEER, Relationship.PEER)
+        assert not export_allowed(RouteType.PEER, Relationship.PROVIDER)
+
+    def test_provider_routes_do_not_leak(self):
+        assert not export_allowed(RouteType.PROVIDER, Relationship.PEER)
+        assert not export_allowed(RouteType.PROVIDER, Relationship.PROVIDER)

@@ -1,0 +1,103 @@
+"""Tests for the AS relationship graph."""
+
+import pytest
+
+from repro.bgp.relationships import ASGraph, Relationship
+
+
+class TestRelationship:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+
+class TestASGraph:
+    def test_add_customer_creates_both_views(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        assert graph.relationship(701, 42) is Relationship.CUSTOMER
+        assert graph.relationship(42, 701) is Relationship.PROVIDER
+
+    def test_add_peering_symmetric(self):
+        graph = ASGraph()
+        graph.add_peering(701, 1239)
+        assert graph.relationship(701, 1239) is Relationship.PEER
+        assert graph.relationship(1239, 701) is Relationship.PEER
+
+    def test_duplicate_consistent_link_ok(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        graph.add_customer(701, 42)
+        assert graph.num_links() == 1
+
+    def test_conflicting_link_rejected(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        with pytest.raises(ValueError, match="conflicting"):
+            graph.add_peering(701, 42)
+
+    def test_self_link_rejected(self):
+        graph = ASGraph()
+        with pytest.raises(ValueError, match="itself"):
+            graph.add_peering(701, 701)
+
+    def test_filtered_neighbor_queries(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        graph.add_customer(701, 43)
+        graph.add_peering(701, 1239)
+        graph.add_customer(7018, 701)
+        assert graph.customers_of(701) == [42, 43]
+        assert graph.peers_of(701) == [1239]
+        assert graph.providers_of(701) == [7018]
+
+    def test_is_stub(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        assert graph.is_stub(42)
+        assert not graph.is_stub(701)
+
+    def test_unknown_as_raises(self):
+        graph = ASGraph()
+        with pytest.raises(KeyError):
+            graph.neighbors(99)
+        with pytest.raises(KeyError):
+            graph.relationship(99, 100)
+
+    def test_missing_link_raises(self):
+        graph = ASGraph()
+        graph.add_as(1)
+        graph.add_as(2)
+        with pytest.raises(KeyError, match="no link"):
+            graph.relationship(1, 2)
+
+    def test_links_enumerated_once(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        graph.add_peering(701, 1239)
+        listed = list(graph.links())
+        assert len(listed) == 2
+        assert (701, 42, Relationship.CUSTOMER) in listed
+        assert (701, 1239, Relationship.PEER) in listed
+
+    def test_from_links_roundtrip(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        graph.add_peering(701, 1239)
+        rebuilt = ASGraph.from_links(graph.links())
+        assert rebuilt.relationship(42, 701) is Relationship.PROVIDER
+        assert rebuilt.num_links() == graph.num_links()
+
+    def test_copy_is_independent(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        duplicate = graph.copy()
+        duplicate.add_customer(701, 43)
+        assert not graph.has_link(701, 43)
+
+    def test_len_and_contains(self):
+        graph = ASGraph()
+        graph.add_customer(701, 42)
+        assert len(graph) == 2
+        assert 701 in graph and 42 in graph and 99 not in graph

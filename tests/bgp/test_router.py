@@ -1,0 +1,190 @@
+"""Tests for the single-router decision process and export logic."""
+
+import pytest
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.policy import RouteType
+from repro.bgp.relationships import Relationship
+from repro.bgp.router import BgpRouter
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def make_router() -> BgpRouter:
+    # AS 100 with customer 42, peer 200, provider 300.
+    return BgpRouter(
+        100,
+        {
+            42: Relationship.CUSTOMER,
+            200: Relationship.PEER,
+            300: Relationship.PROVIDER,
+        },
+    )
+
+
+def announce(sender: int, *path: int) -> Announcement:
+    return Announcement(PREFIX, ASPath.from_sequence(path), sender)
+
+
+class TestDecisionProcess:
+    def test_single_route_selected(self):
+        router = make_router()
+        assert router.receive(announce(42, 42, 7))
+        best = router.best_route(PREFIX)
+        assert best is not None
+        assert best.neighbor == 42
+        assert best.route_type is RouteType.CUSTOMER
+
+    def test_customer_beats_shorter_provider_route(self):
+        router = make_router()
+        router.receive(announce(300, 300, 7))
+        router.receive(announce(42, 42, 5, 6, 7))
+        assert router.best_route(PREFIX).neighbor == 42
+
+    def test_peer_beats_provider(self):
+        router = make_router()
+        router.receive(announce(300, 300, 7))
+        router.receive(announce(200, 200, 9, 7))
+        assert router.best_route(PREFIX).neighbor == 200
+
+    def test_shorter_path_wins_within_type(self):
+        router = BgpRouter(
+            100, {42: Relationship.CUSTOMER, 43: Relationship.CUSTOMER}
+        )
+        router.receive(
+            Announcement(PREFIX, ASPath.from_sequence([42, 8, 7]), 42)
+        )
+        router.receive(Announcement(PREFIX, ASPath.from_sequence([43, 7]), 43))
+        assert router.best_route(PREFIX).neighbor == 43
+
+    def test_lowest_neighbor_tie_break(self):
+        router = BgpRouter(
+            100, {43: Relationship.CUSTOMER, 42: Relationship.CUSTOMER}
+        )
+        router.receive(Announcement(PREFIX, ASPath.from_sequence([43, 7]), 43))
+        router.receive(Announcement(PREFIX, ASPath.from_sequence([42, 9]), 42))
+        assert router.best_route(PREFIX).neighbor == 42
+
+    def test_origination_beats_learned_routes(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        router.originate(PREFIX)
+        best = router.best_route(PREFIX)
+        assert best.route_type is RouteType.ORIGIN
+        assert best.neighbor is None
+
+    def test_withdraw_origin_falls_back(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        router.originate(PREFIX)
+        assert router.withdraw_origin(PREFIX)
+        assert router.best_route(PREFIX).neighbor == 42
+
+    def test_withdrawal_removes_route(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        assert router.receive(Withdrawal(PREFIX, 42))
+        assert router.best_route(PREFIX) is None
+
+    def test_duplicate_withdrawal_is_noop(self):
+        router = make_router()
+        assert not router.receive(Withdrawal(PREFIX, 42))
+
+    def test_implicit_replacement(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        assert router.receive(announce(42, 42, 8, 7))  # longer path now
+        assert router.best_route(PREFIX).path == ASPath.from_sequence(
+            [42, 8, 7]
+        )
+
+    def test_unknown_sender_rejected(self):
+        router = make_router()
+        with pytest.raises(KeyError, match="no session"):
+            router.receive(announce(999, 999, 7))
+
+
+class TestLoopPrevention:
+    def test_looped_path_dropped(self):
+        router = make_router()
+        looped = Announcement(
+            PREFIX, ASPath.from_sequence([42, 100, 7]), 42
+        )
+        assert not router.receive(looped)
+        assert router.best_route(PREFIX) is None
+
+    def test_looped_update_clears_previous_route(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        looped = Announcement(
+            PREFIX, ASPath.from_sequence([42, 100, 7]), 42
+        )
+        assert router.receive(looped)  # best changed: route removed
+        assert router.best_route(PREFIX) is None
+
+
+class TestExport:
+    def test_export_prepends_own_asn(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        update = router.export_to(PREFIX, 200)
+        assert isinstance(update, Announcement)
+        assert update.path == ASPath.from_sequence([100, 42, 7])
+
+    def test_no_route_exports_withdrawal(self):
+        router = make_router()
+        update = router.export_to(PREFIX, 200)
+        assert isinstance(update, Withdrawal)
+
+    def test_valley_free_filtering(self):
+        router = make_router()
+        router.receive(announce(300, 300, 7))  # provider route
+        assert isinstance(router.export_to(PREFIX, 200), Withdrawal)
+        assert isinstance(router.export_to(PREFIX, 42), Announcement)
+
+    def test_split_horizon(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        assert isinstance(router.export_to(PREFIX, 42), Withdrawal)
+
+    def test_origin_exports_bare_asn(self):
+        router = make_router()
+        router.originate(PREFIX)
+        update = router.export_to(PREFIX, 300)
+        assert update.path == ASPath.from_sequence([100])
+
+    def test_prepend_count(self):
+        router = make_router()
+        router.originate(PREFIX)
+        router.set_prepend_count(300, 3)
+        update = router.export_to(PREFIX, 300)
+        assert update.path == ASPath.from_sequence([100, 100, 100])
+        # Other neighbors unaffected.
+        assert router.export_to(PREFIX, 200).path == ASPath.from_sequence(
+            [100]
+        )
+
+    def test_invalid_prepend_count(self):
+        router = make_router()
+        with pytest.raises(ValueError):
+            router.set_prepend_count(300, 0)
+
+    def test_export_hook_overrides_route(self):
+        router = make_router()
+        router.receive(announce(42, 42, 7))
+        router.receive(announce(200, 200, 9))
+        alternate = ASPath.from_sequence([200, 9])
+
+        def hook(prefix, best, neighbor):
+            if neighbor == 300:
+                return alternate
+            return None
+
+        router.export_hook = hook
+        to_provider = router.export_to(PREFIX, 300)
+        assert to_provider.path == ASPath.from_sequence([100, 200, 9])
+        # Default behaviour preserved for others.
+        to_peer = router.export_to(PREFIX, 200)
+        assert to_peer.path == ASPath.from_sequence([100, 42, 7])

@@ -1,0 +1,125 @@
+"""Property tests: converged paths are always valley-free.
+
+Gao-Rexford export rules guarantee that any AS path in a converged
+table climbs customer→provider links, crosses at most one peering
+link, then descends provider→customer links.  Valley-free-ness is the
+structural reason the paper's MOAS visibility behaves as it does, so
+the engine and oracle are both held to it on random topologies.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.network import Network
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.bgp.relationships import ASGraph, Relationship
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def random_graph(seed: int, num_ases: int) -> ASGraph:
+    rng = random.Random(seed)
+    graph = ASGraph()
+    tier1 = list(range(1, 4))
+    for left in tier1:
+        for right in tier1:
+            if left < right:
+                graph.add_peering(left, right)
+    asns = list(tier1)
+    for asn in range(4, num_ases + 1):
+        for provider in rng.sample(asns, k=min(len(asns), rng.choice([1, 2]))):
+            graph.add_customer(provider, asn)
+        asns.append(asn)
+    for _ in range(num_ases // 3):
+        if len(asns) > 6:
+            left, right = rng.sample(asns[3:], k=2)
+            if not graph.has_link(left, right):
+                graph.add_peering(left, right)
+    return graph
+
+
+def is_valley_free(graph: ASGraph, path: tuple[int, ...]) -> bool:
+    """Check the up*-peer?-down* structure of an AS path.
+
+    Phases: 0 = climbing (next hop is my provider, looking backwards),
+    after a peer link or a downhill step no more uphill/peer steps are
+    allowed.  Walk the path from the first AS toward the origin; each
+    hop (a, b) means a learned the route from b.
+    """
+    # Annotate each hop with the relationship of b as seen from a.
+    phase = "up"
+    for a, b in zip(path, path[1:]):
+        relationship = graph.relationship(a, b)
+        if relationship is Relationship.CUSTOMER:
+            # a -> customer b: the route came up from below; always OK,
+            # but after this, only more "down" steps are allowed.
+            phase = "down"
+        elif relationship is Relationship.PEER:
+            if phase == "down":
+                return False  # peer after descending: a valley
+            phase = "down"
+        else:  # b is a's provider: an uphill step (route from provider)
+            if phase == "down":
+                return False  # climbing after descending: a valley
+            # still "up"
+    return True
+
+
+class TestValleyFree:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_ases=st.integers(min_value=4, max_value=30),
+    )
+    def test_engine_paths_valley_free(self, seed, num_ases):
+        graph = random_graph(seed, num_ases)
+        origin = num_ases
+        if origin not in graph:
+            return
+        network = Network(graph)
+        network.originate(origin, PREFIX)
+        network.run_to_convergence()
+        for asn in graph.ases():
+            path = network.best_path(asn, PREFIX)
+            if path is None:
+                continue
+            hops = path.sequence_tuple()
+            assert is_valley_free(graph, hops), (
+                f"valley in engine path {hops}"
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_ases=st.integers(min_value=4, max_value=30),
+    )
+    def test_oracle_paths_valley_free(self, seed, num_ases):
+        graph = random_graph(seed, num_ases)
+        origin = num_ases
+        if origin not in graph:
+            return
+        oracle = GaoRexfordOracle(graph)
+        for asn in graph.ases():
+            path = oracle.path(asn, origin)
+            if path is None:
+                continue
+            assert is_valley_free(graph, path), (
+                f"valley in oracle path {path}"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_no_loops_in_converged_paths(self, seed):
+        graph = random_graph(seed, 20)
+        network = Network(graph)
+        network.originate(20, PREFIX)
+        network.run_to_convergence()
+        for asn in graph.ases():
+            path = network.best_path(asn, PREFIX)
+            if path is None:
+                continue
+            hops = path.sequence_tuple()
+            assert len(set(hops)) == len(hops), f"loop in {hops}"

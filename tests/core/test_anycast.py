@@ -1,0 +1,85 @@
+"""Tests for the anycast-candidate detector (Section VI-D)."""
+
+import datetime
+
+from repro.core.causes import anycast_like_episodes
+from repro.core.episodes import ConflictEpisode
+from repro.netbase.prefix import Prefix
+
+START = datetime.date(1998, 1, 1)
+
+
+def episode(
+    prefix: str, days: int, *, width: int, origins=None
+) -> ConflictEpisode:
+    origins = origins or tuple(range(100, 100 + width))
+    return ConflictEpisode(
+        prefix=Prefix.parse(prefix),
+        first_day=START,
+        last_day=START + datetime.timedelta(days=days),
+        days_observed=days,
+        origins_ever=frozenset(origins),
+        max_origins_single_day=width,
+        ongoing=False,
+    )
+
+
+class TestAnycastDetector:
+    def test_stable_wide_conflict_flagged(self):
+        episodes = {
+            Prefix.parse("10.0.0.0/24"): episode(
+                "10.0.0.0/24", 1000, width=6
+            ),
+        }
+        found = anycast_like_episodes(episodes)
+        assert len(found) == 1
+
+    def test_ordinary_two_origin_conflict_not_flagged(self):
+        episodes = {
+            Prefix.parse("10.0.0.0/24"): episode(
+                "10.0.0.0/24", 1000, width=2
+            ),
+        }
+        assert anycast_like_episodes(episodes) == []
+
+    def test_short_wide_conflict_not_flagged(self):
+        # Wide but brief: a mass-origination fault, not anycast.
+        episodes = {
+            Prefix.parse("10.0.0.0/24"): episode("10.0.0.0/24", 2, width=8),
+            Prefix.parse("11.0.0.0/24"): episode(
+                "11.0.0.0/24", 1000, width=2
+            ),
+        }
+        assert anycast_like_episodes(episodes) == []
+
+    def test_exchange_points_excluded(self):
+        # IXP fabric prefixes look anycast-like but are classified as
+        # exchange points (Section VI-A), not anycast.
+        episodes = {
+            Prefix.parse("198.32.0.0/24"): episode(
+                "198.32.0.0/24", 1000, width=6
+            ),
+        }
+        assert anycast_like_episodes(episodes) == []
+
+    def test_empty_input(self):
+        assert anycast_like_episodes({}) == []
+
+    def test_paper_finding_holds_on_simulated_data(self, tmp_path):
+        """The paper found no anycast prefixes; neither should we."""
+        from repro.analysis.pipeline import StudyPipeline
+        from repro.analysis.sources import detections_from_archive
+        from repro.scenario.world import ScenarioConfig, simulate_study
+        from repro.util.dates import StudyCalendar
+
+        calendar = StudyCalendar(START, START + datetime.timedelta(days=59))
+        simulate_study(
+            tmp_path / "arch",
+            ScenarioConfig(
+                scale=0.02, calendar=calendar, paper_archive_gaps=False
+            ),
+        )
+        results = StudyPipeline().run(
+            detections_from_archive(tmp_path / "arch")
+        )
+        assert anycast_like_episodes(results.episodes) == []

@@ -1,0 +1,141 @@
+"""Tests for cause attribution and the duration heuristic."""
+
+import datetime
+
+from repro.core.causes import (
+    detect_spikes,
+    duration_heuristic,
+    exchange_point_episodes,
+    private_asn_episodes,
+    score_duration_heuristic,
+)
+from repro.core.detector import DailyConflict
+from repro.core.episodes import ConflictEpisode
+from repro.netbase.prefix import Prefix
+
+
+def episode(prefix: str, duration: int, origins=(1, 2)) -> ConflictEpisode:
+    start = datetime.date(1998, 1, 1)
+    return ConflictEpisode(
+        prefix=Prefix.parse(prefix),
+        first_day=start,
+        last_day=start + datetime.timedelta(days=duration),
+        days_observed=duration,
+        origins_ever=frozenset(origins),
+        max_origins_single_day=len(origins),
+        ongoing=False,
+    )
+
+
+def conflict(prefix: str, *origins: int) -> DailyConflict:
+    return DailyConflict(
+        prefix=Prefix.parse(prefix), origins=frozenset(origins)
+    )
+
+
+class TestAttribution:
+    def test_exchange_point_identification(self):
+        episodes = {
+            Prefix.parse("198.32.5.0/24"): episode("198.32.5.0/24", 1000),
+            Prefix.parse("10.0.0.0/8"): episode("10.0.0.0/8", 5),
+        }
+        found = exchange_point_episodes(episodes)
+        assert len(found) == 1
+        assert str(found[0].prefix) == "198.32.5.0/24"
+
+    def test_private_asn_identification(self):
+        episodes = {
+            Prefix.parse("10.0.0.0/8"): episode(
+                "10.0.0.0/8", 10, origins=(42, 64513)
+            ),
+            Prefix.parse("11.0.0.0/8"): episode("11.0.0.0/8", 10),
+        }
+        found = private_asn_episodes(episodes)
+        assert len(found) == 1
+        assert 64513 in found[0].origins_ever
+
+
+class TestSpikes:
+    def _baseline_days(self, count, start=datetime.date(1998, 3, 1)):
+        return [
+            (
+                start + datetime.timedelta(days=offset),
+                [conflict(f"10.{offset}.{i}.0/24", 1, 2) for i in range(5)],
+            )
+            for offset in range(count)
+        ]
+
+    def test_spike_detected_with_culprit(self):
+        daily = self._baseline_days(35)
+        spike_day = datetime.date(1998, 4, 7)
+        spike_conflicts = [
+            conflict(f"192.0.{i}.0/24", 8584, 100 + i) for i in range(60)
+        ]
+        daily.append((spike_day, spike_conflicts))
+        reports = detect_spikes(daily)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.day == spike_day
+        assert report.culprit_asn == 8584
+        assert report.culprit_involved == 60
+        assert report.involvement == 1.0
+
+    def test_no_spike_in_flat_series(self):
+        assert detect_spikes(self._baseline_days(40)) == []
+
+    def test_factor_controls_sensitivity(self):
+        daily = self._baseline_days(35)
+        day = datetime.date(1998, 4, 7)
+        daily.append(
+            (day, [conflict(f"192.0.{i}.0/24", 9, 10 + i) for i in range(12)])
+        )
+        assert detect_spikes(daily, factor=4.0) == []
+        assert len(detect_spikes(daily, factor=2.0)) == 1
+
+
+class TestDurationHeuristic:
+    def test_prediction(self):
+        assert duration_heuristic(episode("10.0.0.0/8", 100))
+        assert not duration_heuristic(episode("10.0.0.0/8", 3))
+
+    def test_threshold_parameter(self):
+        seven_day = episode("10.0.0.0/8", 7)
+        assert duration_heuristic(seven_day, threshold_days=5)
+        assert not duration_heuristic(seven_day, threshold_days=9)
+
+    def test_score_confusion_matrix(self):
+        episodes = [
+            episode("10.0.0.0/8", 100),  # long, valid -> true valid
+            episode("11.0.0.0/8", 2),  # short, invalid -> true invalid
+            episode("12.0.0.0/8", 50),  # long, invalid -> false valid
+            episode("13.0.0.0/8", 3),  # short, valid -> false invalid
+        ]
+        truth = {
+            Prefix.parse("10.0.0.0/8"): True,
+            Prefix.parse("11.0.0.0/8"): False,
+            Prefix.parse("12.0.0.0/8"): False,
+            Prefix.parse("13.0.0.0/8"): True,
+        }
+        score = score_duration_heuristic(
+            episodes, truth, threshold_days=9
+        )
+        assert score.true_valid == 1
+        assert score.true_invalid == 1
+        assert score.false_valid == 1
+        assert score.false_invalid == 1
+        assert score.accuracy == 0.5
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_unlabeled_episodes_skipped(self):
+        score = score_duration_heuristic(
+            [episode("10.0.0.0/8", 100)], {}, threshold_days=9
+        )
+        assert score.accuracy == 0.0
+        assert (
+            score.true_valid
+            + score.false_valid
+            + score.true_invalid
+            + score.false_invalid
+            == 0
+        )

@@ -1,0 +1,156 @@
+"""Tests for the OrigTranAS / SplitView / DistinctPaths classifier."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classifier import (
+    ConflictClass,
+    classify_conflict,
+    classify_day,
+    classify_pair,
+    representative_path,
+)
+from repro.core.detector import DailyConflict
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+class TestClassifyPair:
+    def test_orig_tran_as(self):
+        # Origin of P1 (42) is a transit hop of P2.
+        assert (
+            classify_pair((701, 42), (1239, 42, 7))
+            is ConflictClass.ORIG_TRAN_AS
+        )
+
+    def test_orig_tran_as_symmetric(self):
+        assert (
+            classify_pair((1239, 42, 7), (701, 42))
+            is ConflictClass.ORIG_TRAN_AS
+        )
+
+    def test_split_view(self):
+        # Shared transit 3561, distinct origins 7 and 8.
+        assert (
+            classify_pair((701, 3561, 7), (1239, 3561, 8))
+            is ConflictClass.SPLIT_VIEW
+        )
+
+    def test_distinct_paths(self):
+        assert (
+            classify_pair((701, 100, 7), (1239, 200, 8))
+            is ConflictClass.DISTINCT_PATHS
+        )
+
+    def test_same_origin_rejected(self):
+        with pytest.raises(ValueError, match="share origin"):
+            classify_pair((701, 42), (1239, 42))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            classify_pair((), (701, 42))
+
+    def test_orig_tran_takes_precedence_over_shared_transit(self):
+        # P2 contains both a shared transit AND P1's origin: OrigTranAS.
+        assert (
+            classify_pair((701, 3561, 42), (1239, 3561, 42, 7))
+            is ConflictClass.ORIG_TRAN_AS
+        )
+
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=5),
+        st.lists(st.integers(101, 200), min_size=1, max_size=5),
+    )
+    def test_disjoint_paths_always_distinct(self, left, right):
+        assert classify_pair(left, right) is ConflictClass.DISTINCT_PATHS
+
+    @given(
+        st.lists(st.integers(1, 200), min_size=2, max_size=5),
+        st.lists(st.integers(1, 200), min_size=2, max_size=5),
+    )
+    def test_classification_symmetric(self, left, right):
+        if left[-1] == right[-1]:
+            return
+        assert classify_pair(left, right) is classify_pair(right, left)
+
+
+class TestRepresentativePath:
+    def test_most_common_wins(self):
+        paths = [(1, 2), (1, 2), (3, 2)]
+        assert representative_path(paths) == (1, 2)
+
+    def test_tie_breaks_to_shortest(self):
+        paths = [(5, 4, 2), (1, 2)]
+        assert representative_path(paths) == (1, 2)
+
+    def test_tie_breaks_lexicographically(self):
+        paths = [(7, 2), (1, 2)]
+        assert representative_path(paths) == (1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            representative_path([])
+
+
+def conflict(paths_by_origin: dict) -> DailyConflict:
+    return DailyConflict(
+        prefix=PREFIX,
+        origins=frozenset(paths_by_origin),
+        paths_by_origin=tuple(
+            (origin, tuple(paths))
+            for origin, paths in sorted(paths_by_origin.items())
+        ),
+    )
+
+
+class TestClassifyConflict:
+    def test_two_origin_conflict(self):
+        result = classify_conflict(
+            conflict({7: [(701, 100, 7)], 8: [(1239, 200, 8)]})
+        )
+        assert result is ConflictClass.DISTINCT_PATHS
+
+    def test_precedence_across_pairs(self):
+        # Three origins: one pair is SplitView, another OrigTranAS;
+        # the conflict takes the most specific class.
+        result = classify_conflict(
+            conflict(
+                {
+                    7: [(701, 100, 7)],
+                    8: [(1239, 100, 8)],  # SplitView with origin 7
+                    100: [(7018, 100)],  # OrigTranAS with both
+                }
+            )
+        )
+        assert result is ConflictClass.ORIG_TRAN_AS
+
+    def test_representative_selection_matters(self):
+        # Origin 8's common path shares no AS; its rare path does.
+        result = classify_conflict(
+            conflict(
+                {
+                    7: [(701, 100, 7)],
+                    8: [(1239, 200, 8), (1239, 200, 8), (9, 100, 8)],
+                }
+            )
+        )
+        assert result is ConflictClass.DISTINCT_PATHS
+
+    def test_pathless_conflict_rejected(self):
+        with pytest.raises(ValueError, match="lacks paths"):
+            classify_conflict(
+                DailyConflict(prefix=PREFIX, origins=frozenset({1, 2}))
+            )
+
+    def test_classify_day_counts(self):
+        conflicts = [
+            conflict({7: [(701, 100, 7)], 8: [(1239, 200, 8)]}),
+            conflict({7: [(701, 3561, 7)], 8: [(1239, 3561, 8)]}),
+            conflict({42: [(701, 42)], 7: [(1239, 42, 7)]}),
+        ]
+        counts = classify_day(conflicts)
+        assert counts[ConflictClass.DISTINCT_PATHS] == 1
+        assert counts[ConflictClass.SPLIT_VIEW] == 1
+        assert counts[ConflictClass.ORIG_TRAN_AS] == 1

@@ -1,0 +1,158 @@
+"""Tests for episode tracking and the paper's duration accounting."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.detector import DailyConflict
+from repro.core.episodes import EpisodeTracker
+from repro.netbase.prefix import Prefix
+
+P1 = Prefix.parse("10.0.0.0/8")
+P2 = Prefix.parse("192.0.2.0/24")
+START = datetime.date(1997, 11, 8)
+
+
+def day(offset: int) -> datetime.date:
+    return START + datetime.timedelta(days=offset)
+
+
+def conflict(prefix: Prefix, *origins: int) -> DailyConflict:
+    return DailyConflict(prefix=prefix, origins=frozenset(origins or (1, 2)))
+
+
+class TestTracking:
+    def test_single_day_episode(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(0), [conflict(P1)])
+        episodes = tracker.finalize()
+        episode = episodes[P1]
+        assert episode.days_observed == 1
+        assert episode.one_time
+        assert episode.first_day == episode.last_day == day(0)
+
+    def test_continuous_episode(self):
+        tracker = EpisodeTracker()
+        for offset in range(5):
+            tracker.observe_day(day(offset), [conflict(P1)])
+        episode = tracker.finalize()[P1]
+        assert episode.days_observed == 5
+        assert not episode.one_time
+
+    def test_discontinuous_days_merge_per_prefix(self):
+        # The paper merges all of a prefix's conflict days into one
+        # record, regardless of gaps or different origin sets.
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(0), [conflict(P1, 1, 2)])
+        tracker.observe_day(day(1), [])
+        tracker.observe_day(day(50), [conflict(P1, 3, 4)])
+        episode = tracker.finalize()[P1]
+        assert episode.days_observed == 2
+        assert episode.first_day == day(0)
+        assert episode.last_day == day(50)
+        assert episode.origins_ever == {1, 2, 3, 4}
+
+    def test_max_origins_single_day(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(0), [conflict(P1, 1, 2, 3)])
+        tracker.observe_day(day(1), [conflict(P1, 1, 2)])
+        assert tracker.finalize()[P1].max_origins_single_day == 3
+
+    def test_multiple_prefixes_tracked_independently(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(0), [conflict(P1), conflict(P2)])
+        tracker.observe_day(day(1), [conflict(P1)])
+        episodes = tracker.finalize()
+        assert episodes[P1].days_observed == 2
+        assert episodes[P2].days_observed == 1
+        assert len(tracker) == 2
+
+    def test_out_of_order_days_rejected(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(5), [conflict(P1)])
+        with pytest.raises(ValueError, match="increasing order"):
+            tracker.observe_day(day(4), [conflict(P1)])
+
+    def test_duplicate_day_rejected(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(5), [conflict(P1)])
+        with pytest.raises(ValueError, match="increasing order"):
+            tracker.observe_day(day(5), [conflict(P1)])
+
+
+class TestOngoing:
+    def test_ongoing_at_default_end(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(0), [conflict(P1), conflict(P2)])
+        tracker.observe_day(day(1), [conflict(P1)])
+        episodes = tracker.finalize()
+        assert episodes[P1].ongoing
+        assert not episodes[P2].ongoing
+
+    def test_ongoing_with_explicit_last_day(self):
+        tracker = EpisodeTracker()
+        tracker.observe_day(day(0), [conflict(P1)])
+        episodes = tracker.finalize(last_observed_day=day(9))
+        assert not episodes[P1].ongoing
+
+
+class TestEpisodeInvariants:
+    @given(
+        st.lists(
+            st.lists(st.booleans(), min_size=2, max_size=2),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_duration_equals_days_present(self, presence):
+        """Invariant: days_observed == number of days fed with the prefix."""
+        tracker = EpisodeTracker()
+        for offset, (p1_present, p2_present) in enumerate(presence):
+            conflicts = []
+            if p1_present:
+                conflicts.append(conflict(P1))
+            if p2_present:
+                conflicts.append(conflict(P2))
+            tracker.observe_day(day(offset), conflicts)
+        episodes = tracker.finalize()
+        expected_p1 = sum(1 for p1, _ in presence if p1)
+        expected_p2 = sum(1 for _, p2 in presence if p2)
+        if expected_p1:
+            assert episodes[P1].days_observed == expected_p1
+        else:
+            assert P1 not in episodes
+        if expected_p2:
+            assert episodes[P2].days_observed == expected_p2
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    def test_ongoing_iff_present_on_last_fed_day(self, presence):
+        tracker = EpisodeTracker()
+        for offset, present in enumerate(presence):
+            tracker.observe_day(
+                day(offset), [conflict(P1)] if present else []
+            )
+        episodes = tracker.finalize()
+        if not any(presence):
+            assert P1 not in episodes
+            return
+        # finalize() without argument marks ongoing relative to the
+        # last day fed, so P1 is ongoing iff present on that day.
+        assert episodes[P1].ongoing == presence[-1]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_first_last_bracket_duration(self, presence):
+        tracker = EpisodeTracker()
+        for offset, present in enumerate(presence):
+            tracker.observe_day(
+                day(offset), [conflict(P1)] if present else []
+            )
+        episodes = tracker.finalize()
+        if P1 not in episodes:
+            return
+        episode = episodes[P1]
+        span = (episode.last_day - episode.first_day).days + 1
+        assert episode.days_observed <= span

@@ -1,0 +1,141 @@
+"""Tests for the streaming MOAS alerter."""
+
+from repro.core.realtime import AlertKind, StreamingMoasDetector
+from repro.mrt.attributes import PathAttributes
+from repro.mrt.records import Bgp4mpMessage
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def announce(peer: int, prefix: Prefix, *path: int) -> Bgp4mpMessage:
+    return Bgp4mpMessage(
+        peer_asn=peer,
+        local_asn=6447,
+        interface_index=0,
+        peer_address=1,
+        local_address=2,
+        attributes=PathAttributes(as_path=ASPath.from_sequence(path)),
+        announced=(prefix,),
+    )
+
+
+def withdraw(peer: int, prefix: Prefix) -> Bgp4mpMessage:
+    return Bgp4mpMessage(
+        peer_asn=peer,
+        local_asn=6447,
+        interface_index=0,
+        peer_address=1,
+        local_address=2,
+        withdrawn=(prefix,),
+    )
+
+
+class TestAlerts:
+    def test_single_origin_no_alert(self):
+        detector = StreamingMoasDetector()
+        assert detector.process_update(announce(701, PREFIX, 701, 42)) == []
+        assert not detector.in_moas(PREFIX)
+
+    def test_second_origin_starts_moas(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        alerts = detector.process_update(announce(1239, PREFIX, 1239, 43))
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.kind is AlertKind.MOAS_STARTED
+        assert alert.origins == {42, 43}
+        assert alert.changed_origin == 43
+        assert detector.in_moas(PREFIX)
+
+    def test_same_origin_from_two_peers_no_alert(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        assert detector.process_update(announce(1239, PREFIX, 1239, 42)) == []
+
+    def test_third_origin_added(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        alerts = detector.process_update(announce(3561, PREFIX, 3561, 44))
+        assert alerts[0].kind is AlertKind.MOAS_ORIGIN_ADDED
+        assert alerts[0].origins == {42, 43, 44}
+
+    def test_withdrawal_ends_moas(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        alerts = detector.process_update(withdraw(1239, PREFIX))
+        assert alerts[0].kind is AlertKind.MOAS_ENDED
+        assert alerts[0].origins == {42}
+        assert not detector.in_moas(PREFIX)
+
+    def test_origin_change_by_same_peer(self):
+        # One peer switching origins must not leave stale state.
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        # Peer 1239 now re-announces with origin 42: conflict over.
+        alerts = detector.process_update(announce(1239, PREFIX, 1239, 42))
+        assert alerts[0].kind is AlertKind.MOAS_ENDED
+        assert detector.origins_of(PREFIX) == {42}
+
+    def test_refresh_no_churn(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        # Identical re-announcement: silence.
+        assert detector.process_update(announce(1239, PREFIX, 1239, 43)) == []
+
+    def test_as_set_tail_ignored(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        message = Bgp4mpMessage(
+            peer_asn=1239,
+            local_asn=6447,
+            interface_index=0,
+            peer_address=1,
+            local_address=2,
+            attributes=PathAttributes(as_path=ASPath.parse("1239 {43,44}")),
+            announced=(PREFIX,),
+        )
+        assert detector.process_update(message) == []
+        assert detector.origins_of(PREFIX) == {42}
+
+    def test_withdrawal_of_unknown_route_ignored(self):
+        detector = StreamingMoasDetector()
+        assert detector.process_update(withdraw(701, PREFIX)) == []
+
+    def test_current_conflicts_listing(self):
+        detector = StreamingMoasDetector()
+        other = Prefix.parse("192.0.2.0/24")
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        detector.process_update(announce(701, other, 701, 7))
+        assert detector.current_conflicts() == [PREFIX]
+
+    def test_expected_origin_registry(self):
+        detector = StreamingMoasDetector(
+            expected_origins={PREFIX: 42}
+        )
+        assert detector.is_expected_origin(PREFIX, 42)
+        assert not detector.is_expected_origin(PREFIX, 8584)
+        # Unregistered prefixes: anything goes.
+        assert detector.is_expected_origin(Prefix.parse("1.0.0.0/8"), 99)
+
+    def test_stream_processing(self):
+        detector = StreamingMoasDetector()
+        stream = iter(
+            [
+                (100, announce(701, PREFIX, 701, 42)),
+                (200, announce(1239, PREFIX, 1239, 43)),
+                (300, withdraw(1239, PREFIX)),
+            ]
+        )
+        alerts = list(detector.process_stream(stream))
+        assert [alert.kind for alert in alerts] == [
+            AlertKind.MOAS_STARTED,
+            AlertKind.MOAS_ENDED,
+        ]
+        assert [alert.timestamp for alert in alerts] == [200, 300]

@@ -1,0 +1,191 @@
+"""Tests for the figure/table statistics."""
+
+import datetime
+from collections import Counter
+
+import pytest
+
+from repro.core.detector import DailyConflict
+from repro.core.episodes import ConflictEpisode
+from repro.core.stats import (
+    conflicted_prefixes_by_length,
+    daily_count_series,
+    duration_expectations,
+    duration_histogram,
+    involvement_fraction,
+    long_lived_conflicts,
+    max_duration,
+    one_time_conflicts,
+    ongoing_conflicts,
+    peak_days,
+    prefix_length_distribution,
+    sequence_involvement_fraction,
+    share_of_length,
+    yearly_increase_rates,
+    yearly_medians,
+)
+from repro.netbase.prefix import Prefix
+
+
+def episode(duration: int, *, prefix="10.0.0.0/8", ongoing=False):
+    start = datetime.date(1998, 1, 1)
+    return ConflictEpisode(
+        prefix=Prefix.parse(prefix),
+        first_day=start,
+        last_day=start + datetime.timedelta(days=duration - 1),
+        days_observed=duration,
+        origins_ever=frozenset({1, 2}),
+        max_origins_single_day=2,
+        ongoing=ongoing,
+    )
+
+
+def conflict(prefix: str, *origins: int, paths=()):
+    return DailyConflict(
+        prefix=Prefix.parse(prefix),
+        origins=frozenset(origins or (1, 2)),
+        paths_by_origin=paths,
+    )
+
+
+class TestSeries:
+    def test_daily_series_sorted(self):
+        series = daily_count_series(
+            [
+                (datetime.date(1998, 1, 2), 5),
+                (datetime.date(1998, 1, 1), 3),
+            ]
+        )
+        assert series[0][0] < series[1][0]
+
+    def test_duplicate_days_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            daily_count_series(
+                [
+                    (datetime.date(1998, 1, 1), 5),
+                    (datetime.date(1998, 1, 1), 3),
+                ]
+            )
+
+    def test_yearly_medians(self):
+        series = [
+            (datetime.date(1998, 1, 1), 10),
+            (datetime.date(1998, 1, 2), 20),
+            (datetime.date(1998, 1, 3), 30),
+            (datetime.date(1999, 1, 1), 100),
+        ]
+        medians = yearly_medians(series)
+        assert medians == {1998: 20.0, 1999: 100.0}
+
+    def test_increase_rates(self):
+        rates = yearly_increase_rates({1998: 683.0, 1999: 810.5})
+        assert rates[1999] == pytest.approx(0.1867, abs=1e-3)
+
+    def test_increase_rate_paper_values(self):
+        # The paper's figure-2 rates derive from its medians.
+        medians = {1998: 683.0, 1999: 810.5, 2000: 951.0, 2001: 1294.0}
+        rates = yearly_increase_rates(medians)
+        assert rates[1999] == pytest.approx(0.187, abs=2e-3)
+        assert rates[2000] == pytest.approx(0.173, abs=2e-3)
+        assert rates[2001] == pytest.approx(0.361, abs=2e-3)
+
+    def test_peak_days(self):
+        series = [
+            (datetime.date(1998, 4, 7), 11842),
+            (datetime.date(1998, 4, 8), 700),
+            (datetime.date(2001, 4, 6), 10226),
+        ]
+        peaks = peak_days(series, count=2)
+        assert peaks[0][1] == 11842
+        assert peaks[1][1] == 10226
+
+
+class TestDurations:
+    def test_histogram(self):
+        histogram = duration_histogram(
+            [episode(1), episode(1), episode(10)]
+        )
+        assert histogram == Counter({1: 2, 10: 1})
+
+    def test_expectations_thresholds(self):
+        episodes = [episode(1)] * 5 + [episode(8)] * 3 + [episode(100)]
+        expectations = duration_expectations(episodes, thresholds=(0, 1, 9))
+        assert expectations[0] == pytest.approx((5 + 24 + 100) / 9)
+        assert expectations[1] == pytest.approx((24 + 100) / 4)
+        assert expectations[9] == pytest.approx(100.0)
+
+    def test_expectation_monotone_in_threshold(self):
+        episodes = [episode(d) for d in (1, 2, 5, 20, 50, 400)]
+        expectations = duration_expectations(episodes)
+        values = [expectations[k] for k in sorted(expectations)]
+        assert values == sorted(values)
+
+    def test_empty_thresholds_omitted(self):
+        expectations = duration_expectations([episode(5)], thresholds=(0, 9))
+        assert 9 not in expectations
+
+    def test_counters(self):
+        episodes = [
+            episode(1),
+            episode(400),
+            episode(301, ongoing=True),
+            episode(2),
+        ]
+        assert one_time_conflicts(episodes) == 1
+        assert long_lived_conflicts(episodes) == 2
+        assert ongoing_conflicts(episodes) == 1
+        assert max_duration(episodes) == 400
+
+    def test_max_duration_empty(self):
+        assert max_duration([]) == 0
+
+
+class TestPrefixLengths:
+    def test_mean_daily_by_year(self):
+        daily = [
+            (
+                datetime.date(1998, 1, 1),
+                [conflict("10.0.0.0/24"), conflict("10.1.0.0/24")],
+            ),
+            (datetime.date(1998, 1, 2), [conflict("10.0.0.0/24")]),
+            (datetime.date(1999, 1, 1), [conflict("10.0.0.0/16")]),
+        ]
+        distribution = prefix_length_distribution(daily)
+        assert distribution[1998][24] == pytest.approx(1.5)
+        assert distribution[1999][16] == pytest.approx(1.0)
+
+    def test_share_of_length(self):
+        assert share_of_length({24: 60.0, 16: 40.0}, 24) == pytest.approx(0.6)
+        assert share_of_length({}, 24) == 0.0
+
+    def test_conflicted_prefixes_by_length(self):
+        counts = conflicted_prefixes_by_length(
+            [episode(1, prefix="10.0.0.0/24"), episode(2, prefix="10.0.0.0/8")]
+        )
+        assert counts == Counter({24: 1, 8: 1})
+
+
+class TestInvolvement:
+    def test_involvement_fraction(self):
+        conflicts = [
+            conflict("10.0.0.0/8", 8584, 42),
+            conflict("11.0.0.0/8", 8584, 43),
+            conflict("12.0.0.0/8", 1, 2),
+        ]
+        assert involvement_fraction(conflicts, 8584) == (2, 3)
+
+    def test_sequence_involvement(self):
+        paths = (
+            (15412, ((701, 3561, 15412),)),
+            (42, ((1239, 42),)),
+        )
+        conflicts = [
+            conflict("10.0.0.0/8", 15412, 42, paths=paths),
+            conflict("11.0.0.0/8", 1, 2),
+        ]
+        assert sequence_involvement_fraction(conflicts, 3561, 15412) == (1, 2)
+
+    def test_sequence_requires_adjacency(self):
+        paths = ((15412, ((3561, 701, 15412),)),)  # 3561 NOT adjacent
+        conflicts = [conflict("10.0.0.0/8", 15412, 42, paths=paths)]
+        assert sequence_involvement_fraction(conflicts, 3561, 15412) == (0, 1)

@@ -1,0 +1,119 @@
+"""Tests for sub-prefix anomaly detection (the AS 7007 shape)."""
+
+import datetime
+
+from repro.core.detector import detect_snapshot
+from repro.core.subprefix import (
+    combined_fault_surface,
+    detect_subprefix_anomalies,
+)
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+
+DAY = datetime.date(1997, 4, 25)
+PEER = PeerId(asn=701)
+
+
+def route(prefix: str, *path: int) -> Route:
+    return Route(Prefix.parse(prefix), ASPath.from_sequence(path), PEER)
+
+
+class TestDetection:
+    def test_foreign_more_specific_flagged(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("24.0.0.0/8", 701, 42),
+                route("24.8.0.0/16", 701, 7007),  # 7007 carving 42's block
+            ],
+        )
+        report = detect_subprefix_anomalies(snapshot)
+        assert len(report.anomalies) == 1
+        anomaly = report.anomalies[0]
+        assert anomaly.prefix == Prefix.parse("24.8.0.0/16")
+        assert anomaly.covering == Prefix.parse("24.0.0.0/8")
+        assert anomaly.origins == {7007}
+        assert anomaly.is_disjoint
+
+    def test_own_more_specific_not_flagged(self):
+        # Traffic engineering: the owner splits its own block.
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("24.0.0.0/8", 701, 42),
+                route("24.8.0.0/16", 701, 42),
+            ],
+        )
+        assert detect_subprefix_anomalies(snapshot).anomalies == ()
+
+    def test_partial_origin_overlap_not_disjoint(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("24.0.0.0/8", 701, 42),
+                route("24.8.0.0/16", 701, 42),
+                route("24.8.0.0/16", 701, 7007),
+            ],
+        )
+        report = detect_subprefix_anomalies(snapshot)
+        assert len(report.anomalies) == 1
+        assert not report.anomalies[0].is_disjoint
+
+    def test_closest_cover_used(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("24.0.0.0/8", 701, 42),
+                route("24.8.0.0/16", 701, 43),
+                route("24.8.1.0/24", 701, 7007),
+            ],
+        )
+        report = detect_subprefix_anomalies(snapshot)
+        deepest = report.by_origin(7007)
+        assert len(deepest) == 1
+        assert deepest[0].covering == Prefix.parse("24.8.0.0/16")
+        assert deepest[0].covering_origins == {43}
+
+    def test_uncovered_prefixes_ignored(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY, [route("24.8.0.0/16", 701, 7007)]
+        )
+        assert detect_subprefix_anomalies(snapshot).anomalies == ()
+
+    def test_as7007_style_mass_deaggregation(self):
+        routes = [route("24.0.0.0/8", 701, 42)]
+        for index in range(10):
+            routes.append(route(f"24.{index}.0.0/16", 701, 7007))
+        report = detect_subprefix_anomalies(
+            RibSnapshot.from_routes(DAY, routes)
+        )
+        assert len(report.disjoint_anomalies()) == 10
+        assert len(report.by_origin(7007)) == 10
+
+
+class TestCombinedSurface:
+    def test_combined_counts(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                # Same-prefix MOAS:
+                route("10.0.0.0/8", 701, 42),
+                Route(
+                    Prefix.parse("10.0.0.0/8"),
+                    ASPath.from_sequence([1239, 43]),
+                    PeerId(asn=1239),
+                ),
+                # Sub-prefix anomaly:
+                route("24.0.0.0/8", 701, 42),
+                route("24.8.0.0/16", 701, 7007),
+            ],
+        )
+        detection = detect_snapshot(snapshot)
+        report = detect_subprefix_anomalies(snapshot)
+        surface = combined_fault_surface(detection, report)
+        assert surface == {
+            "moas_conflicts": 1,
+            "subprefix_anomalies": 1,
+            "disjoint_subprefix_anomalies": 1,
+        }

@@ -1,0 +1,145 @@
+"""Tests for the multi-signal conflict validator (Section VII extension)."""
+
+import datetime
+
+from repro.core.detector import DailyConflict
+from repro.core.episodes import ConflictEpisode
+from repro.core.validator import ConflictValidator, ValidatorConfig
+from repro.netbase.prefix import Prefix
+
+START = datetime.date(1998, 1, 1)
+
+
+def episode(
+    prefix: str,
+    days: int,
+    *,
+    origins=(42, 43),
+    span: int | None = None,
+) -> ConflictEpisode:
+    span = span if span is not None else days
+    return ConflictEpisode(
+        prefix=Prefix.parse(prefix),
+        first_day=START,
+        last_day=START + datetime.timedelta(days=span - 1),
+        days_observed=days,
+        origins_ever=frozenset(origins),
+        max_origins_single_day=2,
+        ongoing=False,
+    )
+
+
+class TestSignals:
+    def test_exchange_point_is_valid(self):
+        validator = ConflictValidator()
+        verdict = validator.validate(episode("198.32.1.0/24", 2))
+        assert verdict.valid
+        assert any("exchange-point" in reason for reason in verdict.reasons)
+
+    def test_private_asn_is_valid(self):
+        validator = ConflictValidator()
+        verdict = validator.validate(
+            episode("10.0.0.0/16", 2, origins=(42, 64600))
+        )
+        assert verdict.valid
+
+    def test_long_duration_leans_valid(self):
+        validator = ConflictValidator()
+        assert validator.validate(episode("10.0.0.0/16", 200)).valid
+
+    def test_short_unknown_leans_invalid(self):
+        validator = ConflictValidator()
+        verdict = validator.validate(episode("10.0.0.0/16", 1))
+        assert not verdict.valid
+
+    def test_spike_membership_dominates(self):
+        validator = ConflictValidator(
+            spike_culprits={START: 8584}
+        )
+        # Long-ish duration but involves the spike culprit on the
+        # spike day: invalid wins.
+        verdict = validator.validate(
+            episode("10.0.0.0/16", 4, origins=(42, 8584))
+        )
+        assert not verdict.valid
+        assert any("mass-origination" in r for r in verdict.reasons)
+
+    def test_spike_on_other_day_ignored(self):
+        validator = ConflictValidator(
+            spike_culprits={START + datetime.timedelta(days=400): 8584}
+        )
+        verdict = validator.validate(
+            episode("10.0.0.0/16", 60, origins=(42, 8584))
+        )
+        assert verdict.valid
+
+    def test_origin_adjacency_signal(self):
+        validator = ConflictValidator()
+        conflict = DailyConflict(
+            prefix=Prefix.parse("10.0.0.0/16"),
+            origins=frozenset({42, 43}),
+            paths_by_origin=(
+                (42, ((701, 42),)),
+                (43, ((1239, 42, 43),)),  # 42 transits toward 43
+            ),
+        )
+        verdict = validator.validate(
+            episode("10.0.0.0/16", 5),
+            observations={START: conflict},
+        )
+        assert any("adjacent" in reason for reason in verdict.reasons)
+        assert verdict.valid
+
+    def test_recurrence_signal(self):
+        validator = ConflictValidator()
+        # Present 10 days scattered over 100: a flapping policy.
+        verdict = validator.validate(
+            episode("10.0.0.0/16", 10, span=100)
+        )
+        assert any("recurs" in reason for reason in verdict.reasons)
+
+
+class TestVerdictMechanics:
+    def test_confidence_bounds(self):
+        validator = ConflictValidator()
+        for days in (1, 5, 50, 400):
+            verdict = validator.validate(episode("10.0.0.0/16", days))
+            assert 0.5 <= verdict.confidence <= 1.0
+
+    def test_stronger_evidence_higher_confidence(self):
+        validator = ConflictValidator()
+        weak = validator.validate(episode("10.0.0.0/16", 31))
+        strong = validator.validate(episode("198.32.1.0/24", 500))
+        assert strong.confidence > weak.confidence
+
+    def test_validate_all(self):
+        validator = ConflictValidator()
+        episodes = {
+            Prefix.parse("10.0.0.0/16"): episode("10.0.0.0/16", 100),
+            Prefix.parse("11.0.0.0/16"): episode("11.0.0.0/16", 1),
+        }
+        verdicts = validator.validate_all(episodes)
+        assert verdicts[Prefix.parse("10.0.0.0/16")].valid
+        assert not verdicts[Prefix.parse("11.0.0.0/16")].valid
+
+    def test_from_case_studies(self):
+        class FakeCase:
+            def __init__(self, report):
+                self.report = report
+
+        from repro.core.causes import SpikeReport
+
+        report = SpikeReport(
+            day=START,
+            total_conflicts=100,
+            baseline_median=10.0,
+            culprit_asn=8584,
+            culprit_involved=95,
+        )
+        validator = ConflictValidator.from_case_studies([FakeCase(report)])
+        assert validator.spike_culprits == {START: 8584}
+
+    def test_custom_config(self):
+        config = ValidatorConfig(duration_long_days=5)
+        validator = ConflictValidator(config=config)
+        assert validator.validate(episode("10.0.0.0/16", 6)).valid

@@ -1,0 +1,170 @@
+"""Tests for BGP path-attribute encoding/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mrt.attributes import PathAttributes, UnknownAttribute
+from repro.mrt.constants import (
+    ATTR_FLAG_OPTIONAL,
+    ATTR_FLAG_TRANSITIVE,
+    BgpOrigin,
+)
+from repro.mrt.errors import MrtDecodeError
+from repro.netbase.aspath import ASPath, Segment, SegmentType
+
+
+def roundtrip(attrs: PathAttributes, asn_size: int = 2) -> PathAttributes:
+    return PathAttributes.decode(
+        attrs.encode(asn_size=asn_size), asn_size=asn_size
+    )
+
+
+class TestRoundtrip:
+    def test_minimal(self):
+        attrs = PathAttributes(as_path=ASPath.from_sequence([701, 42]))
+        decoded = roundtrip(attrs)
+        assert decoded.as_path == attrs.as_path
+        assert decoded.origin == BgpOrigin.IGP
+
+    def test_full_attribute_set(self):
+        attrs = PathAttributes(
+            origin=BgpOrigin.EGP,
+            as_path=ASPath.parse("701 7018 {42,43}"),
+            next_hop=0xC0000201,
+            med=150,
+            local_pref=200,
+            atomic_aggregate=True,
+            aggregator=(7018, 0x0A000001),
+            communities=(0x02BD0064, 0xFFFF0000),
+        )
+        decoded = roundtrip(attrs)
+        assert decoded == attrs
+
+    def test_as4_encoding(self):
+        attrs = PathAttributes(
+            as_path=ASPath.from_sequence([400000, 42]),
+            aggregator=(400000, 1),
+        )
+        decoded = roundtrip(attrs, asn_size=4)
+        assert decoded == attrs
+
+    def test_large_asn_rejected_in_2byte_mode(self):
+        attrs = PathAttributes(as_path=ASPath.from_sequence([400000]))
+        with pytest.raises(MrtDecodeError, match="does not fit"):
+            attrs.encode(asn_size=2)
+
+    def test_unknown_attributes_preserved(self):
+        unknown = UnknownAttribute(
+            flags=ATTR_FLAG_OPTIONAL | ATTR_FLAG_TRANSITIVE,
+            type_code=99,
+            payload=b"\x01\x02\x03",
+        )
+        attrs = PathAttributes(
+            as_path=ASPath.from_sequence([1]), unknown=(unknown,)
+        )
+        decoded = roundtrip(attrs)
+        assert decoded.unknown == (unknown,)
+
+    def test_extended_length_for_long_payload(self):
+        # > 255 communities forces the extended-length flag.
+        communities = tuple(range(100))
+        attrs = PathAttributes(
+            as_path=ASPath.from_sequence([1]), communities=communities
+        )
+        decoded = roundtrip(attrs)
+        assert decoded.communities == communities
+
+
+class TestDecodeErrors:
+    def test_duplicate_attribute_rejected(self):
+        attrs = PathAttributes(as_path=ASPath.from_sequence([1]))
+        encoded = attrs.encode()
+        with pytest.raises(MrtDecodeError, match="duplicate"):
+            PathAttributes.decode(encoded + encoded)
+
+    def test_bad_origin_value(self):
+        # ORIGIN with value 7 is invalid.
+        data = bytes([ATTR_FLAG_TRANSITIVE, 1, 1, 7])
+        with pytest.raises(MrtDecodeError, match="ORIGIN"):
+            PathAttributes.decode(data)
+
+    def test_bad_origin_length(self):
+        data = bytes([ATTR_FLAG_TRANSITIVE, 1, 2, 0, 0])
+        with pytest.raises(MrtDecodeError, match="ORIGIN"):
+            PathAttributes.decode(data)
+
+    def test_bad_next_hop_length(self):
+        data = bytes([ATTR_FLAG_TRANSITIVE, 3, 2, 1, 2])
+        with pytest.raises(MrtDecodeError, match="NEXT_HOP"):
+            PathAttributes.decode(data)
+
+    def test_truncated_payload(self):
+        data = bytes([ATTR_FLAG_TRANSITIVE, 1, 5, 0])
+        with pytest.raises(MrtDecodeError):
+            PathAttributes.decode(data)
+
+    def test_unknown_well_known_rejected(self):
+        # A mandatory (non-optional) attribute we don't know is an error.
+        data = bytes([0x40, 77, 1, 0])
+        with pytest.raises(MrtDecodeError, match="well-known"):
+            PathAttributes.decode(data)
+
+    def test_bad_segment_type(self):
+        data = bytes([ATTR_FLAG_TRANSITIVE, 2, 4, 9, 1, 0, 42])
+        with pytest.raises(MrtDecodeError, match="segment type"):
+            PathAttributes.decode(data)
+
+    def test_empty_segment_rejected(self):
+        data = bytes([ATTR_FLAG_TRANSITIVE, 2, 2, 2, 0])
+        with pytest.raises(MrtDecodeError, match="empty"):
+            PathAttributes.decode(data)
+
+    def test_communities_length_not_multiple_of_four(self):
+        data = bytes([ATTR_FLAG_OPTIONAL | ATTR_FLAG_TRANSITIVE, 8, 3, 0, 0, 0])
+        with pytest.raises(MrtDecodeError, match="COMMUNITIES"):
+            PathAttributes.decode(data)
+
+    def test_atomic_aggregate_payload_rejected(self):
+        data = bytes([ATTR_FLAG_TRANSITIVE, 6, 1, 0])
+        with pytest.raises(MrtDecodeError, match="ATOMIC_AGGREGATE"):
+            PathAttributes.decode(data)
+
+
+as_paths = st.lists(
+    st.one_of(
+        st.builds(
+            Segment,
+            st.just(SegmentType.AS_SEQUENCE),
+            st.lists(
+                st.integers(min_value=1, max_value=65534),
+                min_size=1,
+                max_size=6,
+            ).map(tuple),
+        ),
+        st.builds(
+            Segment,
+            st.just(SegmentType.AS_SET),
+            st.lists(
+                st.integers(min_value=1, max_value=65534),
+                min_size=1,
+                max_size=6,
+            ).map(tuple),
+        ),
+    ),
+    max_size=4,
+).map(ASPath)
+
+
+class TestAttributeProperties:
+    @given(
+        as_paths,
+        st.sampled_from(list(BgpOrigin)),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFFFFFFF)),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFFFFFFF)),
+    )
+    def test_roundtrip_property(self, path, origin, next_hop, med):
+        attrs = PathAttributes(
+            origin=origin, as_path=path, next_hop=next_hop, med=med
+        )
+        assert roundtrip(attrs) == attrs

@@ -1,0 +1,124 @@
+"""Fuzz tests: the MRT codec must fail *predictably* on garbage.
+
+A codec that raises ``MrtError`` subclasses on any malformed input can
+be wrapped safely; one that leaks ``IndexError``/``struct.error``
+cannot.  Hypothesis feeds random and mutated byte strings to every
+decoder entry point.
+"""
+
+import io
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.mrt.attributes import PathAttributes
+from repro.mrt.errors import MrtError
+from repro.mrt.reader import MrtReader, decode_record
+from repro.mrt.records import (
+    Bgp4mpMessage,
+    MrtRecord,
+    PeerIndexTable,
+    RibIpv4Unicast,
+    TableDumpRecord,
+)
+
+DECODERS = (
+    TableDumpRecord.decode_body,
+    PeerIndexTable.decode_body,
+    RibIpv4Unicast.decode_body,
+    Bgp4mpMessage.decode_body,
+)
+
+
+class TestDecoderFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(max_size=300))
+    def test_record_decoders_never_leak_raw_errors(self, data):
+        for decoder in DECODERS:
+            try:
+                decoder(data)
+            except MrtError:
+                pass  # the contract: structured errors only
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(max_size=300))
+    @example(data=b"\x40\x02\x02\x02\x00")  # empty AS_PATH segment
+    def test_attribute_decoder_never_leaks(self, data):
+        try:
+            PathAttributes.decode(data)
+        except MrtError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=400))
+    def test_reader_stream_never_leaks(self, data):
+        reader = MrtReader(io.BytesIO(data))
+        try:
+            for record in reader.records():
+                decode_record(record)
+        except MrtError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        flips=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_bitflipped_valid_record_fails_cleanly(self, flips):
+        """Mutate a valid encoded record; decoding either succeeds or
+        raises a structured error — never a raw exception."""
+        from repro.netbase.aspath import ASPath
+        from repro.netbase.prefix import Prefix
+
+        record = TableDumpRecord(
+            view_number=0,
+            sequence=1,
+            prefix=Prefix.parse("10.0.0.0/8"),
+            status=1,
+            originated_time=0,
+            peer_address=1,
+            peer_asn=701,
+            attributes=PathAttributes(
+                as_path=ASPath.from_sequence([701, 42]), next_hop=5
+            ),
+        )
+        data = bytearray(record.encode_body())
+        for position in flips:
+            data[position % len(data)] ^= 0xFF
+        try:
+            TableDumpRecord.decode_body(bytes(data))
+        except MrtError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(truncate_at=st.integers(min_value=0, max_value=200))
+    def test_truncated_valid_stream_fails_cleanly(self, truncate_at):
+        from repro.netbase.aspath import ASPath
+        from repro.netbase.prefix import Prefix
+
+        record = MrtRecord(
+            0,
+            12,
+            1,
+            TableDumpRecord(
+                view_number=0,
+                sequence=1,
+                prefix=Prefix.parse("10.0.0.0/8"),
+                status=1,
+                originated_time=0,
+                peer_address=1,
+                peer_asn=701,
+                attributes=PathAttributes(
+                    as_path=ASPath.from_sequence([701, 42])
+                ),
+            ).encode_body(),
+        )
+        data = record.encode()[:truncate_at]
+        reader = MrtReader(io.BytesIO(data))
+        try:
+            list(reader.records())
+        except MrtError:
+            pass

@@ -1,0 +1,167 @@
+"""End-to-end tests: snapshot -> MRT file -> snapshot."""
+
+import datetime
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mrt.errors import MrtDecodeError, MrtTruncatedError
+from repro.mrt.reader import MrtReader, read_rib_snapshot
+from repro.mrt.writer import write_rib_snapshot
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+
+DAY = datetime.date(2001, 4, 6)
+
+
+def sample_snapshot() -> RibSnapshot:
+    peer_a = PeerId(asn=701)
+    peer_b = PeerId(asn=1239)
+    return RibSnapshot.from_routes(
+        DAY,
+        [
+            Route(Prefix.parse("10.0.0.0/8"), ASPath.parse("701 42"), peer_a),
+            Route(Prefix.parse("10.0.0.0/8"), ASPath.parse("1239 43"), peer_b),
+            Route(
+                Prefix.parse("192.0.2.0/24"),
+                ASPath.parse("701 7018 99"),
+                peer_a,
+            ),
+            Route(
+                Prefix.parse("172.16.0.0/12"),
+                ASPath.parse("1239 {55,56}"),
+                peer_b,
+            ),
+        ],
+    )
+
+
+def snapshots_equal(left: RibSnapshot, right: RibSnapshot) -> bool:
+    left_rows = sorted(
+        (route.prefix.sort_key(), str(route.path), route.peer.asn)
+        for route in left.iter_routes()
+    )
+    right_rows = sorted(
+        (route.prefix.sort_key(), str(route.path), route.peer.asn)
+        for route in right.iter_routes()
+    )
+    return left_rows == right_rows
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("dump_format", ["table_dump", "table_dump_v2"])
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_roundtrip_formats(self, tmp_path, dump_format, compress):
+        snapshot = sample_snapshot()
+        path = tmp_path / f"rib.{dump_format}.mrt"
+        write_rib_snapshot(
+            path, snapshot, dump_format=dump_format, compress=compress
+        )
+        loaded = read_rib_snapshot(path)
+        assert loaded.day == DAY
+        assert snapshots_equal(snapshot, loaded)
+
+    def test_day_recovered_from_timestamp(self, tmp_path):
+        path = tmp_path / "rib.mrt"
+        write_rib_snapshot(path, sample_snapshot())
+        assert read_rib_snapshot(path).day == DAY
+
+    def test_explicit_day_override(self, tmp_path):
+        path = tmp_path / "rib.mrt"
+        write_rib_snapshot(path, sample_snapshot())
+        other = datetime.date(1999, 1, 1)
+        assert read_rib_snapshot(path, day=other).day == other
+
+    def test_moas_preserved_through_archive(self, tmp_path):
+        path = tmp_path / "rib.mrt"
+        write_rib_snapshot(path, sample_snapshot())
+        loaded = read_rib_snapshot(path)
+        assert loaded.origins_of(Prefix.parse("10.0.0.0/8")) == {42, 43}
+
+    def test_as_set_routes_survive(self, tmp_path):
+        path = tmp_path / "rib.mrt"
+        write_rib_snapshot(path, sample_snapshot())
+        loaded = read_rib_snapshot(path)
+        routes = loaded.routes_for(Prefix.parse("172.16.0.0/12"))
+        assert len(routes) == 1
+        assert routes[0].path.ends_in_as_set()
+
+
+class TestReaderErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.mrt"
+        path.write_bytes(b"")
+        with pytest.raises(MrtDecodeError, match="no MRT records"):
+            read_rib_snapshot(path)
+
+    def test_partial_header(self, tmp_path):
+        path = tmp_path / "partial.mrt"
+        path.write_bytes(b"\x00" * 5)
+        with pytest.raises(MrtTruncatedError, match="header"):
+            read_rib_snapshot(path)
+
+    def test_truncated_body(self, tmp_path):
+        snapshot = sample_snapshot()
+        full = tmp_path / "full.mrt"
+        write_rib_snapshot(full, snapshot)
+        data = full.read_bytes()
+        truncated = tmp_path / "truncated.mrt"
+        truncated.write_bytes(data[:-10])
+        with pytest.raises(MrtTruncatedError):
+            read_rib_snapshot(truncated)
+
+    def test_rib_before_peer_index_rejected(self, tmp_path):
+        # Write a v2 file, then strip its PEER_INDEX_TABLE record.
+        path = tmp_path / "rib.mrt"
+        write_rib_snapshot(path, sample_snapshot())
+        with MrtReader(path) as reader:
+            records = list(reader.records())
+        stripped = tmp_path / "stripped.mrt"
+        stripped.write_bytes(
+            b"".join(record.encode() for record in records[1:])
+        )
+        with pytest.raises(MrtDecodeError, match="PEER_INDEX_TABLE"):
+            read_rib_snapshot(stripped)
+
+    def test_unknown_record_types_skipped(self, tmp_path):
+        from repro.mrt.records import MrtRecord
+
+        path = tmp_path / "mixed.mrt"
+        write_rib_snapshot(path, sample_snapshot())
+        data = path.read_bytes()
+        unknown = MrtRecord(0, 99, 0, b"xx").encode()
+        mixed = tmp_path / "with-unknown.mrt"
+        mixed.write_bytes(unknown + data)
+        loaded = read_rib_snapshot(mixed, day=DAY)
+        assert snapshots_equal(loaded, sample_snapshot())
+
+
+prefix_strategy = st.builds(
+    lambda network, length: Prefix(network, length, strict=False),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=8, max_value=32),
+)
+route_strategy = st.builds(
+    Route,
+    prefix_strategy,
+    st.lists(
+        st.integers(min_value=1, max_value=65000), min_size=1, max_size=5
+    ).map(ASPath.from_sequence),
+    st.sampled_from([PeerId(asn=701), PeerId(asn=1239), PeerId(asn=3561)]),
+)
+
+
+class TestArchiveProperty:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(st.lists(route_strategy, min_size=1, max_size=30))
+    def test_any_snapshot_roundtrips(self, tmp_path, routes):
+        snapshot = RibSnapshot.from_routes(DAY, routes)
+        path = tmp_path / "prop.mrt"
+        write_rib_snapshot(path, snapshot)
+        assert snapshots_equal(read_rib_snapshot(path), snapshot)

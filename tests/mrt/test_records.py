@@ -1,0 +1,207 @@
+"""Tests for MRT record structures."""
+
+import pytest
+
+from repro.mrt.attributes import PathAttributes
+from repro.mrt.constants import MrtType, TableDumpV2Subtype
+from repro.mrt.errors import MrtDecodeError
+from repro.mrt.records import (
+    Bgp4mpMessage,
+    MrtRecord,
+    PeerEntry,
+    PeerIndexTable,
+    RibEntry,
+    RibIpv4Unicast,
+    TableDumpRecord,
+)
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+
+def make_attrs(*ases: int) -> PathAttributes:
+    return PathAttributes(as_path=ASPath.from_sequence(ases), next_hop=1)
+
+
+class TestMrtRecordEnvelope:
+    def test_header_roundtrip(self):
+        record = MrtRecord(955497600, MrtType.TABLE_DUMP, 1, b"body")
+        encoded = record.encode()
+        timestamp, mrt_type, subtype, length = MrtRecord.decode_header(
+            encoded[:12]
+        )
+        assert (timestamp, mrt_type, subtype) == (955497600, 12, 1)
+        assert length == 4
+        assert encoded[12:] == b"body"
+
+
+class TestTableDump:
+    def test_roundtrip(self):
+        record = TableDumpRecord(
+            view_number=0,
+            sequence=7,
+            prefix=Prefix.parse("192.0.2.0/24"),
+            status=1,
+            originated_time=955497600,
+            peer_address=0xC6200001,
+            peer_asn=701,
+            attributes=make_attrs(701, 42),
+        )
+        decoded = TableDumpRecord.decode_body(record.encode_body())
+        assert decoded == record
+
+    def test_trailing_bytes_rejected(self):
+        record = TableDumpRecord(
+            view_number=0,
+            sequence=0,
+            prefix=Prefix.parse("10.0.0.0/8"),
+            status=1,
+            originated_time=0,
+            peer_address=1,
+            peer_asn=701,
+            attributes=make_attrs(701),
+        )
+        with pytest.raises(MrtDecodeError, match="trailing"):
+            TableDumpRecord.decode_body(record.encode_body() + b"\x00")
+
+    def test_to_record_sets_type(self):
+        record = TableDumpRecord(
+            view_number=0,
+            sequence=0,
+            prefix=Prefix.parse("10.0.0.0/8"),
+            status=1,
+            originated_time=0,
+            peer_address=1,
+            peer_asn=701,
+            attributes=make_attrs(701),
+        ).to_record(123)
+        assert record.mrt_type == MrtType.TABLE_DUMP
+        assert record.timestamp == 123
+
+
+class TestPeerIndexTable:
+    def test_roundtrip(self):
+        table = PeerIndexTable(
+            collector_bgp_id=0xC6336401,
+            view_name="route-views",
+            peers=(
+                PeerEntry(bgp_id=1, address=0xC6200001, asn=701),
+                PeerEntry(bgp_id=2, address=0xC6200002, asn=100000),
+            ),
+        )
+        decoded = PeerIndexTable.decode_body(table.encode_body())
+        assert decoded == table
+
+    def test_empty_view_name(self):
+        table = PeerIndexTable(collector_bgp_id=1, view_name="", peers=())
+        assert PeerIndexTable.decode_body(table.encode_body()) == table
+
+    def test_two_byte_peer_asn_decoded(self):
+        # Hand-build a peer entry with type=0 (2-byte ASN).
+        body = (
+            (1).to_bytes(4, "big")
+            + (0).to_bytes(2, "big")  # empty view name
+            + (1).to_bytes(2, "big")  # one peer
+            + bytes([0x00])  # peer type: IPv4 + 2-byte AS
+            + (5).to_bytes(4, "big")
+            + (6).to_bytes(4, "big")
+            + (701).to_bytes(2, "big")
+        )
+        table = PeerIndexTable.decode_body(body)
+        assert table.peers[0].asn == 701
+
+    def test_ipv6_peer_rejected(self):
+        body = (
+            (1).to_bytes(4, "big")
+            + (0).to_bytes(2, "big")
+            + (1).to_bytes(2, "big")
+            + bytes([0x01])  # IPv6 flag
+        )
+        with pytest.raises(MrtDecodeError, match="IPv6"):
+            PeerIndexTable.decode_body(body)
+
+
+class TestRibIpv4Unicast:
+    def test_roundtrip(self):
+        record = RibIpv4Unicast(
+            sequence=3,
+            prefix=Prefix.parse("10.1.0.0/17"),
+            entries=(
+                RibEntry(0, 955497600, make_attrs(701, 42)),
+                RibEntry(1, 955497600, make_attrs(1239, 43)),
+            ),
+        )
+        decoded = RibIpv4Unicast.decode_body(record.encode_body())
+        assert decoded == record
+
+    def test_default_route(self):
+        record = RibIpv4Unicast(
+            sequence=0,
+            prefix=Prefix.parse("0.0.0.0/0"),
+            entries=(RibEntry(0, 0, make_attrs(701)),),
+        )
+        decoded = RibIpv4Unicast.decode_body(record.encode_body())
+        assert decoded.prefix == Prefix.parse("0.0.0.0/0")
+
+    def test_host_route(self):
+        record = RibIpv4Unicast(
+            sequence=0,
+            prefix=Prefix.parse("192.0.2.1/32"),
+            entries=(RibEntry(0, 0, make_attrs(701)),),
+        )
+        assert (
+            RibIpv4Unicast.decode_body(record.encode_body()).prefix
+            == record.prefix
+        )
+
+    def test_bad_prefix_length_rejected(self):
+        body = (0).to_bytes(4, "big") + bytes([40])
+        with pytest.raises(MrtDecodeError, match="length"):
+            RibIpv4Unicast.decode_body(body)
+
+    def test_subtype_constant(self):
+        assert RibIpv4Unicast.SUBTYPE == TableDumpV2Subtype.RIB_IPV4_UNICAST
+
+
+class TestBgp4mp:
+    def test_announce_roundtrip(self):
+        message = Bgp4mpMessage(
+            peer_asn=701,
+            local_asn=6447,
+            interface_index=0,
+            peer_address=0xC6200001,
+            local_address=0xC6336401,
+            attributes=make_attrs(701, 42),
+            announced=(Prefix.parse("10.0.0.0/8"), Prefix.parse("10.1.0.0/16")),
+        )
+        decoded = Bgp4mpMessage.decode_body(message.encode_body())
+        assert decoded == message
+
+    def test_withdraw_roundtrip(self):
+        message = Bgp4mpMessage(
+            peer_asn=701,
+            local_asn=6447,
+            interface_index=0,
+            peer_address=1,
+            local_address=2,
+            withdrawn=(Prefix.parse("192.0.2.0/24"),),
+        )
+        decoded = Bgp4mpMessage.decode_body(message.encode_body())
+        assert decoded == message
+        assert decoded.attributes is None
+
+    def test_bad_marker_rejected(self):
+        message = Bgp4mpMessage(
+            peer_asn=701,
+            local_asn=6447,
+            interface_index=0,
+            peer_address=1,
+            local_address=2,
+            announced=(Prefix.parse("10.0.0.0/8"),),
+            attributes=make_attrs(701),
+        )
+        body = bytearray(message.encode_body())
+        # The BGP4MP header (ASNs, interface, AFI, two addresses) is 16
+        # bytes; the BGP marker starts right after it.
+        body[16] = 0x00  # corrupt first marker byte
+        with pytest.raises(MrtDecodeError, match="marker"):
+            Bgp4mpMessage.decode_body(bytes(body))

@@ -1,0 +1,105 @@
+"""Tests for BGP4MP_STATE_CHANGE records and session-loss semantics."""
+
+import pytest
+
+from repro.core.realtime import AlertKind, StreamingMoasDetector
+from repro.mrt.attributes import PathAttributes
+from repro.mrt.errors import MrtDecodeError
+from repro.mrt.reader import decode_record
+from repro.mrt.records import Bgp4mpMessage, Bgp4mpStateChange, BgpFsmState
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def state_change(
+    peer: int,
+    old: BgpFsmState = BgpFsmState.ESTABLISHED,
+    new: BgpFsmState = BgpFsmState.IDLE,
+) -> Bgp4mpStateChange:
+    return Bgp4mpStateChange(
+        peer_asn=peer,
+        local_asn=6447,
+        interface_index=0,
+        peer_address=1,
+        local_address=2,
+        old_state=old,
+        new_state=new,
+    )
+
+
+def announce(peer: int, *path: int) -> Bgp4mpMessage:
+    return Bgp4mpMessage(
+        peer_asn=peer,
+        local_asn=6447,
+        interface_index=0,
+        peer_address=1,
+        local_address=2,
+        attributes=PathAttributes(as_path=ASPath.from_sequence(path)),
+        announced=(PREFIX,),
+    )
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        change = state_change(701)
+        decoded = Bgp4mpStateChange.decode_body(change.encode_body())
+        assert decoded == change
+
+    def test_decode_via_record_envelope(self):
+        record = state_change(701).to_record(12345)
+        decoded = decode_record(record)
+        assert isinstance(decoded, Bgp4mpStateChange)
+        assert decoded.peer_asn == 701
+
+    def test_bad_state_value_rejected(self):
+        body = bytearray(state_change(701).encode_body())
+        body[-1] = 99
+        with pytest.raises(MrtDecodeError, match="FSM"):
+            Bgp4mpStateChange.decode_body(bytes(body))
+
+    def test_trailing_bytes_rejected(self):
+        body = state_change(701).encode_body() + b"\x00"
+        with pytest.raises(MrtDecodeError, match="trailing"):
+            Bgp4mpStateChange.decode_body(body)
+
+    def test_session_lost_predicate(self):
+        assert state_change(701).session_lost()
+        assert not state_change(
+            701, old=BgpFsmState.ACTIVE, new=BgpFsmState.ESTABLISHED
+        ).session_lost()
+
+
+class TestSessionLossSemantics:
+    def test_session_loss_ends_conflict(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, 701, 42))
+        detector.process_update(announce(1239, 1239, 43))
+        assert detector.in_moas(PREFIX)
+        alerts = detector.process_state_change(state_change(1239))
+        assert [alert.kind for alert in alerts] == [AlertKind.MOAS_ENDED]
+        assert detector.origins_of(PREFIX) == {42}
+
+    def test_non_loss_transition_ignored(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, 701, 42))
+        alerts = detector.process_state_change(
+            state_change(
+                701, old=BgpFsmState.IDLE, new=BgpFsmState.CONNECT
+            )
+        )
+        assert alerts == []
+        assert detector.origins_of(PREFIX) == {42}
+
+    def test_mixed_stream(self):
+        detector = StreamingMoasDetector()
+        stream = iter(
+            [
+                (1, announce(701, 701, 42)),
+                (2, announce(1239, 1239, 43)),
+                (3, state_change(1239)),
+            ]
+        )
+        kinds = [alert.kind for alert in detector.process_stream(stream)]
+        assert kinds == [AlertKind.MOAS_STARTED, AlertKind.MOAS_ENDED]

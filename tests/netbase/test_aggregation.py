@@ -1,0 +1,182 @@
+"""Tests for route aggregation mechanics (paper Section VI-D/E)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.aggregation import (
+    aggregate,
+    common_leading_sequence,
+    find_aggregable_pairs,
+    uncovered_specifics,
+)
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+
+import pytest
+
+
+def path(*ases: int) -> ASPath:
+    return ASPath.from_sequence(ases)
+
+
+class TestCommonLeadingSequence:
+    def test_identical_paths(self):
+        assert common_leading_sequence([path(1, 2, 3)] * 2) == (1, 2, 3)
+
+    def test_diverging_tails(self):
+        assert common_leading_sequence(
+            [path(1, 2, 3), path(1, 2, 4)]
+        ) == (1, 2)
+
+    def test_no_common_prefix(self):
+        assert common_leading_sequence([path(1), path(2)]) == ()
+
+    def test_empty_input(self):
+        assert common_leading_sequence([]) == ()
+
+
+class TestAggregate:
+    def test_same_origin_keeps_sequence(self):
+        result = aggregate(
+            100,
+            [
+                (Prefix.parse("10.0.0.0/25"), path(42)),
+                (Prefix.parse("10.0.0.128/25"), path(42)),
+            ],
+        )
+        assert result.prefix == Prefix.parse("10.0.0.0/24")
+        assert not result.atomic
+        assert not result.path.ends_in_as_set()
+        assert result.path.origin() == 42
+
+    def test_different_origins_form_as_set(self):
+        # The mechanism behind the paper's ~12 AS_SET-tail prefixes.
+        result = aggregate(
+            100,
+            [
+                (Prefix.parse("10.0.0.0/25"), path(42)),
+                (Prefix.parse("10.0.0.128/25"), path(43)),
+            ],
+        )
+        assert result.atomic
+        assert result.path.ends_in_as_set()
+        assert result.path.origin() == frozenset({42, 43})
+        assert result.path.first_as() == 100
+
+    def test_shared_transit_preserved(self):
+        result = aggregate(
+            100,
+            [
+                (Prefix.parse("10.0.0.0/25"), path(7, 42)),
+                (Prefix.parse("10.0.0.128/25"), path(7, 43)),
+            ],
+        )
+        # The common leading AS 7 stays in sequence; 42/43 go to the set.
+        assert result.path.as_list()[:2] == [100, 7]
+        assert result.path.origin() == frozenset({42, 43})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(100, [])
+
+    def test_components_sorted(self):
+        result = aggregate(
+            100,
+            [
+                (Prefix.parse("10.0.0.128/25"), path(42)),
+                (Prefix.parse("10.0.0.0/25"), path(42)),
+            ],
+        )
+        assert result.components == (
+            Prefix.parse("10.0.0.0/25"),
+            Prefix.parse("10.0.0.128/25"),
+        )
+
+
+class TestFindAggregablePairs:
+    def test_finds_sibling_pair(self):
+        pairs = find_aggregable_pairs(
+            [
+                Prefix.parse("10.0.0.0/25"),
+                Prefix.parse("10.0.0.128/25"),
+                Prefix.parse("192.0.2.0/24"),
+            ]
+        )
+        assert pairs == [
+            (
+                Prefix.parse("10.0.0.0/25"),
+                Prefix.parse("10.0.0.128/25"),
+                Prefix.parse("10.0.0.0/24"),
+            )
+        ]
+
+    def test_no_false_pairs(self):
+        # Adjacent but not siblings: 10.0.0.128/25 and 10.0.1.0/25
+        # do not merge into a valid parent.
+        pairs = find_aggregable_pairs(
+            [Prefix.parse("10.0.0.128/25"), Prefix.parse("10.0.1.0/25")]
+        )
+        assert pairs == []
+
+    def test_each_pair_reported_once(self):
+        pairs = find_aggregable_pairs(
+            [Prefix.parse("10.0.0.0/25"), Prefix.parse("10.0.0.128/25")]
+        )
+        assert len(pairs) == 1
+
+    @given(
+        st.sets(
+            st.integers(min_value=0, max_value=255).map(
+                lambda third: Prefix.parse(f"10.0.{third}.0/24")
+            ),
+            max_size=40,
+        )
+    )
+    def test_pairs_are_genuine_siblings(self, prefixes):
+        for low, high, parent in find_aggregable_pairs(prefixes):
+            assert parent.subnets() == (low, high)
+            assert low in prefixes and high in prefixes
+
+
+class TestUncoveredSpecifics:
+    def test_fully_covered(self):
+        holes = uncovered_specifics(
+            Prefix.parse("10.0.0.0/24"), [Prefix.parse("10.0.0.0/24")]
+        )
+        assert holes == []
+
+    def test_totally_uncovered(self):
+        holes = uncovered_specifics(Prefix.parse("10.0.0.0/24"), [])
+        assert holes == [Prefix.parse("10.0.0.0/24")]
+
+    def test_half_covered(self):
+        holes = uncovered_specifics(
+            Prefix.parse("10.0.0.0/24"), [Prefix.parse("10.0.0.0/25")]
+        )
+        assert holes == [Prefix.parse("10.0.0.128/25")]
+
+    def test_holes_disjoint_from_reachable(self):
+        reachable = [
+            Prefix.parse("10.0.0.0/26"),
+            Prefix.parse("10.0.0.128/26"),
+        ]
+        holes = uncovered_specifics(Prefix.parse("10.0.0.0/24"), reachable)
+        for hole in holes:
+            for covered in reachable:
+                assert not hole.overlaps(covered)
+
+    def test_routes_outside_aggregate_ignored(self):
+        holes = uncovered_specifics(
+            Prefix.parse("10.0.0.0/24"), [Prefix.parse("192.0.2.0/24")]
+        )
+        assert holes == [Prefix.parse("10.0.0.0/24")]
+
+    def test_max_depth_limits_exploration(self):
+        # A single /32 inside a /8 with depth 2: exploration stops and
+        # partially-covered space is not reported as holes.
+        holes = uncovered_specifics(
+            Prefix.parse("10.0.0.0/8"),
+            [Prefix.parse("10.0.0.1/32")],
+            max_depth=2,
+        )
+        assert all(hole.length <= 10 for hole in holes)

@@ -1,0 +1,57 @@
+"""Tests for AS-number classification."""
+
+import pytest
+
+from repro.netbase.asn import (
+    AS_TRANS,
+    is_documentation_asn,
+    is_private_asn,
+    is_reserved_asn,
+    validate_asn,
+)
+
+
+class TestValidate:
+    def test_accepts_common_asns(self):
+        for asn in (1, 701, 3561, 7007, 8584, 15412, 65000, (1 << 32) - 1):
+            assert validate_asn(asn) == asn
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_asn(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            validate_asn(1 << 32)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            validate_asn(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            validate_asn("701")
+
+
+class TestClassification:
+    def test_private_range_boundaries(self):
+        assert not is_private_asn(64511)
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert not is_private_asn(65535)
+
+    def test_paper_fault_asns_are_public(self):
+        # AS 8584 and AS 15412 from the paper's fault case studies.
+        assert not is_private_asn(8584)
+        assert not is_private_asn(15412)
+
+    def test_documentation_range(self):
+        assert is_documentation_asn(64496)
+        assert is_documentation_asn(64511)
+        assert not is_documentation_asn(64512)
+
+    def test_reserved(self):
+        assert is_reserved_asn(0)
+        assert is_reserved_asn(65535)
+        assert is_reserved_asn(AS_TRANS)
+        assert not is_reserved_asn(701)

@@ -1,0 +1,177 @@
+"""Tests for the AS path model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.aspath import ASPath, Segment, SegmentType
+
+asn_lists = st.lists(
+    st.integers(min_value=1, max_value=65534), min_size=1, max_size=8
+)
+
+
+class TestSegment:
+    def test_set_members_are_sorted_and_deduped(self):
+        segment = Segment(SegmentType.AS_SET, (30, 10, 20, 10))
+        assert segment.ases == (10, 20, 30)
+
+    def test_sequence_preserves_order(self):
+        segment = Segment(SegmentType.AS_SEQUENCE, (30, 10, 20))
+        assert segment.ases == (30, 10, 20)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(SegmentType.AS_SEQUENCE, ())
+
+    def test_invalid_asn_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(SegmentType.AS_SEQUENCE, (-1,))
+
+    def test_str_forms(self):
+        assert str(Segment(SegmentType.AS_SEQUENCE, (1, 2))) == "1 2"
+        assert str(Segment(SegmentType.AS_SET, (2, 1))) == "{1,2}"
+
+
+class TestConstruction:
+    def test_from_sequence(self):
+        path = ASPath.from_sequence([701, 7018, 42])
+        assert path.sequence_tuple() == (701, 7018, 42)
+
+    def test_from_empty_sequence(self):
+        assert ASPath.from_sequence([]).is_empty()
+
+    def test_parse_plain(self):
+        path = ASPath.parse("701 7018 42")
+        assert path.sequence_tuple() == (701, 7018, 42)
+
+    def test_parse_with_set_tail(self):
+        path = ASPath.parse("701 7018 {42,43}")
+        assert path.ends_in_as_set()
+        assert path.origin() == frozenset({42, 43})
+
+    def test_parse_set_in_middle(self):
+        path = ASPath.parse("701 {1,2} 42")
+        kinds = [segment.kind for segment in path.segments]
+        assert kinds == [
+            SegmentType.AS_SEQUENCE,
+            SegmentType.AS_SET,
+            SegmentType.AS_SEQUENCE,
+        ]
+        assert path.origin() == 42
+
+    def test_parse_str_roundtrip(self):
+        for text in ("701 7018 42", "701 {42,43}", "1 1 1 2"):
+            assert str(ASPath.parse(text)) == text
+
+    def test_rejects_non_segment(self):
+        with pytest.raises(TypeError):
+            ASPath(["701"])  # type: ignore[list-item]
+
+
+class TestOrigin:
+    def test_origin_of_sequence(self):
+        assert ASPath.from_sequence([1, 2, 3]).origin() == 3
+
+    def test_origin_of_empty_path(self):
+        assert ASPath().origin() is None
+
+    def test_origin_as_raises_on_set_tail(self):
+        path = ASPath.parse("701 {42,43}")
+        with pytest.raises(ValueError):
+            path.origin_as()
+
+    def test_origin_as_on_sequence(self):
+        assert ASPath.from_sequence([1, 2, 3]).origin_as() == 3
+
+    def test_first_as(self):
+        assert ASPath.from_sequence([9, 8, 7]).first_as() == 9
+        assert ASPath().first_as() is None
+
+
+class TestPathLength:
+    def test_sequence_counts_each_hop(self):
+        assert ASPath.from_sequence([1, 2, 3]).path_length() == 3
+
+    def test_as_set_counts_as_one(self):
+        # RFC 4271: an AS_SET contributes 1 to path length.
+        path = ASPath.parse("1 2 {3,4,5}")
+        assert path.path_length() == 3
+
+    def test_prepending_increases_length(self):
+        base = ASPath.from_sequence([2, 3])
+        assert base.prepend(1, count=3).path_length() == 5
+
+
+class TestPrepend:
+    def test_prepend_merges_into_leading_sequence(self):
+        path = ASPath.from_sequence([2, 3]).prepend(1)
+        assert len(path.segments) == 1
+        assert path.sequence_tuple() == (1, 2, 3)
+
+    def test_prepend_onto_empty(self):
+        assert ASPath().prepend(7).sequence_tuple() == (7,)
+
+    def test_prepend_onto_set_head_adds_segment(self):
+        path = ASPath((Segment(SegmentType.AS_SET, (5, 6)),)).prepend(1)
+        assert len(path.segments) == 2
+        assert path.first_as() == 1
+
+    def test_prepend_count_validation(self):
+        with pytest.raises(ValueError):
+            ASPath().prepend(1, count=0)
+
+
+class TestLoopDetection:
+    def test_simple_path_no_loop(self):
+        assert not ASPath.from_sequence([1, 2, 3]).has_loop()
+
+    def test_prepending_is_not_a_loop(self):
+        assert not ASPath.from_sequence([1, 1, 1, 2]).has_loop()
+
+    def test_true_loop_detected(self):
+        assert ASPath.from_sequence([1, 2, 1]).has_loop()
+
+    def test_contains_as(self):
+        path = ASPath.parse("1 2 {3,4}")
+        assert path.contains_as(3)
+        assert not path.contains_as(9)
+
+
+class TestEqualityHashing:
+    def test_equal_paths_hash_equal(self):
+        a = ASPath.parse("1 2 3")
+        b = ASPath.from_sequence([1, 2, 3])
+        assert a == b and hash(a) == hash(b)
+
+    def test_set_order_irrelevant(self):
+        assert ASPath.parse("1 {2,3}") == ASPath.parse("1 {3,2}")
+
+    def test_sequence_order_relevant(self):
+        assert ASPath.parse("1 2") != ASPath.parse("2 1")
+
+
+class TestPathProperties:
+    @given(asn_lists)
+    def test_from_sequence_roundtrip(self, ases):
+        path = ASPath.from_sequence(ases)
+        assert path.sequence_tuple() == tuple(ases)
+        assert path.origin() == ases[-1]
+        assert path.first_as() == ases[0]
+
+    @given(asn_lists)
+    def test_parse_str_roundtrip(self, ases):
+        path = ASPath.from_sequence(ases)
+        assert ASPath.parse(str(path)) == path
+
+    @given(asn_lists, st.integers(min_value=1, max_value=65534))
+    def test_prepend_preserves_origin(self, ases, new_as):
+        path = ASPath.from_sequence(ases)
+        assert path.prepend(new_as).origin() == path.origin()
+
+    @given(asn_lists, st.sets(st.integers(min_value=1, max_value=65534),
+                              min_size=1, max_size=5))
+    def test_set_tail_reported(self, ases, members):
+        path = ASPath.from_sequence(ases).with_set_tail(members)
+        assert path.ends_in_as_set()
+        assert path.origin() == frozenset(members)

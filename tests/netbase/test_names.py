@@ -1,0 +1,23 @@
+"""Tests for ASN display names."""
+
+from repro.netbase.names import AS_NAMES, asn_name, format_as_path
+
+
+class TestNames:
+    def test_known_asn(self):
+        assert asn_name(701) == "AS 701 (UUNET)"
+        assert asn_name(3561) == "AS 3561 (Cable & Wireless)"
+
+    def test_unknown_asn(self):
+        assert asn_name(31337) == "AS 31337"
+
+    def test_private_asn(self):
+        assert asn_name(64512) == "AS 64512 (private)"
+
+    def test_incident_actors_present(self):
+        for asn in (7007, 8584, 15412):
+            assert asn in AS_NAMES
+
+    def test_format_path(self):
+        rendered = format_as_path((701, 42))
+        assert rendered == "AS 701 (UUNET) -> AS 42"

@@ -1,0 +1,205 @@
+"""Tests for the IPv4 prefix value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.prefix import Prefix
+
+
+def prefixes(min_length: int = 0, max_length: int = 32):
+    """Hypothesis strategy producing canonical prefixes."""
+    return st.builds(
+        lambda network, length: Prefix(network, length, strict=False),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=min_length, max_value=max_length),
+    )
+
+
+class TestConstruction:
+    def test_parse_basic(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.network == 0xC0000200
+        assert prefix.length == 24
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("10.1.2.3").length == 32
+
+    def test_parse_default_route(self):
+        prefix = Prefix.parse("0.0.0.0/0")
+        assert prefix.length == 0
+        assert prefix.num_addresses == 1 << 32
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("256.0.0.0/8")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("hello/24")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_strict_rejects_host_bits(self):
+        with pytest.raises(ValueError, match="host bits"):
+            Prefix(0x0A000001, 8)
+
+    def test_non_strict_masks_host_bits(self):
+        prefix = Prefix(0x0A000001, 8, strict=False)
+        assert prefix.network == 0x0A000000
+
+    def test_from_octets_truncated_form(self):
+        # /17 needs 3 octets; the 4th is implicitly zero.
+        prefix = Prefix.from_octets(bytes([10, 20, 128]), 17)
+        assert str(prefix) == "10.20.128.0/17"
+
+    def test_from_octets_too_short_raises(self):
+        with pytest.raises(ValueError):
+            Prefix.from_octets(bytes([10]), 24)
+
+    def test_str_roundtrip(self):
+        for text in ("0.0.0.0/0", "10.0.0.0/8", "192.0.2.128/25", "1.2.3.4/32"):
+            assert str(Prefix.parse(text)) == text
+
+
+class TestRelations:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").contains(
+            Prefix.parse("10.0.0.0/8")
+        )
+
+    def test_contains_self(self):
+        prefix = Prefix.parse("172.16.0.0/12")
+        assert prefix.contains(prefix)
+
+    def test_disjoint_not_contained(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(
+            Prefix.parse("11.0.0.0/8")
+        )
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.contains_address(0xC0000264)  # 192.0.2.100
+        assert not prefix.contains_address(0xC0000364)  # 192.0.3.100
+
+    def test_overlaps_symmetric(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.200.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        c = Prefix.parse("11.0.0.0/8")
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_common_supernet(self):
+        a = Prefix.parse("192.0.2.0/25")
+        b = Prefix.parse("192.0.2.128/25")
+        assert str(Prefix.common_supernet(a, b)) == "192.0.2.0/24"
+
+    def test_common_supernet_of_identical(self):
+        a = Prefix.parse("10.0.0.0/8")
+        assert Prefix.common_supernet(a, a) == a
+
+    def test_common_supernet_disjoint_first_octet(self):
+        a = Prefix.parse("0.0.0.0/8")
+        b = Prefix.parse("128.0.0.0/8")
+        assert Prefix.common_supernet(a, b).length == 0
+
+
+class TestNavigation:
+    def test_supernet_one_bit(self):
+        assert str(Prefix.parse("10.1.0.0/16").supernet()) == "10.0.0.0/15"
+
+    def test_supernet_to_target_length(self):
+        assert (
+            str(Prefix.parse("10.1.2.0/24").supernet(new_length=8))
+            == "10.0.0.0/8"
+        )
+
+    def test_supernet_cannot_lengthen(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/8").supernet(new_length=9)
+
+    def test_subnets_cover_parent_exactly(self):
+        parent = Prefix.parse("192.0.2.0/24")
+        low, high = parent.subnets()
+        assert str(low) == "192.0.2.0/25"
+        assert str(high) == "192.0.2.128/25"
+        assert low.num_addresses + high.num_addresses == parent.num_addresses
+
+    def test_cannot_subnet_host_route(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("1.2.3.4/32").subnets()
+
+    def test_bit_access(self):
+        prefix = Prefix.parse("128.0.0.0/2")
+        assert prefix.bit(0) == 1
+        assert prefix.bit(1) == 0
+        with pytest.raises(IndexError):
+            prefix.bit(2)
+
+    def test_to_octets_truncation(self):
+        assert Prefix.parse("10.20.0.0/15").to_octets() == bytes([10, 20])
+        assert Prefix.parse("0.0.0.0/0").to_octets() == b""
+
+
+class TestOrderingAndHashing:
+    def test_equality_and_hash(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix(0x0A000000, 8)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_by_length(self):
+        assert Prefix.parse("10.0.0.0/8") != Prefix.parse("10.0.0.0/9")
+
+    def test_sorting_by_network_then_length(self):
+        unsorted = [
+            Prefix.parse("10.0.0.0/9"),
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("10.0.0.0/8"),
+        ]
+        ordered = sorted(unsorted)
+        assert [str(p) for p in ordered] == [
+            "9.0.0.0/8",
+            "10.0.0.0/8",
+            "10.0.0.0/9",
+        ]
+
+
+class TestPrefixProperties:
+    @given(prefixes())
+    def test_parse_str_roundtrip(self, prefix):
+        assert Prefix.parse(str(prefix)) == prefix
+
+    @given(prefixes())
+    def test_octet_roundtrip(self, prefix):
+        assert Prefix.from_octets(prefix.to_octets(), prefix.length) == prefix
+
+    @given(prefixes(max_length=31))
+    def test_subnets_partition_parent(self, prefix):
+        low, high = prefix.subnets()
+        assert prefix.contains(low) and prefix.contains(high)
+        assert not low.overlaps(high)
+
+    @given(prefixes(min_length=1))
+    def test_supernet_contains_child(self, prefix):
+        assert prefix.supernet().contains(prefix)
+
+    @given(prefixes(), prefixes())
+    def test_common_supernet_contains_both(self, a, b):
+        common = Prefix.common_supernet(a, b)
+        assert common.contains(a) and common.contains(b)
+
+    @given(prefixes(), prefixes())
+    def test_containment_implies_overlap(self, a, b):
+        if a.contains(b):
+            assert a.overlaps(b)
+
+    @given(prefixes())
+    def test_netmask_consistency(self, prefix):
+        assert prefix.network & prefix.netmask == prefix.network
+        assert bin(prefix.netmask).count("1") == prefix.length

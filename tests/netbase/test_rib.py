@@ -1,0 +1,116 @@
+"""Tests for RIB snapshot structures."""
+
+import datetime
+
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import Prefix
+from repro.netbase.rib import PeerId, RibSnapshot, Route
+
+DAY = datetime.date(2001, 4, 6)
+PEER_A = PeerId(asn=701, name="peerA")
+PEER_B = PeerId(asn=1239, name="peerB")
+
+
+def route(prefix: str, path: str, peer: PeerId) -> Route:
+    return Route(Prefix.parse(prefix), ASPath.parse(path), peer)
+
+
+class TestSnapshotBasics:
+    def test_from_routes_groups_by_prefix(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 42", PEER_A),
+                route("10.0.0.0/8", "1239 42", PEER_B),
+                route("192.0.2.0/24", "701 99", PEER_A),
+            ],
+        )
+        assert snapshot.num_prefixes() == 2
+        assert snapshot.num_routes() == 3
+        assert len(snapshot.routes_for(Prefix.parse("10.0.0.0/8"))) == 2
+
+    def test_peers_tracked(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY, [route("10.0.0.0/8", "701 42", PEER_A)]
+        )
+        assert snapshot.peers == frozenset({PEER_A})
+
+    def test_routes_for_missing_prefix_is_empty(self):
+        snapshot = RibSnapshot(DAY)
+        assert snapshot.routes_for(Prefix.parse("10.0.0.0/8")) == []
+
+    def test_iter_routes_counts(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 42", PEER_A),
+                route("11.0.0.0/8", "701 42", PEER_A),
+            ],
+        )
+        assert len(list(snapshot.iter_routes())) == 2
+
+    def test_iter_prefix_routes_returns_copies(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY, [route("10.0.0.0/8", "701 42", PEER_A)]
+        )
+        for _prefix, routes in snapshot.iter_prefix_routes():
+            routes.clear()
+        assert snapshot.num_routes() == 1
+
+
+class TestOrigins:
+    def test_single_origin(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 42", PEER_A),
+                route("10.0.0.0/8", "1239 7018 42", PEER_B),
+            ],
+        )
+        assert snapshot.origins_of(Prefix.parse("10.0.0.0/8")) == {42}
+
+    def test_moas_origins(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 42", PEER_A),
+                route("10.0.0.0/8", "1239 43", PEER_B),
+            ],
+        )
+        assert snapshot.origins_of(Prefix.parse("10.0.0.0/8")) == {42, 43}
+
+    def test_as_set_tails_excluded_by_default(self):
+        # Matches the paper: routes ending in AS sets are not analyzed.
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 {42,43}", PEER_A),
+                route("10.0.0.0/8", "1239 44", PEER_B),
+            ],
+        )
+        assert snapshot.origins_of(Prefix.parse("10.0.0.0/8")) == {44}
+
+    def test_as_set_tails_opt_in(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY, [route("10.0.0.0/8", "701 {42,43}", PEER_A)]
+        )
+        origins = snapshot.origins_of(
+            Prefix.parse("10.0.0.0/8"), include_as_set_tails=True
+        )
+        assert origins == {42, 43}
+
+
+class TestVantageRestriction:
+    def test_restricted_to_peer(self):
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 42", PEER_A),
+                route("10.0.0.0/8", "1239 43", PEER_B),
+            ],
+        )
+        view = snapshot.restricted_to_peer(PEER_A)
+        assert view.num_routes() == 1
+        assert view.peers == frozenset({PEER_A})
+        # The single-peer view no longer sees the conflict.
+        assert view.origins_of(Prefix.parse("10.0.0.0/8")) == {42}

@@ -1,0 +1,202 @@
+"""Tests for the prefix radix trie."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.prefix import Prefix
+from repro.netbase.trie import PrefixTrie
+
+prefix_strategy = st.builds(
+    lambda network, length: Prefix(network, length, strict=False),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestMappingBehaviour:
+    def test_set_get(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("10.0.0.0/8")
+        trie[prefix] = "ten"
+        assert trie[prefix] == "ten"
+        assert prefix in trie
+        assert len(trie) == 1
+
+    def test_get_default(self):
+        trie = PrefixTrie()
+        assert trie.get(Prefix.parse("10.0.0.0/8")) is None
+        assert trie.get(Prefix.parse("10.0.0.0/8"), 5) == 5
+
+    def test_missing_raises(self):
+        trie = PrefixTrie()
+        with pytest.raises(KeyError):
+            trie[Prefix.parse("10.0.0.0/8")]
+
+    def test_overwrite_does_not_grow(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("10.0.0.0/8")
+        trie[prefix] = 1
+        trie[prefix] = 2
+        assert len(trie) == 1
+        assert trie[prefix] == 2
+
+    def test_same_network_different_lengths_are_distinct(self):
+        trie = PrefixTrie()
+        trie[Prefix.parse("10.0.0.0/8")] = 8
+        trie[Prefix.parse("10.0.0.0/16")] = 16
+        assert len(trie) == 2
+        assert trie[Prefix.parse("10.0.0.0/8")] == 8
+        assert trie[Prefix.parse("10.0.0.0/16")] == 16
+
+    def test_delete(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("192.0.2.0/24")
+        trie[prefix] = 1
+        del trie[prefix]
+        assert prefix not in trie
+        assert len(trie) == 0
+
+    def test_delete_missing_raises(self):
+        trie = PrefixTrie()
+        with pytest.raises(KeyError):
+            del trie[Prefix.parse("10.0.0.0/8")]
+
+    def test_delete_keeps_descendants(self):
+        trie = PrefixTrie()
+        parent = Prefix.parse("10.0.0.0/8")
+        child = Prefix.parse("10.1.0.0/16")
+        trie[parent] = "p"
+        trie[child] = "c"
+        del trie[parent]
+        assert child in trie
+        assert parent not in trie
+
+    def test_root_entry(self):
+        trie = PrefixTrie()
+        default = Prefix.parse("0.0.0.0/0")
+        trie[default] = "default"
+        assert trie[default] == "default"
+        match = trie.longest_match(Prefix.parse("1.2.3.0/24"))
+        assert match == (default, "default")
+
+
+class TestLongestMatch:
+    def test_picks_most_specific(self):
+        trie = PrefixTrie()
+        trie[Prefix.parse("10.0.0.0/8")] = "short"
+        trie[Prefix.parse("10.1.0.0/16")] = "long"
+        match = trie.longest_match(Prefix.parse("10.1.2.0/24"))
+        assert match == (Prefix.parse("10.1.0.0/16"), "long")
+
+    def test_no_match(self):
+        trie = PrefixTrie()
+        trie[Prefix.parse("10.0.0.0/8")] = 1
+        assert trie.longest_match(Prefix.parse("11.0.0.0/8")) is None
+
+    def test_exact_match_included(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("192.0.2.0/24")
+        trie[prefix] = 1
+        assert trie.longest_match(prefix) == (prefix, 1)
+
+    def test_less_specific_query_does_not_match_more_specific_entry(self):
+        trie = PrefixTrie()
+        trie[Prefix.parse("10.1.0.0/16")] = 1
+        assert trie.longest_match(Prefix.parse("10.0.0.0/8")) is None
+
+    def test_address_lookup(self):
+        trie = PrefixTrie()
+        trie[Prefix.parse("192.0.2.0/24")] = "doc"
+        match = trie.longest_match_address(0xC0000280)  # 192.0.2.128
+        assert match == (Prefix.parse("192.0.2.0/24"), "doc")
+
+
+class TestCoveringCovered:
+    def _populated(self):
+        trie = PrefixTrie()
+        for text in (
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "10.2.0.0/16",
+            "172.16.0.0/12",
+        ):
+            trie[Prefix.parse(text)] = text
+        return trie
+
+    def test_covering_chain(self):
+        trie = self._populated()
+        covering = [str(p) for p, _ in trie.covering(Prefix.parse("10.1.2.0/24"))]
+        assert covering == ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
+
+    def test_covering_excludes_siblings(self):
+        trie = self._populated()
+        covering = [str(p) for p, _ in trie.covering(Prefix.parse("10.2.5.0/24"))]
+        assert covering == ["10.0.0.0/8", "10.2.0.0/16"]
+
+    def test_covered_subtree(self):
+        trie = self._populated()
+        covered = {str(p) for p, _ in trie.covered(Prefix.parse("10.1.0.0/16"))}
+        assert covered == {"10.1.0.0/16", "10.1.2.0/24"}
+
+    def test_covered_of_unstored_parent(self):
+        trie = self._populated()
+        covered = {str(p) for p, _ in trie.covered(Prefix.parse("10.0.0.0/7"))}
+        assert covered == {
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "10.2.0.0/16",
+        }
+
+    def test_items_sorted(self):
+        trie = self._populated()
+        listed = [p for p, _ in trie.items()]
+        assert listed == sorted(listed, key=lambda p: p.sort_key())
+
+
+class TestTrieProperties:
+    @given(st.dictionaries(prefix_strategy, st.integers(), max_size=40))
+    def test_matches_dict_semantics(self, mapping):
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie[prefix] = value
+        assert len(trie) == len(mapping)
+        for prefix, value in mapping.items():
+            assert trie[prefix] == value
+        assert dict(trie.items()) == mapping
+
+    @given(st.dictionaries(prefix_strategy, st.integers(), max_size=30),
+           prefix_strategy)
+    def test_longest_match_is_correct(self, mapping, query):
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie[prefix] = value
+        expected = None
+        for prefix, value in mapping.items():
+            if prefix.contains(query):
+                if expected is None or prefix.length > expected[0].length:
+                    expected = (prefix, value)
+        assert trie.longest_match(query) == expected
+
+    @given(st.dictionaries(prefix_strategy, st.integers(), max_size=30),
+           prefix_strategy)
+    def test_covered_matches_bruteforce(self, mapping, query):
+        trie = PrefixTrie()
+        for prefix, value in mapping.items():
+            trie[prefix] = value
+        expected = {
+            prefix for prefix in mapping if query.contains(prefix)
+        }
+        assert {p for p, _ in trie.covered(query)} == expected
+
+    @given(st.lists(prefix_strategy, max_size=30, unique=True))
+    def test_insert_then_delete_leaves_empty(self, entries):
+        trie = PrefixTrie()
+        for prefix in entries:
+            trie[prefix] = 0
+        for prefix in entries:
+            del trie[prefix]
+        assert len(trie) == 0
+        assert list(trie.items()) == []

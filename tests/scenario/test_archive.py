@@ -1,0 +1,98 @@
+"""Tests for the CDS archive format."""
+
+import datetime
+
+import pytest
+
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    DayRecord,
+    FLAG_AS_SET_TAIL,
+    PeerRow,
+)
+
+
+def make_record(day_index: int, alive: int, rows=()) -> DayRecord:
+    return DayRecord(
+        day=datetime.date(1997, 11, 8) + datetime.timedelta(days=day_index),
+        day_index=day_index,
+        alive_count=alive,
+        active_peers=(701, 1239),
+        rows=tuple(rows),
+    )
+
+
+class TestWriterReader:
+    def test_roundtrip(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        p0 = writer.register_prefix(Prefix.parse("10.0.0.0/8"), 42, 0)
+        p1 = writer.register_prefix(Prefix.parse("192.0.2.0/24"), 43, 0)
+        path_id = writer.intern_path((701, 42))
+        writer.write_day(
+            make_record(0, 2, [PeerRow(p0, 701, 42, path_id)])
+        )
+        writer.write_day(make_record(1, 2))
+        writer.finalize({"calendar_start": "1997-11-08"})
+
+        reader = ArchiveReader(tmp_path / "archive")
+        assert reader.num_prefixes == 2
+        assert reader.prefix(p1) == Prefix.parse("192.0.2.0/24")
+        days = list(reader.iter_days())
+        assert len(days) == 2
+        assert days[0].day == datetime.date(1997, 11, 8)
+        assert days[0].rows[0].origin == 42
+        assert reader.path(days[0].rows[0].path_id) == (701, 42)
+        assert days[1].rows == ()
+
+    def test_path_interning_dedupes(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        first = writer.intern_path((1, 2, 3))
+        second = writer.intern_path((1, 2, 3))
+        third = writer.intern_path((1, 2))
+        assert first == second
+        assert third != first
+
+    def test_duplicate_prefix_rejected(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        writer.register_prefix(Prefix.parse("10.0.0.0/8"), 42, 0)
+        with pytest.raises(ValueError, match="already registered"):
+            writer.register_prefix(Prefix.parse("10.0.0.0/8"), 43, 1)
+
+    def test_alive_count_validated(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        writer.register_prefix(Prefix.parse("10.0.0.0/8"), 42, 0)
+        with pytest.raises(ValueError, match="alive_count"):
+            writer.write_day(make_record(0, alive=5))
+
+    def test_write_after_finalize_rejected(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        writer.finalize({"calendar_start": "1997-11-08"})
+        with pytest.raises(RuntimeError, match="finalized"):
+            writer.write_day(make_record(0, 0))
+
+    def test_flags_roundtrip(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        writer.register_prefix(
+            Prefix.parse("10.0.0.0/8"), 42, 0, flags=FLAG_AS_SET_TAIL
+        )
+        writer.finalize({"calendar_start": "1997-11-08"})
+        reader = ArchiveReader(tmp_path / "archive")
+        assert reader.registry[0].as_set_tail
+        assert not reader.registry[0].exchange_point
+
+    def test_ground_truth_roundtrip(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        writer.finalize({"calendar_start": "1997-11-08"})
+        writer.write_ground_truth([{"prefix": "10.0.0.0/8", "valid": True}])
+        reader = ArchiveReader(tmp_path / "archive")
+        truth = reader.ground_truth()
+        assert truth[0]["valid"] is True
+
+    def test_manifest_extra_preserved(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        writer.finalize({"calendar_start": "1997-11-08", "seed": 99})
+        reader = ArchiveReader(tmp_path / "archive")
+        assert reader.manifest["seed"] == 99
+        assert reader.manifest["format"] == "cds-1"

@@ -1,0 +1,80 @@
+"""Failure-injection tests: corrupted CDS archives fail loudly."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    DayRecord,
+    PeerRow,
+)
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    directory = tmp_path / "archive"
+    writer = ArchiveWriter(directory)
+    pid = writer.register_prefix(Prefix.parse("10.0.0.0/8"), 42, 0)
+    path_id = writer.intern_path((701, 43))
+    writer.write_day(
+        DayRecord(
+            day=datetime.date(1997, 11, 8),
+            day_index=0,
+            alive_count=1,
+            active_peers=(701,),
+            rows=(PeerRow(pid, 701, 43, path_id),),
+        )
+    )
+    writer.finalize({"calendar_start": "1997-11-08"})
+    return directory
+
+
+class TestCorruption:
+    def test_bad_registry_magic(self, archive):
+        registry = archive / "registry.bin"
+        data = bytearray(registry.read_bytes())
+        data[:4] = b"XXXX"
+        registry.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="magic"):
+            ArchiveReader(archive)
+
+    def test_bad_paths_magic(self, archive):
+        paths = archive / "paths.bin"
+        data = bytearray(paths.read_bytes())
+        data[:4] = b"XXXX"
+        paths.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="magic"):
+            ArchiveReader(archive)
+
+    def test_bad_days_magic(self, archive):
+        days = archive / "days.bin"
+        data = bytearray(days.read_bytes())
+        data[:4] = b"XXXX"
+        days.write_bytes(bytes(data))
+        reader = ArchiveReader(archive)
+        with pytest.raises(ValueError, match="magic"):
+            list(reader.iter_days())
+
+    def test_missing_manifest(self, archive):
+        (archive / "manifest.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            ArchiveReader(archive)
+
+    def test_manifest_without_calendar_start(self, archive):
+        manifest_path = archive / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["calendar_start"]
+        manifest_path.write_text(json.dumps(manifest))
+        reader = ArchiveReader(archive)
+        with pytest.raises(ValueError, match="calendar_start"):
+            list(reader.iter_days())
+
+    def test_intact_archive_reads_fine(self, archive):
+        reader = ArchiveReader(archive)
+        days = list(reader.iter_days())
+        assert len(days) == 1
+        assert days[0].rows[0].origin == 43

@@ -1,0 +1,98 @@
+"""Tests for conflict-event semantics."""
+
+import pytest
+
+from repro.netbase.prefix import Prefix
+from repro.scenario.events import Cause, ConflictEvent
+
+PREFIX = Prefix.parse("192.0.2.0/24")
+
+
+def make_event(**overrides) -> ConflictEvent:
+    defaults = dict(
+        prefix=PREFIX,
+        origins=(42, 43),
+        cause=Cause.MISCONFIG,
+        start_index=10,
+        end_index=20,
+    )
+    defaults.update(overrides)
+    return ConflictEvent(**defaults)
+
+
+class TestValidation:
+    def test_single_origin_rejected(self):
+        with pytest.raises(ValueError, match="2 origins"):
+            make_event(origins=(42,))
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="before it starts"):
+            make_event(start_index=5, end_index=4)
+
+    def test_bad_duty_cycle_rejected(self):
+        with pytest.raises(ValueError, match="duty cycle"):
+            make_event(duty_cycle=0.0)
+        with pytest.raises(ValueError, match="duty cycle"):
+            make_event(duty_cycle=1.5)
+
+    def test_pivot_requires_two_origins(self):
+        with pytest.raises(ValueError, match="two origins"):
+            make_event(origins=(1, 2, 3), pivot=7)
+
+
+class TestActivity:
+    def test_active_inside_window(self):
+        event = make_event()
+        assert event.active_on(10)
+        assert event.active_on(15)
+        assert event.active_on(20)
+
+    def test_inactive_outside_window(self):
+        event = make_event()
+        assert not event.active_on(9)
+        assert not event.active_on(21)
+
+    def test_continuous_event_present_every_day(self):
+        event = make_event()
+        assert all(event.active_on(day) for day in range(10, 21))
+
+    def test_intermittent_event_flickers_deterministically(self):
+        event = make_event(
+            start_index=0, end_index=199, duty_cycle=0.5, flicker_seed=3
+        )
+        pattern = [event.active_on(day) for day in range(200)]
+        assert pattern == [event.active_on(day) for day in range(200)]
+        active = sum(pattern)
+        # Roughly half the days, and definitely not all or none.
+        assert 60 <= active <= 140
+
+    def test_intermittent_endpoints_always_present(self):
+        # First/last day presence preserves the recorded extent.
+        event = make_event(
+            start_index=0, end_index=99, duty_cycle=0.5, flicker_seed=9
+        )
+        assert event.active_on(0)
+        assert event.active_on(99)
+
+    def test_negative_start_supported(self):
+        # Conflicts already in progress when the study window opens.
+        event = make_event(start_index=-50, end_index=5)
+        assert event.active_on(0)
+
+
+class TestCauseTaxonomy:
+    def test_valid_causes(self):
+        assert Cause.EXCHANGE_POINT.is_valid
+        assert Cause.STATIC_MULTIHOMING.is_valid
+        assert Cause.PRIVATE_AS.is_valid
+        assert Cause.TRAFFIC_ENGINEERING.is_valid
+        assert Cause.PROVIDER_TRANSITION.is_valid
+
+    def test_invalid_causes(self):
+        assert not Cause.MISCONFIG.is_valid
+        assert not Cause.FAULT_MASS_ORIGINATION.is_valid
+
+    def test_private_asn_flagging(self):
+        event = make_event(origins=(42, 64513))
+        assert event.uses_private_asn()
+        assert not make_event().uses_private_asn()

@@ -1,0 +1,182 @@
+"""Tests for the event generator and collector configuration."""
+
+import pytest
+
+from repro.scenario.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.scenario.collector import CollectorConfig
+from repro.scenario.events import Cause
+from repro.scenario.generator import EventGenerator
+from repro.scenario.routing import CollectorRouting
+from repro.topology.generator import TopologyConfig, build_initial_model
+from repro.util.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def world_parts():
+    streams = RngStreams(42)
+    model, _plan, _factory = build_initial_model(
+        TopologyConfig(scale=0.02), streams
+    )
+    collector = CollectorConfig.default_for_model(
+        model, streams, num_days=100
+    )
+    routing = CollectorRouting(model.graph, list(collector.all_peer_asns))
+    return model, collector, routing, streams
+
+
+def make_generator(world_parts, conflicted=frozenset()):
+    model, _collector, routing, streams = world_parts
+    return EventGenerator(
+        model,
+        routing,
+        DEFAULT_CALIBRATION,
+        streams.child("test-gen"),
+        num_days=100,
+        scale=1.0,  # high rates so the tests get enough samples
+        is_conflicted=lambda prefix: prefix in conflicted,
+    )
+
+
+class TestInitialEvents:
+    def test_standing_population_sized_by_calibration(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        events = generator.initial_events(
+            list(collector.active_peers(0))
+        )
+        # Scale 1.0 against a tiny topology: visibility filtering and
+        # prefix contention drop a share of attempts, but the standing
+        # population must still be a substantial fraction of the
+        # calibrated counts (full-size calibration is asserted by the
+        # figure benchmarks, not here).
+        expected = (
+            DEFAULT_CALIBRATION.initial_static_multihoming
+            + DEFAULT_CALIBRATION.initial_private_as
+            + DEFAULT_CALIBRATION.initial_traffic_engineering
+        )
+        assert len(events) >= 0.4 * expected
+
+    def test_initial_events_span_day_zero(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        for event in generator.initial_events(
+            list(collector.active_peers(0))
+        ):
+            assert event.start_index <= 0 <= event.end_index
+
+    def test_exchange_point_events_cover_whole_study(self, world_parts):
+        model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        events = [
+            event
+            for event in generator.initial_events(
+                list(collector.active_peers(0))
+            )
+            if event.cause is Cause.EXCHANGE_POINT
+        ]
+        assert len(events) == len(model.ixps)
+        for event in events:
+            assert event.start_index == 0
+            assert event.end_index == 99
+
+
+class TestBirths:
+    def test_births_have_valid_structure(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        peers = list(collector.active_peers(0))
+        seen_causes = set()
+        for day in range(40):
+            for event in generator.births(day, peers):
+                seen_causes.add(event.cause)
+                assert event.start_index == day
+                assert len(event.origins) >= 2
+                assert len(set(event.origins)) == len(event.origins)
+        # With scale-1 rates over 40 days every organic cause appears.
+        assert Cause.MISCONFIG in seen_causes
+        assert Cause.PROVIDER_TRANSITION in seen_causes
+        assert Cause.STATIC_MULTIHOMING in seen_causes
+
+    def test_no_duplicate_prefixes_within_day(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        peers = list(collector.active_peers(0))
+        for day in range(20):
+            born = generator.births(day, peers)
+            prefixes = [event.prefix for event in born]
+            assert len(prefixes) == len(set(prefixes))
+
+    def test_conflicted_prefixes_skipped(self, world_parts):
+        model, collector, _routing, _streams = world_parts
+        conflicted = frozenset(model.prefix_owner)
+        generator = make_generator(world_parts, conflicted=conflicted)
+        peers = list(collector.active_peers(0))
+        for day in range(5):
+            assert generator.births(day, peers) == []
+
+
+class TestMassOrigination:
+    def test_visible_target_reached(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        peers = list(collector.active_peers(0))
+        events = generator.mass_origination(
+            faulty_asn=8584,
+            day_index=10,
+            durations=[1] * 50,
+            active_peers=peers,
+        )
+        assert len(events) == 50
+        for event in events:
+            assert 8584 in event.origins
+            assert event.start_index == event.end_index == 10
+            assert event.cause is Cause.FAULT_MASS_ORIGINATION
+
+    def test_decay_durations(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        generator = make_generator(world_parts)
+        peers = list(collector.active_peers(0))
+        events = generator.mass_origination(
+            faulty_asn=15412,
+            day_index=0,
+            durations=[3, 3, 2, 1],
+            active_peers=peers,
+        )
+        durations = sorted(
+            event.end_index - event.start_index + 1 for event in events
+        )
+        assert durations == [1, 2, 3, 3]
+
+
+class TestCollectorConfig:
+    def test_peer_growth(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        early = collector.active_peers(0)
+        late = collector.active_peers(99)
+        assert len(early) < len(late)
+        assert set(early) <= set(late)
+
+    def test_anchor_tier1_peers_from_day_zero(self, world_parts):
+        _model, collector, _routing, _streams = world_parts
+        assert 701 in collector.active_peers(0)
+        assert 1239 in collector.active_peers(0)
+
+    def test_duplicate_peers_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CollectorConfig(peer_schedule=((701, 0), (701, 5)))
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CollectorConfig(peer_schedule=())
+
+
+class TestCalibration:
+    def test_ramp_endpoints(self):
+        calibration = Calibration()
+        assert calibration.ramp(0, 1000) == pytest.approx(1.0)
+        assert calibration.ramp(999, 1000) == pytest.approx(
+            calibration.ramp_factor
+        )
+
+    def test_ramp_single_day(self):
+        assert Calibration().ramp(0, 1) == 1.0

@@ -1,0 +1,92 @@
+"""Tests for collector-side routing views."""
+
+from repro.bgp.relationships import ASGraph
+from repro.scenario.routing import CollectorRouting
+
+
+def small_internet() -> ASGraph:
+    graph = ASGraph()
+    graph.add_peering(701, 1239)
+    graph.add_customer(701, 100)
+    graph.add_customer(1239, 200)
+    graph.add_customer(100, 7)
+    graph.add_customer(200, 8)
+    graph.add_customer(100, 9)
+    graph.add_customer(200, 9)
+    return graph
+
+
+class TestPeerViews:
+    def test_views_cover_reachable_peers(self):
+        routing = CollectorRouting(small_internet(), [701, 1239, 100])
+        views = routing.peer_views(7)
+        assert set(views) == {701, 1239, 100}
+        assert views[100].path == (100, 7)
+
+    def test_views_cached(self):
+        routing = CollectorRouting(small_internet(), [701])
+        assert routing.peer_views(7) is routing.peer_views(7)
+
+    def test_paths_start_at_peer_end_at_origin(self):
+        routing = CollectorRouting(small_internet(), [701, 200])
+        for peer, view in routing.peer_views(7).items():
+            assert view.path[0] == peer
+            assert view.path[-1] == 7
+
+    def test_oracle_cache_evicted(self):
+        routing = CollectorRouting(small_internet(), [701])
+        routing.peer_views(7)
+        # Only the compact peer views remain cached.
+        assert 7 not in routing._oracle._cache
+
+
+class TestChooseOrigins:
+    def test_divergent_choice_makes_conflict_visible(self):
+        routing = CollectorRouting(small_internet(), [100, 200])
+        # Origins 7 (under 100) and 8 (under 200): each peer prefers
+        # its customer-side origin.
+        chosen = routing.choose_origins([7, 8], [100, 200])
+        assert chosen[100][0] == 7
+        assert chosen[200][0] == 8
+        assert routing.conflict_visible([7, 8], [100, 200])
+
+    def test_agreeing_peers_hide_conflict(self):
+        routing = CollectorRouting(small_internet(), [100])
+        assert not routing.conflict_visible([7, 8], [100])
+
+    def test_visible_origins(self):
+        routing = CollectorRouting(small_internet(), [100, 200])
+        assert routing.visible_origins([7, 8], [100, 200]) == {7, 8}
+
+    def test_peers_without_route_omitted(self):
+        graph = small_internet()
+        graph.add_as(31337)  # isolated
+        routing = CollectorRouting(graph, [31337, 100])
+        chosen = routing.choose_origins([7], [31337, 100])
+        assert 31337 not in chosen
+        assert 100 in chosen
+
+
+class TestPivotViews:
+    def test_round_robin_partition(self):
+        routing = CollectorRouting(small_internet(), [100, 200, 701, 1239])
+        views = routing.pivot_views(100, (100, 7), [100, 200, 701, 1239])
+        origins = [origin for origin, _view in views.values()]
+        assert set(origins) == {100, 7}
+
+    def test_non_pivot_origin_extends_path(self):
+        routing = CollectorRouting(small_internet(), [200])
+        views = routing.pivot_views(100, (7, 100), [200, 701])
+        for peer, (origin, view) in views.items():
+            if origin == 100:
+                assert view.path[-1] == 100
+            else:
+                # Path runs through the pivot then one hop beyond.
+                assert view.path[-2] == 100
+                assert view.path[-1] == 7
+
+    def test_reachable_peer_count(self):
+        graph = small_internet()
+        graph.add_as(31337)
+        routing = CollectorRouting(graph, [100, 200, 31337])
+        assert routing.pivot_reachable_peers(7, [100, 200, 31337]) == 2

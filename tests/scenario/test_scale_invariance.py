@@ -1,0 +1,75 @@
+"""Scale invariance: scale-free statistics must not depend on scale.
+
+DESIGN.md promises that durations, shares and orderings are invariant
+under the ``scale`` parameter while absolute counts scale linearly.
+This is what makes laptop-size reproductions meaningful, so it gets its
+own test: two studies at different scales over the same window must
+agree on the scale-free statistics within stochastic tolerance.
+"""
+
+import datetime
+
+import pytest
+
+from repro.analysis.pipeline import StudyPipeline
+from repro.analysis.sources import detections_from_archive
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import StudyCalendar
+
+CALENDAR = StudyCalendar(
+    datetime.date(1997, 11, 8), datetime.date(1998, 11, 7)
+)  # one year
+
+
+@pytest.fixture(scope="module")
+def two_scales(tmp_path_factory):
+    base = tmp_path_factory.mktemp("scales")
+    results = {}
+    for scale in (0.02, 0.05):
+        config = ScenarioConfig(
+            scale=scale, calendar=CALENDAR, paper_archive_gaps=False
+        )
+        directory = base / f"s{scale}"
+        simulate_study(directory, config)
+        results[scale] = StudyPipeline().run(
+            detections_from_archive(directory)
+        )
+    return results
+
+
+class TestScaleInvariance:
+    def test_duration_expectation_scale_free(self, two_scales):
+        small = two_scales[0.02].duration_expectations
+        large = two_scales[0.05].duration_expectations
+        for threshold in (0, 1, 9):
+            assert threshold in small and threshold in large
+            ratio = small[threshold] / large[threshold]
+            assert 0.5 <= ratio <= 2.0, (
+                f">{threshold}d: {small[threshold]:.1f} vs "
+                f"{large[threshold]:.1f}"
+            )
+
+    def test_counts_scale_roughly_linearly(self, two_scales):
+        small = two_scales[0.02].total_conflicts
+        large = two_scales[0.05].total_conflicts
+        measured_ratio = large / small
+        expected_ratio = 0.05 / 0.02
+        assert 0.5 * expected_ratio <= measured_ratio <= 1.6 * expected_ratio
+
+    def test_one_time_share_scale_free(self, two_scales):
+        shares = {
+            scale: results.one_time_conflicts / results.total_conflicts
+            for scale, results in two_scales.items()
+        }
+        assert abs(shares[0.02] - shares[0.05]) < 0.25
+
+    def test_24_dominance_at_both_scales(self, two_scales):
+        for results in two_scales.values():
+            for by_length in results.length_distribution.values():
+                if sum(by_length.values()) < 5:
+                    continue
+                assert max(by_length, key=by_length.get) == 24
+
+    def test_spike_day_is_peak_at_both_scales(self, two_scales):
+        for results in two_scales.values():
+            assert results.peak_days[0][0] == datetime.date(1998, 4, 7)

@@ -1,0 +1,74 @@
+"""Tests for the study timeline and archive gaps."""
+
+import datetime
+
+import pytest
+
+from repro.scenario.timeline import (
+    CLASSIFICATION_WINDOW,
+    PROTECTED_DATES,
+    StudyTimeline,
+)
+from repro.util.dates import PAPER_CALENDAR, StudyCalendar
+from repro.util.rng import RngStreams
+
+
+class TestPaperTimeline:
+    def test_observation_count_matches_paper(self):
+        timeline = StudyTimeline.paper_timeline(RngStreams(1))
+        assert timeline.num_observation_days == 1279
+
+    def test_protected_dates_always_observed(self):
+        timeline = StudyTimeline.paper_timeline(RngStreams(1))
+        for day in PROTECTED_DATES:
+            assert timeline.is_observed(day), f"{day} must be observed"
+
+    def test_classification_window_fully_observed(self):
+        timeline = StudyTimeline.paper_timeline(RngStreams(1))
+        start, end = CLASSIFICATION_WINDOW
+        day = start
+        while day <= end:
+            assert timeline.is_observed(day)
+            day += datetime.timedelta(days=1)
+
+    def test_deterministic_given_seed(self):
+        first = StudyTimeline.paper_timeline(RngStreams(7))
+        second = StudyTimeline.paper_timeline(RngStreams(7))
+        assert first.observed == second.observed
+
+    def test_gaps_differ_across_seeds(self):
+        first = StudyTimeline.paper_timeline(RngStreams(1))
+        second = StudyTimeline.paper_timeline(RngStreams(2))
+        assert first.observed != second.observed
+
+    def test_observation_days_sorted(self):
+        timeline = StudyTimeline.paper_timeline(RngStreams(1))
+        days = timeline.observation_days()
+        assert list(days) == sorted(days)
+        assert timeline.last_observed_day() == days[-1]
+
+    def test_custom_gap_count(self):
+        timeline = StudyTimeline.paper_timeline(RngStreams(1), gap_days=10)
+        assert (
+            timeline.num_observation_days
+            == PAPER_CALENDAR.num_days - 10
+        )
+
+
+class TestFullyObserved:
+    def test_no_gaps(self):
+        calendar = StudyCalendar(
+            datetime.date(2001, 1, 1), datetime.date(2001, 1, 31)
+        )
+        timeline = StudyTimeline.fully_observed(calendar)
+        assert timeline.num_observation_days == 31
+
+    def test_out_of_window_rejected(self):
+        calendar = StudyCalendar(
+            datetime.date(2001, 1, 1), datetime.date(2001, 1, 31)
+        )
+        with pytest.raises(ValueError, match="outside calendar"):
+            StudyTimeline(
+                calendar=calendar,
+                observed=frozenset({datetime.date(2002, 1, 1)}),
+            )

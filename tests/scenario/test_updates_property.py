@@ -1,0 +1,101 @@
+"""Property test: replaying day diffs reconstructs the day state.
+
+For any pair of day records, applying :func:`diff_days`'s updates to
+the previous day's (peer, prefix) -> origin map must yield exactly the
+next day's map — the invariant that makes archive replay trustworthy
+as a streaming workload.
+"""
+
+import datetime
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    DayRecord,
+    PeerRow,
+)
+from repro.scenario.updates import diff_days
+
+START = datetime.date(1997, 11, 8)
+PEERS = (701, 1239, 3561)
+NUM_PREFIXES = 6
+
+
+def day_rows_strategy():
+    """Random per-day row sets over a small prefix/peer universe."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=NUM_PREFIXES - 1),
+            st.sampled_from(PEERS),
+            st.integers(min_value=100, max_value=104),  # origin
+        ),
+        max_size=12,
+        unique_by=lambda row: (row[0], row[1]),
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(day0=day_rows_strategy(), day1=day_rows_strategy())
+def test_diff_apply_roundtrip(tmp_path_factory, day0, day1):
+    directory = tmp_path_factory.mktemp("prop-archive")
+    writer = ArchiveWriter(directory)
+    for index in range(NUM_PREFIXES):
+        writer.register_prefix(
+            Prefix((10 << 24) | (index << 16), 16, strict=False), 42, 0
+        )
+
+    def make_record(offset: int, rows) -> DayRecord:
+        return DayRecord(
+            day=START + datetime.timedelta(days=offset),
+            day_index=offset,
+            alive_count=NUM_PREFIXES,
+            active_peers=PEERS,
+            rows=tuple(
+                PeerRow(
+                    prefix_id,
+                    peer,
+                    origin,
+                    writer.intern_path((peer, origin)),
+                )
+                for prefix_id, peer, origin in rows
+            ),
+        )
+
+    record0 = make_record(0, day0)
+    record1 = make_record(1, day1)
+    writer.write_day(record0)
+    writer.write_day(record1)
+    writer.finalize({"calendar_start": START.isoformat()})
+    reader = ArchiveReader(directory)
+
+    # Apply the diff to day0's route map.
+    state = {
+        (row.peer_asn, reader.prefix(row.prefix_id)): reader.path(
+            row.path_id
+        )
+        for row in record0.rows
+    }
+    for _ts, message in diff_days(record0, record1, reader):
+        for prefix in message.withdrawn:
+            state.pop((message.peer_asn, prefix), None)
+        if message.attributes is not None:
+            for prefix in message.announced:
+                state[(message.peer_asn, prefix)] = tuple(
+                    message.attributes.as_path.sequence_tuple()
+                )
+
+    expected = {
+        (row.peer_asn, reader.prefix(row.prefix_id)): reader.path(
+            row.path_id
+        )
+        for row in record1.rows
+    }
+    assert state == expected

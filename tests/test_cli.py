@@ -1,0 +1,58 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import analyze_main, report_main, simulate_main
+
+
+@pytest.fixture(scope="module")
+def cli_archive(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli") / "archive"
+    code = simulate_main([str(directory), "--scale", "0.01"])
+    assert code == 0
+    return directory
+
+
+class TestSimulate:
+    def test_writes_archive(self, cli_archive):
+        assert (cli_archive / "manifest.json").exists()
+        assert (cli_archive / "days.bin").exists()
+        assert (cli_archive / "registry.bin").exists()
+
+    def test_summary_printed(self, capsys, tmp_path):
+        simulate_main([str(tmp_path / "a"), "--scale", "0.01", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "observed_days: 1279" in out
+
+
+class TestAnalyze:
+    def test_produces_report_and_figures(self, cli_archive, tmp_path, capsys):
+        out_dir = tmp_path / "analysis"
+        code = analyze_main([str(cli_archive), str(out_dir)])
+        assert code == 0
+        for name in (
+            "figure1.csv",
+            "figure3.csv",
+            "figure5.csv",
+            "figure6.csv",
+            "episodes.csv",
+            "summary.json",
+            "report.txt",
+        ):
+            assert (out_dir / name).exists(), f"{name} missing"
+        printed = capsys.readouterr().out
+        assert "MOAS study summary" in printed
+        assert "Fig. 2." in printed
+
+    def test_report_roundtrip(self, cli_archive, tmp_path, capsys):
+        out_dir = tmp_path / "analysis"
+        analyze_main([str(cli_archive), str(out_dir)])
+        capsys.readouterr()
+        code = report_main([str(out_dir)])
+        assert code == 0
+        assert "MOAS study summary" in capsys.readouterr().out
+
+    def test_report_missing_dir_fails(self, tmp_path, capsys):
+        code = report_main([str(tmp_path / "nonexistent")])
+        assert code == 1
+        assert "no report" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""Meta-tests: public API documentation coverage.
+
+Every public module, class and function in the library must carry a
+docstring — enforced here so documentation debt cannot accrete
+silently.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their home
+        yield name, member
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, member in _public_members(module):
+        if not inspect.getdoc(member):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not inspect.getdoc(method):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public members: "
+        f"{sorted(undocumented)}"
+    )

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs and produces its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "MOAS conflicts:    1" in out
+    assert "origin ASes:       [7, 8]" in out
+    assert "DistinctPaths" in out
+    assert "LOST (faulty origin)" in out
+
+
+def test_full_study_small_scale():
+    out = run_example("full_study.py", "--scale", "0.01")
+    assert "MOAS study summary" in out
+    assert "Fig. 2." in out
+    assert "Fig. 4." in out
+    assert "1998-04-07" in out  # the scripted spike is found
+
+
+def test_hijack_alerting():
+    out = run_example("hijack_alerting.py")
+    assert out.count("moas_started") == 4
+    assert out.count("moas_ended") == 4
+    assert "origin NOT in registry" in out
+    assert "conflicts still active: []" in out
+
+
+def test_vantage_points():
+    out = run_example("vantage_points.py", "--scale", "0.02")
+    assert "Route Views collector" in out
+    assert "single-homed stub" in out
+
+
+def test_as7007_deaggregation():
+    out = run_example("as7007_deaggregation.py")
+    assert "BLACKHOLED at AS 7007" in out
+    assert "3/3 victim blocks blackholed" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "full_study.py",
+        "hijack_alerting.py",
+        "vantage_points.py",
+        "as7007_deaggregation.py",
+    ],
+)
+def test_examples_have_docstrings(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.startswith("#!/usr/bin/env python3")
+    assert '"""' in text

@@ -1,0 +1,107 @@
+"""Cross-cutting integration tests: CLI, MRT export, determinism."""
+
+import datetime
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.export import summary_json
+from repro.analysis.pipeline import StudyPipeline
+from repro.analysis.sources import (
+    detections_from_archive,
+    detections_from_mrt_files,
+)
+from repro.cli import simulate_main
+from repro.core.classifier import classify_conflict
+from repro.core.detector import DailyConflict
+from repro.netbase.prefix import Prefix
+
+
+class TestCliMrtIntegration:
+    def test_cli_mrt_export_feeds_mrt_pipeline(self, tmp_path):
+        """An MRT day exported by the CLI parses through the MRT source."""
+        archive = tmp_path / "archive"
+        code = simulate_main(
+            [
+                str(archive),
+                "--scale",
+                "0.01",
+                "--mrt-export",
+                "1998-04-07",
+                "--mrt-export",
+                "1998-04-08",
+            ]
+        )
+        assert code == 0
+        mrt_files = sorted((archive / "mrt").glob("*.mrt"))
+        assert len(mrt_files) == 2
+
+        detections = list(detections_from_mrt_files(mrt_files))
+        assert [d.day for d in detections] == [
+            datetime.date(1998, 4, 7),
+            datetime.date(1998, 4, 8),
+        ]
+        # The spike day shows far more conflicts than the day after.
+        assert detections[0].num_conflicts > 2 * detections[1].num_conflicts
+
+        # And the MRT view agrees with the CDS view for those days.
+        by_day = {d.day: d for d in detections_from_archive(archive)}
+        for detection in detections:
+            cds = by_day[detection.day]
+            assert detection.num_conflicts == cds.num_conflicts
+
+
+class TestPipelineDeterminism:
+    def test_identical_runs_identical_results(self, tmp_path):
+        archive = tmp_path / "archive"
+        simulate_main([str(archive), "--scale", "0.01"])
+        first = StudyPipeline().run(detections_from_archive(archive))
+        second = StudyPipeline().run(detections_from_archive(archive))
+        assert summary_json(first) == summary_json(second)
+        assert json.loads(summary_json(first))["total_conflicts"] == (
+            first.total_conflicts
+        )
+
+
+paths = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=1, max_size=4
+).map(tuple)
+
+
+class TestClassifierInvariance:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=100, max_value=105),
+            st.lists(paths, min_size=1, max_size=3, unique=True),
+            min_size=2,
+            max_size=4,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_classification_invariant_under_origin_order(
+        self, by_origin, rng
+    ):
+        """Shuffling origin order never changes the conflict class."""
+        # Force distinct path tails per origin so pairs are classifiable.
+        normalized = {
+            origin: [tuple(path) + (origin,) for path in path_list]
+            for origin, path_list in by_origin.items()
+        }
+        items = sorted(normalized.items())
+
+        def conflict_with(order):
+            return DailyConflict(
+                prefix=Prefix.parse("10.0.0.0/8"),
+                origins=frozenset(normalized),
+                paths_by_origin=tuple(
+                    (origin, tuple(sorted(paths_list)))
+                    for origin, paths_list in order
+                ),
+            )
+
+        baseline = classify_conflict(conflict_with(items))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert classify_conflict(conflict_with(shuffled)) is baseline

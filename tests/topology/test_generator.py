@@ -1,0 +1,124 @@
+"""Tests for the initial topology generator."""
+
+import pytest
+
+from repro.bgp.oracle import GaoRexfordOracle
+from repro.topology.generator import (
+    AS_7007,
+    AS_8584,
+    AS_15412,
+    TIER1_ASNS,
+    AsnFactory,
+    TopologyConfig,
+    build_initial_model,
+)
+from repro.topology.ixp import IXP_BLOCK
+from repro.topology.model import Tier
+from repro.util.rng import RngStreams
+
+
+def small_config() -> TopologyConfig:
+    return TopologyConfig(scale=0.02)  # ~60 ASes, ~1k prefixes
+
+
+def build_small():
+    return build_initial_model(small_config(), RngStreams(42))
+
+
+class TestStructure:
+    def test_counts_match_config(self):
+        config = small_config()
+        model, _plan, _factory = build_initial_model(config, RngStreams(42))
+        assert model.num_ases() == config.num_ases
+        assert model.num_prefixes() >= config.num_prefixes
+
+    def test_tier1_clique(self):
+        model, _, _ = build_small()
+        for index, left in enumerate(TIER1_ASNS):
+            for right in TIER1_ASNS[index + 1 :]:
+                assert model.graph.has_link(left, right)
+
+    def test_scripted_ases_present_and_positioned(self):
+        model, _, _ = build_small()
+        assert model.as_info[AS_8584].tier is Tier.STUB
+        assert model.as_info[AS_7007].tier is Tier.STUB
+        assert model.as_info[AS_15412].tier is Tier.TRANSIT
+        # Era-correct provider relationships for the fault scripts.
+        assert 3561 in model.graph.providers_of(AS_15412)
+        assert 1239 in model.graph.providers_of(AS_7007)
+
+    def test_every_as_has_a_prefix(self):
+        model, _, _ = build_small()
+        for asn in model.as_info:
+            assert model.prefixes_of(asn), f"AS {asn} owns no prefix"
+
+    def test_every_non_tier1_has_a_provider(self):
+        model, _, _ = build_small()
+        for asn, info in model.as_info.items():
+            if info.tier is not Tier.TIER1:
+                assert model.graph.providers_of(asn), (
+                    f"AS {asn} ({info.tier}) has no provider"
+                )
+
+    def test_prefixes_disjoint(self):
+        model, _, _ = build_small()
+        ordered = sorted(model.prefix_owner, key=lambda p: p.sort_key())
+        for left, right in zip(ordered, ordered[1:]):
+            assert not left.overlaps(right)
+
+    def test_full_reachability(self):
+        # Every AS can route to every origin: the graph is connected
+        # under valley-free routing (tier-1 clique guarantees it).
+        model, _, _ = build_small()
+        oracle = GaoRexfordOracle(model.graph)
+        origin = AS_7007
+        routes = oracle.routes_to(origin)
+        assert set(routes) == set(model.graph.ases())
+
+    def test_ixps_created_in_block(self):
+        config = small_config()
+        model, _, _ = build_initial_model(config, RngStreams(42))
+        assert len(model.ixps) == config.num_ixps
+        for ixp in model.ixps:
+            assert IXP_BLOCK.contains(ixp.prefix)
+            assert len(ixp.members) >= 2
+
+    def test_determinism(self):
+        first, _, _ = build_initial_model(small_config(), RngStreams(42))
+        second, _, _ = build_initial_model(small_config(), RngStreams(42))
+        assert set(first.as_info) == set(second.as_info)
+        assert first.prefix_owner == second.prefix_owner
+
+    def test_different_seed_differs(self):
+        first, _, _ = build_initial_model(small_config(), RngStreams(1))
+        second, _, _ = build_initial_model(small_config(), RngStreams(2))
+        assert first.prefix_owner != second.prefix_owner
+
+
+class TestAsnFactory:
+    def test_never_reuses(self):
+        factory = AsnFactory(RngStreams(1))
+        seen = {factory.next_asn() for _ in range(2000)}
+        assert len(seen) == 2000
+
+    def test_reserved_never_emitted(self):
+        factory = AsnFactory(RngStreams(1))
+        emitted = {factory.next_asn() for _ in range(2000)}
+        assert not emitted & {AS_8584, AS_15412, AS_7007, *TIER1_ASNS}
+
+    def test_reserve_conflict_detected(self):
+        factory = AsnFactory(RngStreams(1))
+        asn = factory.next_asn()
+        with pytest.raises(ValueError):
+            factory.reserve(asn)
+
+
+class TestConfigScaling:
+    def test_scaled_minimum_one(self):
+        config = TopologyConfig(scale=0.0001)
+        assert config.scaled(5) >= 1
+
+    def test_linear_scaling(self):
+        half = TopologyConfig(scale=0.5)
+        full = TopologyConfig(scale=1.0)
+        assert abs(half.num_prefixes * 2 - full.num_prefixes) <= 2

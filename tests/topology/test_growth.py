@@ -1,0 +1,76 @@
+"""Tests for the daily growth model."""
+
+from repro.topology.generator import TopologyConfig, build_initial_model
+from repro.topology.growth import GrowthModel, GrowthTargets
+from repro.topology.model import Tier
+from repro.util.rng import RngStreams
+
+
+def grown_model(num_days: int = 200, scale: float = 0.02):
+    config = TopologyConfig(scale=scale)
+    streams = RngStreams(42)
+    model, plan, factory = build_initial_model(config, streams)
+    growth = GrowthModel(
+        model, plan, factory, config, streams, num_days=num_days
+    )
+    for day in range(num_days):
+        growth.grow_one_day(day)
+    return config, model
+
+
+class TestGrowth:
+    def test_hits_final_targets(self):
+        config, model = grown_model()
+        targets = GrowthTargets()
+        expected_ases = config.scaled(targets.final_as_count)
+        expected_prefixes = config.scaled(targets.final_prefix_count)
+        assert abs(model.num_ases() - expected_ases) <= 3
+        assert abs(model.num_prefixes() - expected_prefixes) <= 5
+
+    def test_new_ases_are_stubs_with_providers(self):
+        _config, model = grown_model(num_days=50)
+        late_joiners = [
+            info for info in model.as_info.values() if info.join_day > 0
+        ]
+        assert late_joiners, "growth added no ASes"
+        for info in late_joiners:
+            assert info.tier is Tier.STUB
+            assert model.graph.providers_of(info.asn)
+
+    def test_append_only_existing_links_untouched(self):
+        config = TopologyConfig(scale=0.02)
+        streams = RngStreams(42)
+        model, plan, factory = build_initial_model(config, streams)
+        initial_links = set(model.graph.links())
+        growth = GrowthModel(
+            model, plan, factory, config, streams, num_days=100
+        )
+        for day in range(100):
+            growth.grow_one_day(day)
+        final_links = set(model.graph.links())
+        assert initial_links <= final_links
+
+    def test_growth_is_deterministic(self):
+        _, first = grown_model(num_days=80)
+        _, second = grown_model(num_days=80)
+        assert set(first.as_info) == set(second.as_info)
+        assert first.prefix_owner == second.prefix_owner
+
+    def test_all_prefixes_remain_disjoint(self):
+        _config, model = grown_model(num_days=120)
+        ordered = sorted(model.prefix_owner, key=lambda p: p.sort_key())
+        for left, right in zip(ordered, ordered[1:]):
+            assert not left.overlaps(right)
+
+    def test_daily_report(self):
+        config = TopologyConfig(scale=0.02)
+        streams = RngStreams(42)
+        model, plan, factory = build_initial_model(config, streams)
+        growth = GrowthModel(
+            model, plan, factory, config, streams, num_days=30
+        )
+        new_asns, new_prefixes = growth.grow_one_day(0)
+        for asn in new_asns:
+            assert asn in model.as_info
+        for prefix in new_prefixes:
+            assert prefix in model.prefix_owner

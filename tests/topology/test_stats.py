@@ -1,0 +1,77 @@
+"""Tests: the synthetic Internet has real-Internet structure."""
+
+import pytest
+
+from repro.topology.generator import TopologyConfig, build_initial_model
+from repro.topology.stats import (
+    degree_distribution,
+    gini,
+    mean_as_path_length,
+    summarize_model,
+)
+from repro.util.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def model():
+    built, _plan, _factory = build_initial_model(
+        TopologyConfig(scale=0.05), RngStreams(42)
+    )
+    return built
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini([5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme_inequality(self):
+        assert gini([0.0, 0.0, 0.0, 100.0]) > 0.7
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_bounded(self):
+        assert 0.0 <= gini([1, 5, 9, 2, 7]) <= 1.0
+
+
+class TestRealism:
+    def test_degree_distribution_heavy_tailed(self, model):
+        distribution = degree_distribution(model.graph)
+        # Most ASes have tiny degree; a few have large degree.
+        small = sum(
+            count for degree, count in distribution.items() if degree <= 3
+        )
+        assert small > 0.6 * len(model.graph)
+        assert max(distribution) > 10  # a well-connected core exists
+
+    def test_degree_inequality_like_internet(self, model):
+        summary = summarize_model(model)
+        # The real AS graph's degree Gini is ~0.6+; require clear
+        # inequality without pinning an exact value.
+        assert summary.degree_gini > 0.45
+
+    def test_stub_dominated(self, model):
+        summary = summarize_model(model)
+        assert summary.stub_fraction > 0.75
+
+    def test_multihoming_share_matches_config(self, model):
+        summary = summarize_model(model)
+        # Config default: 30% of stubs multihomed; allow sampling slack.
+        assert 0.15 <= summary.multihomed_stub_fraction <= 0.45
+
+    def test_paths_are_short(self, model):
+        # Era measurements put mean AS-path length around 3-4 hops.
+        summary = summarize_model(model)
+        assert 1.5 <= summary.mean_path_length <= 5.0
+
+    def test_mean_path_empty_inputs(self, model):
+        assert mean_as_path_length(
+            model.graph, origins=[], vantages=[]
+        ) == 0.0
+
+    def test_summary_counts_consistent(self, model):
+        summary = summarize_model(model)
+        assert summary.num_ases == len(model.graph)
+        assert summary.num_links == model.graph.num_links()
+        assert summary.max_degree >= summary.mean_degree

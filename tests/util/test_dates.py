@@ -1,0 +1,126 @@
+"""Tests for the study calendar."""
+
+import datetime
+
+import pytest
+
+from repro.util.dates import (
+    PAPER_CALENDAR,
+    PAPER_SNAPSHOT_DAYS,
+    StudyCalendar,
+    date_range,
+    parse_date,
+)
+
+
+class TestParseDate:
+    def test_iso_format(self):
+        assert parse_date("1998-04-07") == datetime.date(1998, 4, 7)
+
+    def test_compact_format(self):
+        assert parse_date("20010406") == datetime.date(2001, 4, 6)
+
+    def test_us_format(self):
+        assert parse_date("04/07/1998") == datetime.date(1998, 4, 7)
+
+    def test_whitespace_rejected_inside(self):
+        with pytest.raises(ValueError):
+            parse_date("1998 04 07")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_date("not-a-date")
+
+
+class TestDateRange:
+    def test_single_day(self):
+        day = datetime.date(2001, 7, 18)
+        assert list(date_range(day, day)) == [day]
+
+    def test_inclusive_bounds(self):
+        days = list(
+            date_range(datetime.date(2000, 2, 27), datetime.date(2000, 3, 1))
+        )
+        assert days[0] == datetime.date(2000, 2, 27)
+        assert days[-1] == datetime.date(2000, 3, 1)
+        assert len(days) == 4  # leap year: Feb 29 included
+
+    def test_reversed_bounds_raise(self):
+        with pytest.raises(ValueError):
+            list(
+                date_range(
+                    datetime.date(2001, 1, 2), datetime.date(2001, 1, 1)
+                )
+            )
+
+
+class TestStudyCalendar:
+    def test_paper_window_spans_1349_calendar_days(self):
+        # Figure 1 runs 1997-11-08 .. 2001-07-18 — 1349 calendar days —
+        # while the paper reports 1279 archived snapshots within it.
+        assert PAPER_CALENDAR.num_days == 1349
+        assert PAPER_SNAPSHOT_DAYS == 1279
+        assert PAPER_SNAPSHOT_DAYS <= PAPER_CALENDAR.num_days
+
+    def test_index_roundtrip(self):
+        calendar = PAPER_CALENDAR
+        for index in (0, 1, 500, calendar.num_days - 1):
+            assert calendar.index_of(calendar.date_of(index)) == index
+
+    def test_index_of_start_and_end(self):
+        assert PAPER_CALENDAR.index_of(PAPER_CALENDAR.start) == 0
+        assert (
+            PAPER_CALENDAR.index_of(PAPER_CALENDAR.end)
+            == PAPER_CALENDAR.num_days - 1
+        )
+
+    def test_out_of_window_raises(self):
+        with pytest.raises(KeyError):
+            PAPER_CALENDAR.index_of(datetime.date(1997, 11, 7))
+        with pytest.raises(KeyError):
+            PAPER_CALENDAR.index_of(datetime.date(2001, 7, 19))
+
+    def test_date_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            PAPER_CALENDAR.date_of(-1)
+        with pytest.raises(IndexError):
+            PAPER_CALENDAR.date_of(PAPER_CALENDAR.num_days)
+
+    def test_contains(self):
+        assert datetime.date(1998, 4, 7) in PAPER_CALENDAR
+        assert datetime.date(2002, 1, 1) not in PAPER_CALENDAR
+
+    def test_years(self):
+        assert PAPER_CALENDAR.years() == [1997, 1998, 1999, 2000, 2001]
+
+    def test_year_slice_full_year(self):
+        lo, hi = PAPER_CALENDAR.year_slice(1999)
+        assert PAPER_CALENDAR.date_of(lo) == datetime.date(1999, 1, 1)
+        assert PAPER_CALENDAR.date_of(hi - 1) == datetime.date(1999, 12, 31)
+        assert hi - lo == 365
+
+    def test_year_slice_partial_first_year(self):
+        lo, hi = PAPER_CALENDAR.year_slice(1997)
+        assert lo == 0
+        assert PAPER_CALENDAR.date_of(hi - 1) == datetime.date(1997, 12, 31)
+
+    def test_year_slice_partial_last_year(self):
+        lo, hi = PAPER_CALENDAR.year_slice(2001)
+        assert PAPER_CALENDAR.date_of(lo) == datetime.date(2001, 1, 1)
+        assert hi == PAPER_CALENDAR.num_days
+
+    def test_year_slice_outside_window_is_empty(self):
+        assert PAPER_CALENDAR.year_slice(1995) == (0, 0)
+        assert PAPER_CALENDAR.year_slice(2005) == (0, 0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            StudyCalendar(
+                start=datetime.date(2001, 1, 2), end=datetime.date(2001, 1, 1)
+            )
+
+    def test_iteration_matches_num_days(self):
+        calendar = StudyCalendar(
+            start=datetime.date(2000, 1, 1), end=datetime.date(2000, 1, 10)
+        )
+        assert len(list(calendar)) == calendar.num_days

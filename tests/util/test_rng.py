@@ -1,0 +1,60 @@
+"""Tests for deterministic named RNG streams."""
+
+from repro.util.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_path_structure_matters(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestRngStreams:
+    def test_python_streams_reproducible(self):
+        first = RngStreams(42).python("events").random()
+        second = RngStreams(42).python("events").random()
+        assert first == second
+
+    def test_numpy_streams_reproducible(self):
+        first = RngStreams(42).numpy("topology").integers(0, 1 << 30)
+        second = RngStreams(42).numpy("topology").integers(0, 1 << 30)
+        assert first == second
+
+    def test_streams_independent_of_creation_order(self):
+        streams_ab = RngStreams(42)
+        value_a_first = streams_ab.python("a").random()
+        streams_ab.python("b").random()
+
+        streams_ba = RngStreams(42)
+        streams_ba.python("b").random()
+        value_a_second = streams_ba.python("a").random()
+        assert value_a_first == value_a_second
+
+    def test_stream_caching_returns_same_object(self):
+        streams = RngStreams(1)
+        assert streams.python("x") is streams.python("x")
+        assert streams.numpy("x") is streams.numpy("x")
+
+    def test_child_streams_are_namespaced(self):
+        parent = RngStreams(42)
+        child = parent.child("scenario")
+        assert child.root_seed != parent.root_seed
+        # Child streams are reproducible too.
+        assert (
+            RngStreams(42).child("scenario").python("x").random()
+            == child.python("x").random()
+        )
+
+    def test_different_streams_give_different_values(self):
+        streams = RngStreams(42)
+        values = {streams.python(name).random() for name in "abcdef"}
+        assert len(values) == 6

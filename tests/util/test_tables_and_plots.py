@@ -1,0 +1,97 @@
+"""Tests for text table and ASCII plot rendering."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, line_plot
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["Year", "Median"], [[1998, 683], [1999, 810.5]]
+        )
+        lines = text.splitlines()
+        assert "Year" in lines[0] and "Median" in lines[0]
+        assert "683" in text and "810.5" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Fig 2")
+        assert text.splitlines()[0] == "Fig 2"
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["n"], [[1], [1000]])
+        rows = text.splitlines()[-2:]
+        # Right-aligned: the short number is indented.
+        assert rows[0].endswith("   1")
+        assert rows[1].endswith("1000")
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestLinePlot:
+    def test_contains_marker_and_legend(self):
+        text = line_plot({"conflicts": [1, 5, 3, 8, 2]}, width=20, height=5)
+        assert "*" in text
+        assert "legend: *=conflicts" in text
+
+    def test_log_scale_handles_zeros(self):
+        text = line_plot({"s": [0, 10, 100, 1000]}, y_log=True, width=10, height=4)
+        assert "legend" in text
+
+    def test_multiple_series(self):
+        text = line_plot(
+            {"a": [1, 2], "b": [2, 1], "c": [3, 3]}, width=10, height=4
+        )
+        assert "*=a" in text and "+=b" in text and "o=c" in text
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1, 2], "b": [1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+
+    def test_constant_series(self):
+        # Flat series must not divide by zero.
+        text = line_plot({"flat": [5, 5, 5]}, width=10, height=4)
+        assert "*" in text
+
+    def test_x_labels(self):
+        text = line_plot(
+            {"a": [1, 2]}, width=20, height=4, x_labels=("11/97", "07/01")
+        )
+        assert "11/97" in text and "07/01" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["/23", "/24"], [10, 100], width=20)
+        short, long = text.splitlines()
+        assert long.count("#") > short.count("#")
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(["a", "b"], [0, 5], width=10)
+        first = text.splitlines()[0]
+        assert "#" not in first
+
+    def test_log_scale(self):
+        text = bar_chart(["a", "b"], [1, 1000], width=30, y_log=True)
+        assert "#" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
