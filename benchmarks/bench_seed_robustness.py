@@ -10,8 +10,7 @@ at every one: the 1998-04-07 spike is the peak with AS 8584 dominant,
 import datetime
 import statistics
 
-from repro.analysis.pipeline import StudyPipeline
-from repro.analysis.sources import detections_from_archive
+from repro.api import MoasService
 from repro.scenario.calibration import PAPER
 from repro.scenario.world import ScenarioConfig, simulate_study
 from repro.util.dates import StudyCalendar
@@ -28,7 +27,9 @@ def run_seed(base_dir, seed):
         scale=0.03, seed=seed, calendar=CALENDAR, paper_archive_gaps=False
     )
     simulate_study(directory, config)
-    return StudyPipeline().run(detections_from_archive(directory))
+    service = MoasService()
+    service.feed(directory)
+    return service.results()
 
 
 def test_seed_robustness(benchmark, tmp_path_factory):

@@ -4,20 +4,23 @@ One synthetic study archive (full 1997-2001 window, scale 0.05) is
 generated per benchmark session and analyzed once; every figure bench
 reads from the same results so paper-shape assertions are consistent
 across benches.  ``SCALE`` converts the paper's absolute numbers into
-expected magnitudes for this archive.
+expected magnitudes for this archive; the ``REPRO_BENCH_SCALE``
+environment variable overrides it (CI smoke runs use a tiny scale).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.analysis.pipeline import StudyPipeline, StudyResults
-from repro.analysis.sources import detections_from_archive
+from repro.analysis.pipeline import StudyResults
+from repro.api import MoasService, open_source
 from repro.core.detector import DayDetection
 from repro.scenario.world import ScenarioConfig, simulate_study
 
 #: Study scale used by all figure benchmarks.
-SCALE = 0.05
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 
 #: Tolerance band for scaled paper magnitudes: generated archives are
 #: stochastic, so magnitudes must land within (value*lo, value*hi).
@@ -46,10 +49,12 @@ def paper_archive(tmp_path_factory) -> str:
 @pytest.fixture(scope="session")
 def detections(paper_archive) -> list[DayDetection]:
     """All daily detections, materialized once for the session."""
-    return list(detections_from_archive(paper_archive))
+    return list(open_source(paper_archive).detections())
 
 
 @pytest.fixture(scope="session")
 def results(detections) -> StudyResults:
     """The full pipeline output over the benchmark archive."""
-    return StudyPipeline().run(iter(detections))
+    service = MoasService()
+    service.feed(detections)
+    return service.results()

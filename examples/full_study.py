@@ -20,15 +20,7 @@ from repro.analysis.compare import (
     comparison_table,
     fraction_passing,
 )
-from repro.analysis.figures import (
-    figure1_ascii,
-    figure3_ascii,
-    figure5_ascii,
-    figure6_ascii,
-)
-from repro.analysis.pipeline import StudyPipeline
-from repro.analysis.report import figure2_table, figure4_table, summary_report
-from repro.analysis.sources import detections_from_archive
+from repro.api import MoasService, render
 from repro.scenario.world import ScenarioConfig, simulate_study
 
 
@@ -61,25 +53,27 @@ def main() -> None:
 
         print("running the analysis pipeline ...")
         started = time.perf_counter()
-        results = StudyPipeline().run(detections_from_archive(archive_dir))
+        service = MoasService()
+        service.feed(archive_dir)
+        results = service.results()
         print(f"  analyzed in {time.perf_counter() - started:.1f}s")
 
         print()
-        print(summary_report(results))
+        print(render(results, "summary", "ascii"))
         print()
-        print(figure2_table(results))
+        print(render(results, "figure2", "ascii"))
         print("(paper: 683 / 810.5 / 951 / 1294, rates 18.7/17.3/36.1%)")
         print()
-        print(figure4_table(results))
+        print(render(results, "figure4", "ascii"))
         print("(paper: 30.9 / 47.7 / 107.5 / 175.3 / 281.8 days)")
         print()
-        print(figure1_ascii(results))
+        print(render(results, "figure1", "ascii"))
         print()
-        print(figure3_ascii(results))
+        print(render(results, "figure3", "ascii"))
         print()
-        print(figure5_ascii(results))
+        print(render(results, "figure5", "ascii"))
         print()
-        print(figure6_ascii(results))
+        print(render(results, "figure6", "ascii"))
         print()
         rows = compare_to_paper(results, scale=args.scale)
         print(comparison_table(rows))

@@ -18,20 +18,41 @@ The package layers as follows (lowest first):
   attribution, plus a streaming real-time alerter.
 - :mod:`repro.analysis` — the end-to-end study pipeline and the
   table/figure report generators.
+- :mod:`repro.api` — the canonical entry surface: pluggable
+  :class:`~repro.api.sources.DetectionSource` adapters, the renderer
+  registry, the checkpointable :class:`~repro.api.service.MoasService`
+  session, and the unified ``repro`` CLI.
 
-See DESIGN.md for the experiment index and EXPERIMENTS.md for
-paper-vs-measured results.
+See README.md for install and quickstart, and CHANGES.md for the
+release history.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.netbase import ASPath, PeerId, Prefix, RibSnapshot, Route
 
 __all__ = [
     "ASPath",
+    "DetectionSource",
+    "MoasService",
     "PeerId",
     "Prefix",
     "RibSnapshot",
     "Route",
+    "render",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    """Lazily expose the :mod:`repro.api` facade at the top level.
+
+    ``MoasService``, ``DetectionSource`` and ``render`` import the
+    analysis stack; deferring that import keeps ``import repro`` cheap
+    for callers that only need the value types.
+    """
+    if name in ("MoasService", "DetectionSource", "render"):
+        import repro.api as api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,6 +5,13 @@ Memory discipline matters: a full-scale study is ~10^5 conflicts times
 aggregates each figure needs (daily counts, episode tracker state,
 per-year length counters, in-window classification tallies, spike
 evidence), never the full per-day conflict sets.
+
+The streaming state lives in :class:`StudyState`, an incrementally
+feedable accumulator that can serialize itself mid-study
+(:meth:`StudyState.state_dict` / :meth:`StudyState.from_state`).
+:class:`StudyPipeline` is the batch convenience over it, and
+:class:`repro.api.MoasService` is the session facade that adds
+checkpoint files and pluggable sources on top.
 """
 
 from __future__ import annotations
@@ -86,127 +93,299 @@ class StudyPipeline:
     spike_factor: float = 4.0
     duration_thresholds: tuple[int, ...] = (0, 1, 9, 29, 89)
 
+    def start(self) -> "StudyState":
+        """A fresh incremental accumulator under this configuration."""
+        return StudyState(self)
+
     def run(self, detections: Iterable[DayDetection]) -> StudyResults:
         """Stream all daily detections and assemble the results."""
-        tracker = EpisodeTracker()
-        daily_series: list[tuple[datetime.date, int]] = []
-        recent_counts: deque[int] = deque(maxlen=self.spike_window_days)
-        length_sums: dict[int, Counter[int]] = {}
-        days_per_year: Counter[int] = Counter()
-        classification: list[
+        state = self.start()
+        for detection in detections:
+            state.feed_day(detection)
+        return state.results()
+
+    def config_dict(self) -> dict:
+        """JSON-serializable form of this configuration."""
+        window_start, window_end = self.classification_window
+        return {
+            "classification_window": [
+                window_start.isoformat(),
+                window_end.isoformat(),
+            ],
+            "spike_window_days": self.spike_window_days,
+            "spike_factor": self.spike_factor,
+            "duration_thresholds": list(self.duration_thresholds),
+        }
+
+    @classmethod
+    def from_config_dict(cls, payload: dict) -> "StudyPipeline":
+        """Rebuild a configuration from :meth:`config_dict` output."""
+        window_start, window_end = payload["classification_window"]
+        return cls(
+            classification_window=(
+                datetime.date.fromisoformat(window_start),
+                datetime.date.fromisoformat(window_end),
+            ),
+            spike_window_days=payload["spike_window_days"],
+            spike_factor=payload["spike_factor"],
+            duration_thresholds=tuple(payload["duration_thresholds"]),
+        )
+
+
+class StudyState:
+    """Incrementally-fed streaming state of one study.
+
+    Feed daily detections in chronological order with :meth:`feed_day`;
+    read the paper's statistics at any point with :meth:`results`
+    (non-destructive — feeding can continue afterwards).  The entire
+    streaming state round-trips through JSON via :meth:`state_dict` and
+    :meth:`from_state`, which is what makes mid-study checkpointing
+    possible without replaying earlier days.
+    """
+
+    def __init__(self, pipeline: StudyPipeline | None = None) -> None:
+        self.pipeline = pipeline or StudyPipeline()
+        self._tracker = EpisodeTracker()
+        self._daily_series: list[tuple[datetime.date, int]] = []
+        self._recent_counts: deque[int] = deque(
+            maxlen=self.pipeline.spike_window_days
+        )
+        self._length_sums: dict[int, Counter[int]] = {}
+        self._days_per_year: Counter[int] = Counter()
+        self._classification: list[
             tuple[datetime.date, dict[ConflictClass, int]]
         ] = []
-        case_studies: list[CaseStudy] = []
-        as_set_excluded_max = 0
-        total_days = 0
-        window_start, window_end = self.classification_window
+        self._case_studies: list[CaseStudy] = []
+        self._as_set_excluded_max = 0
+        self._total_days = 0
 
-        for detection in detections:
-            day = detection.day
-            conflicts = list(detection.conflicts)
-            count = len(conflicts)
-            total_days += 1
-            daily_series.append((day, count))
-            tracker.observe_day(day, conflicts)
-            as_set_excluded_max = max(
-                as_set_excluded_max, detection.as_set_excluded
-            )
+    @property
+    def total_days(self) -> int:
+        """Days fed so far."""
+        return self._total_days
 
-            days_per_year[day.year] += 1
-            bucket = length_sums.setdefault(day.year, Counter())
-            for conflict in conflicts:
-                bucket[conflict.prefix.length] += 1
+    @property
+    def last_day(self) -> datetime.date | None:
+        """The most recent day fed, or None before the first feed."""
+        return self._daily_series[-1][0] if self._daily_series else None
 
-            if window_start <= day <= window_end:
-                classification.append((day, classify_day(conflicts)))
+    def feed_day(self, detection: DayDetection) -> None:
+        """Fold one day's detection into the streaming aggregates.
 
-            # Spike detection needs some baseline history; a full
-            # window is ideal but 7+ observed days suffice (studies
-            # shorter than the window would otherwise never alarm).
-            if len(recent_counts) >= min(self.spike_window_days, 7):
-                baseline = statistics.median(recent_counts)
-                if baseline > 0 and count >= self.spike_factor * baseline:
-                    case_studies.append(
-                        self._case_study(day, conflicts, count, baseline)
-                    )
-            recent_counts.append(count)
+        Days must arrive in strictly increasing order (enforced by the
+        episode tracker).
+        """
+        pipeline = self.pipeline
+        day = detection.day
+        conflicts = list(detection.conflicts)
+        count = len(conflicts)
+        self._tracker.observe_day(day, conflicts)
+        self._total_days += 1
+        self._daily_series.append((day, count))
+        self._as_set_excluded_max = max(
+            self._as_set_excluded_max, detection.as_set_excluded
+        )
 
-        episodes = tracker.finalize()
+        self._days_per_year[day.year] += 1
+        bucket = self._length_sums.setdefault(day.year, Counter())
+        for conflict in conflicts:
+            bucket[conflict.prefix.length] += 1
+
+        window_start, window_end = pipeline.classification_window
+        if window_start <= day <= window_end:
+            self._classification.append((day, classify_day(conflicts)))
+
+        # Spike detection needs some baseline history; a full
+        # window is ideal but 7+ observed days suffice (studies
+        # shorter than the window would otherwise never alarm).
+        if len(self._recent_counts) >= min(pipeline.spike_window_days, 7):
+            baseline = statistics.median(self._recent_counts)
+            if baseline > 0 and count >= pipeline.spike_factor * baseline:
+                self._case_studies.append(
+                    _case_study(day, conflicts, count, baseline)
+                )
+        self._recent_counts.append(count)
+
+    def results(self) -> StudyResults:
+        """Assemble the full statistics from the current state.
+
+        Non-destructive: the state is still feedable afterwards, so a
+        long-running service can report interim results mid-study.
+        """
+        episodes = self._tracker.finalize()
         length_distribution = {
             year: {
-                length: bucket[length] / days_per_year[year]
+                length: bucket[length] / self._days_per_year[year]
                 for length in sorted(bucket)
             }
-            for year, bucket in sorted(length_sums.items())
+            for year, bucket in sorted(self._length_sums.items())
         }
         exchange_point = sum(
             1 for prefix in episodes if IXP_BLOCK.contains(prefix)
         )
         return StudyResults(
-            daily_series=daily_series,
+            daily_series=list(self._daily_series),
             episodes=episodes,
-            yearly_medians=yearly_medians(daily_series),
+            yearly_medians=yearly_medians(self._daily_series),
             yearly_increase_rates=yearly_increase_rates(
-                yearly_medians(daily_series)
+                yearly_medians(self._daily_series)
             ),
-            peak_days=peak_days(daily_series),
+            peak_days=peak_days(self._daily_series),
             duration_histogram=duration_histogram(episodes.values()),
             duration_expectations=duration_expectations(
-                episodes.values(), self.duration_thresholds
+                episodes.values(), self.pipeline.duration_thresholds
             ),
             one_time_conflicts=one_time_conflicts(episodes.values()),
             long_lived_conflicts=long_lived_conflicts(episodes.values()),
             ongoing_conflicts=ongoing_conflicts(episodes.values()),
             max_duration=max_duration(episodes.values()),
             length_distribution=length_distribution,
-            classification_series=classification,
-            case_studies=case_studies,
+            classification_series=list(self._classification),
+            case_studies=list(self._case_studies),
             exchange_point_conflicts=exchange_point,
-            as_set_excluded_max=as_set_excluded_max,
-            total_days=total_days,
+            as_set_excluded_max=self._as_set_excluded_max,
+            total_days=self._total_days,
         )
 
-    def _case_study(
-        self,
-        day: datetime.date,
-        conflicts: list,
-        count: int,
-        baseline: float,
-    ) -> CaseStudy:
-        """Gather the culprit evidence for a spike day, paper-style."""
-        involvement: Counter[int] = Counter()
-        for conflict in conflicts:
-            for origin in conflict.origins:
-                involvement[origin] += 1
-        culprit, _hits = involvement.most_common(1)[0]
-        involved, total = involvement_fraction(conflicts, culprit)
-        report = SpikeReport(
-            day=day,
-            total_conflicts=count,
-            baseline_median=float(baseline),
-            culprit_asn=culprit,
-            culprit_involved=involved,
-        )
-        # The paper identified the (upstream, culprit) hop for the 2001
-        # incident; find the culprit's most common upstream in paths.
-        upstream_counts: Counter[int] = Counter()
-        for conflict in conflicts:
-            for path in conflict.all_paths():
-                for left, right in zip(path, path[1:]):
-                    if right == culprit:
-                        upstream_counts[left] += 1
-        upstream = (
-            upstream_counts.most_common(1)[0][0] if upstream_counts else None
-        )
-        if upstream is not None:
-            seq_involved, seq_total = sequence_involvement_fraction(
-                conflicts, upstream, culprit
+    # -- checkpoint serialization ------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The complete streaming state as a JSON-serializable dict."""
+        return {
+            "tracker": self._tracker.state_dict(),
+            "daily_series": [
+                [day.isoformat(), count]
+                for day, count in self._daily_series
+            ],
+            "recent_counts": list(self._recent_counts),
+            "length_sums": {
+                str(year): {
+                    str(length): count for length, count in bucket.items()
+                }
+                for year, bucket in self._length_sums.items()
+            },
+            "days_per_year": {
+                str(year): count
+                for year, count in self._days_per_year.items()
+            },
+            "classification": [
+                [
+                    day.isoformat(),
+                    {
+                        conflict_class.value: count
+                        for conflict_class, count in counts.items()
+                    },
+                ]
+                for day, counts in self._classification
+            ],
+            "case_studies": [
+                {
+                    "day": case.report.day.isoformat(),
+                    "total_conflicts": case.report.total_conflicts,
+                    "baseline_median": case.report.baseline_median,
+                    "culprit_asn": case.report.culprit_asn,
+                    "culprit_involved": case.report.culprit_involved,
+                    "upstream_asn": case.upstream_asn,
+                    "sequence_involved": case.sequence_involved,
+                    "sequence_total": case.sequence_total,
+                }
+                for case in self._case_studies
+            ],
+            "as_set_excluded_max": self._as_set_excluded_max,
+            "total_days": self._total_days,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, *, pipeline: StudyPipeline | None = None
+    ) -> "StudyState":
+        """Rebuild mid-study streaming state from :meth:`state_dict`."""
+        restored = cls(pipeline)
+        restored._tracker = EpisodeTracker.from_state(state["tracker"])
+        restored._daily_series = [
+            (datetime.date.fromisoformat(day), count)
+            for day, count in state["daily_series"]
+        ]
+        restored._recent_counts.extend(state["recent_counts"])
+        restored._length_sums = {
+            int(year): Counter(
+                {int(length): count for length, count in bucket.items()}
             )
-        else:
-            seq_involved, seq_total = 0, len(conflicts)
-        return CaseStudy(
-            report=report,
-            upstream_asn=upstream,
-            sequence_involved=seq_involved,
-            sequence_total=seq_total,
+            for year, bucket in state["length_sums"].items()
+        }
+        restored._days_per_year = Counter(
+            {int(year): count for year, count in state["days_per_year"].items()}
         )
+        restored._classification = [
+            (
+                datetime.date.fromisoformat(day),
+                {
+                    ConflictClass(value): count
+                    for value, count in counts.items()
+                },
+            )
+            for day, counts in state["classification"]
+        ]
+        restored._case_studies = [
+            CaseStudy(
+                report=SpikeReport(
+                    day=datetime.date.fromisoformat(case["day"]),
+                    total_conflicts=case["total_conflicts"],
+                    baseline_median=case["baseline_median"],
+                    culprit_asn=case["culprit_asn"],
+                    culprit_involved=case["culprit_involved"],
+                ),
+                upstream_asn=case["upstream_asn"],
+                sequence_involved=case["sequence_involved"],
+                sequence_total=case["sequence_total"],
+            )
+            for case in state["case_studies"]
+        ]
+        restored._as_set_excluded_max = state["as_set_excluded_max"]
+        restored._total_days = state["total_days"]
+        return restored
+
+
+def _case_study(
+    day: datetime.date,
+    conflicts: list,
+    count: int,
+    baseline: float,
+) -> CaseStudy:
+    """Gather the culprit evidence for a spike day, paper-style."""
+    involvement: Counter[int] = Counter()
+    for conflict in conflicts:
+        for origin in conflict.origins:
+            involvement[origin] += 1
+    culprit, _hits = involvement.most_common(1)[0]
+    involved, total = involvement_fraction(conflicts, culprit)
+    report = SpikeReport(
+        day=day,
+        total_conflicts=count,
+        baseline_median=float(baseline),
+        culprit_asn=culprit,
+        culprit_involved=involved,
+    )
+    # The paper identified the (upstream, culprit) hop for the 2001
+    # incident; find the culprit's most common upstream in paths.
+    upstream_counts: Counter[int] = Counter()
+    for conflict in conflicts:
+        for path in conflict.all_paths():
+            for left, right in zip(path, path[1:]):
+                if right == culprit:
+                    upstream_counts[left] += 1
+    upstream = (
+        upstream_counts.most_common(1)[0][0] if upstream_counts else None
+    )
+    if upstream is not None:
+        seq_involved, seq_total = sequence_involvement_fraction(
+            conflicts, upstream, culprit
+        )
+    else:
+        seq_involved, seq_total = 0, len(conflicts)
+    return CaseStudy(
+        report=report,
+        upstream_asn=upstream,
+        sequence_involved=seq_involved,
+        sequence_total=seq_total,
+    )

@@ -1,0 +1,49 @@
+"""The canonical service facade of the reproduction.
+
+Three pluggable layers over the analysis core:
+
+- :mod:`repro.api.sources` — the :class:`DetectionSource` protocol and
+  registered adapters (CDS archives, MRT dumps, live BGP networks,
+  in-memory feeds), unified behind :func:`open_source`;
+- :mod:`repro.api.renderers` — the renderer registry: every
+  figure/table behind one ``render(results, figure, format)`` call;
+- :mod:`repro.api.service` — :class:`MoasService`, the
+  incrementally-feedable, checkpointable study session;
+- :mod:`repro.api.cli` — the single ``repro`` command
+  (``simulate | analyze | report | watch``) built on the facade.
+"""
+
+from repro.api.renderers import (
+    Renderer,
+    available_renderings,
+    register_renderer,
+    render,
+)
+from repro.api.service import CHECKPOINT_VERSION, MoasService
+from repro.api.sources import (
+    ArchiveSource,
+    DetectionSource,
+    MemorySource,
+    MrtFilesSource,
+    NetworkSource,
+    open_source,
+    register_source,
+    source_kinds,
+)
+
+__all__ = [
+    "ArchiveSource",
+    "CHECKPOINT_VERSION",
+    "DetectionSource",
+    "MemorySource",
+    "MoasService",
+    "MrtFilesSource",
+    "NetworkSource",
+    "Renderer",
+    "available_renderings",
+    "open_source",
+    "register_renderer",
+    "register_source",
+    "render",
+    "source_kinds",
+]

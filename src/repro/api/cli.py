@@ -1,0 +1,291 @@
+"""The single ``repro`` command: simulate | analyze | report | watch.
+
+One CLI over the :mod:`repro.api` facade.  The legacy
+``repro-simulate`` / ``repro-analyze`` / ``repro-report`` entry points
+delegate here, so their behavior (including report bytes) is identical
+by construction.
+
+- ``repro simulate ARCHIVE``: generate a synthetic Route Views archive;
+- ``repro analyze ARCHIVE OUT``: run the study and write every
+  figure/table, with optional ``--checkpoint`` / ``--resume``;
+- ``repro report OUT``: print a previously generated report;
+- ``repro watch UPDATES.mrt``: stream BGP4MP updates through the
+  real-time alerter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.compare import compare_to_paper, comparison_table
+from repro.analysis.pipeline import StudyResults
+from repro.api.renderers import render
+from repro.api.service import MoasService
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import parse_date
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the unified ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IMC 2001 MOAS conflict study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(sub)
+    _add_analyze(sub)
+    _add_report(sub)
+    _add_watch(sub)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+# -- simulate -----------------------------------------------------------------
+
+
+def _add_simulate(sub) -> None:
+    parser = sub.add_parser(
+        "simulate",
+        help="generate a synthetic 1997-2001 Route Views archive",
+        description="Generate a synthetic 1997-2001 Route Views archive.",
+    )
+    parser.add_argument("archive_dir", type=Path)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.125,
+        help="fraction of real-Internet size (default 0.125)",
+    )
+    parser.add_argument("--seed", type=int, default=20011108)
+    parser.add_argument(
+        "--peers", type=int, default=12, help="collector peer count"
+    )
+    parser.add_argument(
+        "--mrt-export",
+        metavar="YYYY-MM-DD",
+        action="append",
+        default=[],
+        help="additionally dump this day as a binary MRT file "
+        "(repeatable)",
+    )
+    parser.set_defaults(func=_run_simulate)
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        scale=args.scale, seed=args.seed, num_peers=args.peers
+    )
+    export_days = {parse_date(text) for text in args.mrt_export}
+    summary = simulate_study(
+        args.archive_dir, config, mrt_export_days=export_days
+    )
+    print(f"archive written to {args.archive_dir}")
+    for key in (
+        "observed_days",
+        "num_ases_final",
+        "num_prefixes_final",
+        "events_total",
+    ):
+        print(f"  {key}: {summary[key]}")
+    return 0
+
+
+# -- analyze ------------------------------------------------------------------
+
+
+def _add_analyze(sub) -> None:
+    parser = sub.add_parser(
+        "analyze",
+        help="run the MOAS study pipeline over an archive",
+        description="Run the MOAS study pipeline over an archive.",
+    )
+    parser.add_argument("archive_dir", type=Path)
+    parser.add_argument("output_dir", type=Path)
+    parser.add_argument(
+        "--resume",
+        type=Path,
+        metavar="CKPT",
+        help="resume the session from this checkpoint file; archive "
+        "days the checkpoint already covers are skipped",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        metavar="CKPT",
+        help="write the final session state to this checkpoint file",
+    )
+    parser.set_defaults(func=_run_analyze)
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    from repro.mrt.errors import MrtError
+
+    try:
+        if args.resume is not None:
+            service = MoasService.load_checkpoint(args.resume)
+            service.feed(args.archive_dir, skip_seen=True)
+        else:
+            service = MoasService()
+            service.feed(args.archive_dir)
+    except (
+        FileNotFoundError,
+        ValueError,
+        MrtError,
+        json.JSONDecodeError,
+    ) as error:
+        print(f"repro analyze: {error}", file=sys.stderr)
+        return 1
+    results = service.results()
+    if args.checkpoint is not None:
+        service.save_checkpoint(args.checkpoint)
+
+    # The paper-vs-measured table needs the generation scale, which
+    # only CDS archives record; MRT inputs analyze without it.
+    scale = None
+    if (args.archive_dir / "manifest.json").is_file():
+        from repro.api.sources import ArchiveSource
+
+        recorded = ArchiveSource(args.archive_dir).manifest.get("scale")
+        scale = float(recorded) if recorded else None
+    report = write_analysis(results, args.output_dir, scale=scale)
+    print(report)
+    return 0
+
+
+def write_analysis(
+    results: StudyResults,
+    output_dir: Path | str,
+    *,
+    scale: float | None = None,
+) -> str:
+    """Write the full analysis output tree; returns the text report.
+
+    Emits every figure CSV, the episode table, the JSON summary and the
+    combined ``report.txt`` (with the paper-vs-measured table when the
+    archive's generation ``scale`` is known) — the layout both the new
+    and the legacy analyze commands produce.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "figure1.csv").write_text(render(results, "figure1", "csv"))
+    (out / "figure3.csv").write_text(render(results, "figure3", "csv"))
+    (out / "figure5.csv").write_text(render(results, "figure5", "csv"))
+    (out / "figure6.csv").write_text(render(results, "figure6", "csv"))
+    (out / "episodes.csv").write_text(render(results, "episodes", "csv"))
+    (out / "summary.json").write_text(render(results, "summary", "json"))
+    sections = [
+        render(results, "summary", "ascii"),
+        render(results, "figure2", "ascii"),
+        render(results, "figure4", "ascii"),
+        render(results, "figure1", "ascii"),
+        render(results, "figure3", "ascii"),
+        render(results, "figure5", "ascii"),
+        render(results, "figure6", "ascii"),
+    ]
+    if scale:
+        sections.append(
+            comparison_table(compare_to_paper(results, scale=scale))
+        )
+    report = "\n\n".join(sections)
+    (out / "report.txt").write_text(report + "\n")
+    return report
+
+
+# -- report -------------------------------------------------------------------
+
+
+def _add_report(sub) -> None:
+    parser = sub.add_parser(
+        "report",
+        help="print a previously generated analysis report",
+        description="Print a previously generated analysis report.",
+    )
+    parser.add_argument("output_dir", type=Path)
+    parser.set_defaults(func=_run_report)
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    report_path = args.output_dir / "report.txt"
+    if not report_path.exists():
+        print(
+            f"no report at {report_path}; run repro-analyze first",
+            file=sys.stderr,
+        )
+        return 1
+    print(report_path.read_text(), end="")
+    return 0
+
+
+# -- watch --------------------------------------------------------------------
+
+
+def _add_watch(sub) -> None:
+    parser = sub.add_parser(
+        "watch",
+        help="stream BGP4MP updates through the real-time MOAS alerter",
+        description="Stream a BGP4MP update file through the real-time "
+        "MOAS alerter and print every origin-set transition.",
+    )
+    parser.add_argument("updates_file", type=Path)
+    parser.add_argument(
+        "--expected-origins",
+        type=Path,
+        metavar="JSON",
+        help="JSON file mapping prefix -> legitimate origin ASN "
+        "(a registry; unexpected origins are flagged)",
+    )
+    parser.set_defaults(func=_run_watch)
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    from repro.core.realtime import StreamingMoasDetector
+    from repro.mrt.reader import MrtReader, decode_record
+    from repro.mrt.records import Bgp4mpMessage, Bgp4mpStateChange
+    from repro.netbase.prefix import Prefix
+
+    if not args.updates_file.exists():
+        print(
+            f"repro watch: no update file at {args.updates_file}",
+            file=sys.stderr,
+        )
+        return 1
+    expected = None
+    if args.expected_origins is not None:
+        raw = json.loads(args.expected_origins.read_text())
+        expected = {
+            Prefix.parse(text): int(asn) for text, asn in raw.items()
+        }
+    detector = StreamingMoasDetector(expected_origins=expected)
+    alerts = 0
+    with MrtReader(args.updates_file) as reader:
+        for record in reader.records():
+            decoded = decode_record(record)
+            if isinstance(decoded, Bgp4mpStateChange):
+                triggered = detector.process_state_change(
+                    decoded, record.timestamp
+                )
+            elif isinstance(decoded, Bgp4mpMessage):
+                triggered = detector.process_update(decoded, record.timestamp)
+            else:
+                continue
+            for alert in triggered:
+                alerts += 1
+                origins = ",".join(str(asn) for asn in sorted(alert.origins))
+                line = (
+                    f"{alert.timestamp} {alert.kind.value} {alert.prefix} "
+                    f"origins=[{origins}] changed={alert.changed_origin}"
+                )
+                if not detector.is_expected_origin(
+                    alert.prefix, alert.changed_origin
+                ):
+                    line += " UNEXPECTED-ORIGIN"
+                print(line)
+    ongoing = detector.current_conflicts()
+    print(
+        f"{alerts} alerts; {len(ongoing)} prefixes still in MOAS "
+        f"at end of stream"
+    )
+    return 0

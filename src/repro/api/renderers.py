@@ -1,0 +1,238 @@
+"""The renderer registry: every figure/table behind one ``render()``.
+
+The legacy surface was a pair of free functions per figure
+(``figure1_csv`` / ``figure1_ascii``, ...).  This module unifies them:
+each output is a ``(figure, format)`` registration, and
+:func:`render` dispatches.  New figures or formats are one
+:func:`register_renderer` call away; the legacy functions stay the
+implementations, so registry output is byte-identical to them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+
+from repro.analysis.export import episodes_csv, summary_json
+from repro.analysis.figures import (
+    figure1_ascii,
+    figure1_csv,
+    figure3_ascii,
+    figure3_csv,
+    figure5_ascii,
+    figure5_csv,
+    figure6_ascii,
+    figure6_csv,
+)
+from repro.analysis.pipeline import StudyResults
+from repro.analysis.report import figure2_table, figure4_table, summary_report
+
+#: A renderer turns :class:`StudyResults` into one output document.
+Renderer = Callable[[StudyResults], str]
+
+_RENDERERS: dict[tuple[str, str], Renderer] = {}
+
+
+def register_renderer(
+    figure: str, format: str
+) -> Callable[[Renderer], Renderer]:
+    """Decorator registering a renderer for ``(figure, format)``."""
+
+    def decorate(renderer: Renderer) -> Renderer:
+        key = (figure, format)
+        if key in _RENDERERS:
+            raise ValueError(f"renderer for {figure}/{format} already exists")
+        _RENDERERS[key] = renderer
+        return renderer
+
+    return decorate
+
+
+def available_renderings() -> dict[str, tuple[str, ...]]:
+    """Registered figures mapped to their available formats."""
+    figures: dict[str, list[str]] = {}
+    for figure, format in sorted(_RENDERERS):
+        figures.setdefault(figure, []).append(format)
+    return {figure: tuple(formats) for figure, formats in figures.items()}
+
+
+def render(results: StudyResults, figure: str, format: str = "csv") -> str:
+    """Render ``figure`` from ``results`` in ``format``.
+
+    ``figure`` is one of :func:`available_renderings`'s keys
+    (``figure1`` ... ``figure6``, ``episodes``, ``summary``);
+    ``format`` is ``csv``, ``ascii``, or ``json`` where registered.
+    """
+    renderer = _RENDERERS.get((figure, format))
+    if renderer is None:
+        available = available_renderings()
+        if figure not in available:
+            raise ValueError(
+                f"unknown figure {figure!r}; "
+                f"available: {', '.join(sorted(available))}"
+            )
+        raise ValueError(
+            f"figure {figure!r} has no {format!r} renderer; "
+            f"available formats: {', '.join(available[figure])}"
+        )
+    return renderer(results)
+
+
+# -- figure 1: daily conflict counts -----------------------------------------
+
+register_renderer("figure1", "csv")(figure1_csv)
+register_renderer("figure1", "ascii")(figure1_ascii)
+
+
+@register_renderer("figure1", "json")
+def _figure1_json(results: StudyResults) -> str:
+    """Figure 1 series as JSON records."""
+    return json.dumps(
+        [
+            {"date": day.isoformat(), "conflicts": count}
+            for day, count in results.daily_series
+        ],
+        indent=2,
+    )
+
+
+# -- figure 2: yearly medians -------------------------------------------------
+
+
+register_renderer("figure2", "ascii")(figure2_table)
+
+
+@register_renderer("figure2", "csv")
+def _figure2_csv(results: StudyResults) -> str:
+    """Figure 2 series: year, median, increase rate."""
+    lines = ["year,median_conflicts,increase_rate"]
+    for year, median in sorted(results.yearly_medians.items()):
+        rate = results.yearly_increase_rates.get(year)
+        lines.append(
+            f"{year},{median},{'' if rate is None else f'{rate:.4f}'}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+@register_renderer("figure2", "json")
+def _figure2_json(results: StudyResults) -> str:
+    """Figure 2 series as JSON records."""
+    return json.dumps(
+        [
+            {
+                "year": year,
+                "median_conflicts": median,
+                "increase_rate": results.yearly_increase_rates.get(year),
+            }
+            for year, median in sorted(results.yearly_medians.items())
+        ],
+        indent=2,
+    )
+
+
+# -- figure 3: duration histogram ---------------------------------------------
+
+register_renderer("figure3", "csv")(figure3_csv)
+register_renderer("figure3", "ascii")(figure3_ascii)
+
+
+@register_renderer("figure3", "json")
+def _figure3_json(results: StudyResults) -> str:
+    """Figure 3 histogram as JSON records."""
+    return json.dumps(
+        [
+            {
+                "duration_days": duration,
+                "conflicts": results.duration_histogram[duration],
+            }
+            for duration in sorted(results.duration_histogram)
+        ],
+        indent=2,
+    )
+
+
+# -- figure 4: duration expectations ------------------------------------------
+
+
+register_renderer("figure4", "ascii")(figure4_table)
+
+
+@register_renderer("figure4", "csv")
+def _figure4_csv(results: StudyResults) -> str:
+    """Figure 4 series: minimum duration filter, expectation."""
+    lines = ["min_duration_days,expectation_days"]
+    for threshold, expectation in sorted(
+        results.duration_expectations.items()
+    ):
+        lines.append(f"{threshold},{expectation}")
+    return "\n".join(lines) + "\n"
+
+
+@register_renderer("figure4", "json")
+def _figure4_json(results: StudyResults) -> str:
+    """Figure 4 expectations as JSON records."""
+    return json.dumps(
+        [
+            {"min_duration_days": threshold, "expectation_days": expectation}
+            for threshold, expectation in sorted(
+                results.duration_expectations.items()
+            )
+        ],
+        indent=2,
+    )
+
+
+# -- figure 5: prefix-length distribution -------------------------------------
+
+register_renderer("figure5", "csv")(figure5_csv)
+register_renderer("figure5", "ascii")(figure5_ascii)
+
+
+@register_renderer("figure5", "json")
+def _figure5_json(results: StudyResults) -> str:
+    """Figure 5 distribution as JSON records."""
+    return json.dumps(
+        [
+            {
+                "year": year,
+                "prefix_length": length,
+                "mean_daily_conflicts": value,
+            }
+            for year, by_length in sorted(
+                results.length_distribution.items()
+            )
+            for length, value in sorted(by_length.items())
+        ],
+        indent=2,
+    )
+
+
+# -- figure 6: classification series ------------------------------------------
+
+register_renderer("figure6", "csv")(figure6_csv)
+register_renderer("figure6", "ascii")(figure6_ascii)
+
+
+@register_renderer("figure6", "json")
+def _figure6_json(results: StudyResults) -> str:
+    """Figure 6 per-class series as JSON records."""
+    return json.dumps(
+        [
+            {
+                "date": day.isoformat(),
+                **{
+                    conflict_class.value: count
+                    for conflict_class, count in counts.items()
+                },
+            }
+            for day, counts in results.classification_series
+        ],
+        indent=2,
+    )
+
+
+# -- episode table and study summary ------------------------------------------
+
+register_renderer("episodes", "csv")(episodes_csv)
+register_renderer("summary", "json")(summary_json)
+register_renderer("summary", "ascii")(summary_report)

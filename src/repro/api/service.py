@@ -1,0 +1,138 @@
+"""The MoasService facade: one session object for the whole study.
+
+Wraps detector -> classifier -> episode tracker -> statistics as an
+incrementally-feedable session.  Feed any
+:class:`~repro.api.sources.DetectionSource` (or anything
+:func:`~repro.api.sources.open_source` can adapt), checkpoint the
+streaming state to JSON at any point, resume later — possibly in a
+different process, against a different shard of the archive — and the
+final :class:`~repro.analysis.pipeline.StudyResults` are identical to
+an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.pipeline import StudyPipeline, StudyResults, StudyState
+from repro.api.renderers import render
+from repro.api.sources import open_source
+from repro.core.detector import DayDetection
+
+#: Checkpoint payload version; bump on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class MoasService:
+    """An incrementally-feedable, checkpointable MOAS study session.
+
+    Usage::
+
+        service = MoasService()
+        service.feed("path/to/archive")        # any DetectionSource
+        print(service.render("summary", "ascii"))
+        service.save_checkpoint("study.ckpt")  # ... later ...
+        service = MoasService.load_checkpoint("study.ckpt")
+        service.feed(next_shard)               # continue where we left off
+        results = service.results()
+    """
+
+    def __init__(self, pipeline: StudyPipeline | None = None) -> None:
+        self.pipeline = pipeline or StudyPipeline()
+        self._state = self.pipeline.start()
+
+    # -- feeding -----------------------------------------------------------
+
+    @property
+    def days_fed(self) -> int:
+        """Observed days folded into the session so far."""
+        return self._state.total_days
+
+    @property
+    def last_day(self):
+        """The most recent day fed, or None for a fresh session."""
+        return self._state.last_day
+
+    def feed_day(self, detection: DayDetection) -> None:
+        """Fold one day's detection into the session.
+
+        Days must arrive in strictly increasing date order (ValueError
+        otherwise) — use ``feed(..., skip_seen=True)`` when re-streaming
+        a source that overlaps what this session already saw.
+        """
+        self._state.feed_day(detection)
+
+    def feed(self, source, *, skip_seen: bool = False, **options) -> int:
+        """Stream a whole source into the session; returns days fed.
+
+        ``source`` is anything :func:`~repro.api.sources.open_source`
+        accepts: a DetectionSource, an archive directory, MRT files, a
+        live Network (with ``days``/``peer_asns`` options), or an
+        in-memory iterable.  With ``skip_seen`` days not newer than
+        :attr:`last_day` are silently skipped, making it safe to re-feed
+        a source that overlaps an earlier feed or a resumed checkpoint.
+        """
+        fed = 0
+        for detection in open_source(source, **options).detections():
+            if (
+                skip_seen
+                and self.last_day is not None
+                and detection.day <= self.last_day
+            ):
+                continue
+            self.feed_day(detection)
+            fed += 1
+        return fed
+
+    # -- results and rendering ---------------------------------------------
+
+    def results(self) -> StudyResults:
+        """The full study statistics for everything fed so far.
+
+        Non-destructive: the session remains feedable, so interim
+        results can be read mid-study.
+        """
+        return self._state.results()
+
+    def render(self, figure: str, format: str = "csv") -> str:
+        """Render one figure/table from the current session state."""
+        return render(self.results(), figure, format)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The session as a JSON-serializable checkpoint payload."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "pipeline": self.pipeline.config_dict(),
+            "state": self._state.state_dict(),
+        }
+
+    @classmethod
+    def resume(cls, snapshot: dict) -> "MoasService":
+        """Rebuild a session from a :meth:`snapshot_state` payload."""
+        version = snapshot.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r}; "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        pipeline = StudyPipeline.from_config_dict(snapshot["pipeline"])
+        service = cls(pipeline)
+        service._state = StudyState.from_state(
+            snapshot["state"], pipeline=pipeline
+        )
+        return service
+
+    def save_checkpoint(self, path: Path | str) -> Path:
+        """Write the session checkpoint to ``path`` as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot_state()))
+        return path
+
+    @classmethod
+    def load_checkpoint(cls, path: Path | str) -> "MoasService":
+        """Rebuild a session from a :meth:`save_checkpoint` file."""
+        return cls.resume(json.loads(Path(path).read_text()))

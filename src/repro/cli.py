@@ -1,137 +1,52 @@
-"""Command-line entry points.
+"""Deprecated command-line entry points.
 
-- ``repro-simulate`` — generate a synthetic Route Views archive,
-- ``repro-analyze`` — run the study pipeline over an archive and write
-  every figure/table to an output directory,
-- ``repro-report`` — print the summary tables from an analysis output.
+``repro-simulate`` / ``repro-analyze`` / ``repro-report`` are thin
+shims over the unified :mod:`repro.api.cli` command (``repro simulate``
+/ ``repro analyze`` / ``repro report``) and will be removed in a future
+release.  Because they delegate, their output is byte-identical to the
+``repro`` subcommands.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-from pathlib import Path
+import warnings
 
-from repro.analysis.compare import compare_to_paper, comparison_table
-from repro.analysis.export import episodes_csv, summary_json
-from repro.analysis.figures import (
-    figure1_ascii,
-    figure1_csv,
-    figure3_ascii,
-    figure3_csv,
-    figure5_ascii,
-    figure5_csv,
-    figure6_ascii,
-    figure6_csv,
-)
-from repro.analysis.pipeline import StudyPipeline
-from repro.analysis.report import figure2_table, figure4_table, summary_report
-from repro.analysis.sources import detections_from_archive
-from repro.scenario.world import ScenarioConfig, simulate_study
-from repro.util.dates import parse_date
+
+def _delegate(subcommand: str, argv: list[str] | None) -> int:
+    """Forward a legacy entry point to the unified ``repro`` CLI."""
+    # FutureWarning, not DeprecationWarning: the default warning filters
+    # hide DeprecationWarning outside __main__, so console-script users
+    # would never see the notice before removal.
+    warnings.warn(
+        f"repro-{subcommand} is deprecated; use `repro {subcommand}`",
+        FutureWarning,
+        stacklevel=3,
+    )
+    from repro.api.cli import main
+
+    return main([subcommand, *(argv if argv is not None else sys.argv[1:])])
 
 
 def simulate_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro-simulate``."""
-    parser = argparse.ArgumentParser(
-        prog="repro-simulate",
-        description="Generate a synthetic 1997-2001 Route Views archive.",
-    )
-    parser.add_argument("archive_dir", type=Path)
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=0.125,
-        help="fraction of real-Internet size (default 0.125)",
-    )
-    parser.add_argument("--seed", type=int, default=20011108)
-    parser.add_argument(
-        "--peers", type=int, default=12, help="collector peer count"
-    )
-    parser.add_argument(
-        "--mrt-export",
-        metavar="YYYY-MM-DD",
-        action="append",
-        default=[],
-        help="additionally dump this day as a binary MRT file "
-        "(repeatable)",
-    )
-    args = parser.parse_args(argv)
-    config = ScenarioConfig(
-        scale=args.scale, seed=args.seed, num_peers=args.peers
-    )
-    export_days = {parse_date(text) for text in args.mrt_export}
-    summary = simulate_study(
-        args.archive_dir, config, mrt_export_days=export_days
-    )
-    print(f"archive written to {args.archive_dir}")
-    for key in (
-        "observed_days",
-        "num_ases_final",
-        "num_prefixes_final",
-        "events_total",
-    ):
-        print(f"  {key}: {summary[key]}")
-    return 0
+    """Deprecated entry point of ``repro-simulate``.
+
+    Use ``repro simulate`` instead.
+    """
+    return _delegate("simulate", argv)
 
 
 def analyze_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro-analyze``."""
-    parser = argparse.ArgumentParser(
-        prog="repro-analyze",
-        description="Run the MOAS study pipeline over an archive.",
-    )
-    parser.add_argument("archive_dir", type=Path)
-    parser.add_argument("output_dir", type=Path)
-    args = parser.parse_args(argv)
+    """Deprecated entry point of ``repro-analyze``.
 
-    results = StudyPipeline().run(detections_from_archive(args.archive_dir))
-    out = args.output_dir
-    out.mkdir(parents=True, exist_ok=True)
-    (out / "figure1.csv").write_text(figure1_csv(results))
-    (out / "figure3.csv").write_text(figure3_csv(results))
-    (out / "figure5.csv").write_text(figure5_csv(results))
-    (out / "figure6.csv").write_text(figure6_csv(results))
-    (out / "episodes.csv").write_text(episodes_csv(results))
-    (out / "summary.json").write_text(summary_json(results))
-    sections = [
-        summary_report(results),
-        figure2_table(results),
-        figure4_table(results),
-        figure1_ascii(results),
-        figure3_ascii(results),
-        figure5_ascii(results),
-        figure6_ascii(results),
-    ]
-    # When the archive records its generation scale, add the
-    # programmatic paper-vs-measured table.
-    from repro.scenario.archive import ArchiveReader
-
-    scale = ArchiveReader(args.archive_dir).manifest.get("scale")
-    if scale:
-        sections.append(
-            comparison_table(
-                compare_to_paper(results, scale=float(scale))
-            )
-        )
-    report = "\n\n".join(sections)
-    (out / "report.txt").write_text(report + "\n")
-    print(report)
-    return 0
+    Use ``repro analyze`` instead.
+    """
+    return _delegate("analyze", argv)
 
 
 def report_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro-report``."""
-    parser = argparse.ArgumentParser(
-        prog="repro-report",
-        description="Print a previously generated analysis report.",
-    )
-    parser.add_argument("output_dir", type=Path)
-    args = parser.parse_args(argv)
-    report_path = args.output_dir / "report.txt"
-    if not report_path.exists():
-        print(f"no report at {report_path}; run repro-analyze first",
-              file=sys.stderr)
-        return 1
-    print(report_path.read_text(), end="")
-    return 0
+    """Deprecated entry point of ``repro-report``.
+
+    Use ``repro report`` instead.
+    """
+    return _delegate("report", argv)

@@ -75,6 +75,55 @@ class EpisodeTracker:
                 self._max_width[prefix], len(conflict.origins)
             )
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the tracker's streaming state.
+
+        Together with :meth:`from_state` this lets long-running studies
+        checkpoint mid-stream and resume without replaying earlier days.
+        Prefixes are stored as ``[network, length]`` integer pairs so the
+        payload survives a JSON round trip exactly.
+        """
+        return {
+            "last_fed_day": (
+                self._last_fed_day.isoformat()
+                if self._last_fed_day is not None
+                else None
+            ),
+            "prefixes": [
+                [
+                    prefix.network,
+                    prefix.length,
+                    self._first[prefix].isoformat(),
+                    self._last[prefix].isoformat(),
+                    self._days[prefix],
+                    sorted(self._origins[prefix]),
+                    self._max_width[prefix],
+                ]
+                for prefix in self._first
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EpisodeTracker":
+        """Rebuild a tracker from a :meth:`state_dict` payload."""
+        tracker = cls()
+        last_fed = state.get("last_fed_day")
+        tracker._last_fed_day = (
+            datetime.date.fromisoformat(last_fed)
+            if last_fed is not None
+            else None
+        )
+        for network, length, first, last, days, origins, width in state[
+            "prefixes"
+        ]:
+            prefix = Prefix(network, length, strict=False)
+            tracker._first[prefix] = datetime.date.fromisoformat(first)
+            tracker._last[prefix] = datetime.date.fromisoformat(last)
+            tracker._days[prefix] = days
+            tracker._origins[prefix] = set(origins)
+            tracker._max_width[prefix] = width
+        return tracker
+
     def finalize(
         self, last_observed_day: datetime.date | None = None
     ) -> dict[Prefix, ConflictEpisode]:

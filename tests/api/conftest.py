@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro.api facade tests.
+
+One small full-window archive is simulated per session; the service,
+renderer and CLI tests all read from it (and from detections/results
+materialized once) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import MoasService, open_source
+from repro.scenario.world import ScenarioConfig, simulate_study
+
+
+@pytest.fixture(scope="session")
+def api_archive(tmp_path_factory):
+    """A small full-window CDS archive shared by the api tests."""
+    directory = tmp_path_factory.mktemp("api") / "archive"
+    simulate_study(directory, ScenarioConfig(scale=0.01))
+    return directory
+
+
+@pytest.fixture(scope="session")
+def api_detections(api_archive):
+    """Every daily detection of the shared archive, materialized."""
+    return list(open_source(api_archive).detections())
+
+
+@pytest.fixture(scope="session")
+def api_results(api_detections):
+    """The full study results over the shared archive."""
+    service = MoasService()
+    service.feed(api_detections)
+    return service.results()

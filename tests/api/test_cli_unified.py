@@ -1,0 +1,228 @@
+"""The unified ``repro`` CLI and its legacy shims."""
+
+import datetime
+import json
+import warnings
+
+import pytest
+
+from repro.api.cli import main
+from repro.cli import analyze_main, report_main, simulate_main
+
+ANALYSIS_FILES = (
+    "figure1.csv",
+    "figure3.csv",
+    "figure5.csv",
+    "figure6.csv",
+    "episodes.csv",
+    "summary.json",
+    "report.txt",
+)
+
+
+@pytest.fixture(scope="module")
+def cli_archive(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("unified-cli") / "archive"
+    assert main(["simulate", str(directory), "--scale", "0.01"]) == 0
+    return directory
+
+
+class TestSimulate:
+    def test_writes_archive(self, cli_archive):
+        for name in ("manifest.json", "days.bin", "registry.bin"):
+            assert (cli_archive / name).exists()
+
+    def test_summary_printed(self, capsys, tmp_path):
+        main(["simulate", str(tmp_path / "a"), "--scale", "0.01"])
+        assert "observed_days: 1279" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_produces_report_and_figures(self, cli_archive, tmp_path, capsys):
+        out_dir = tmp_path / "analysis"
+        assert main(["analyze", str(cli_archive), str(out_dir)]) == 0
+        for name in ANALYSIS_FILES:
+            assert (out_dir / name).exists(), f"{name} missing"
+        printed = capsys.readouterr().out
+        assert "MOAS study summary" in printed
+        assert "Fig. 2." in printed
+
+    def test_byte_identical_to_legacy_entry_point(
+        self, cli_archive, tmp_path, capsys
+    ):
+        """Acceptance: `repro analyze` == legacy `repro-analyze`."""
+        new_dir = tmp_path / "new"
+        legacy_dir = tmp_path / "legacy"
+        assert main(["analyze", str(cli_archive), str(new_dir)]) == 0
+        new_stdout = capsys.readouterr().out
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", FutureWarning)
+            assert analyze_main([str(cli_archive), str(legacy_dir)]) == 0
+        legacy_stdout = capsys.readouterr().out
+        assert new_stdout == legacy_stdout
+        for name in ANALYSIS_FILES:
+            assert (new_dir / name).read_bytes() == (
+                legacy_dir / name
+            ).read_bytes(), f"{name} differs"
+
+    def test_analyze_accepts_mrt_directory(self, tmp_path, capsys):
+        """Analyze runs over a directory of MRT dumps (no manifest)."""
+        from repro.scenario.world import ScenarioConfig, simulate_study
+        from repro.util.dates import StudyCalendar
+
+        calendar = StudyCalendar(
+            datetime.date(1998, 4, 6), datetime.date(1998, 4, 12)
+        )
+        archive = tmp_path / "archive"
+        simulate_study(
+            archive,
+            ScenarioConfig(
+                scale=0.01,
+                calendar=calendar,
+                paper_archive_gaps=False,
+            ),
+            mrt_export_days=set(calendar),
+        )
+        out_dir = tmp_path / "analysis"
+        assert main(["analyze", str(archive / "mrt"), str(out_dir)]) == 0
+        assert (out_dir / "report.txt").exists()
+        assert "MOAS study summary" in capsys.readouterr().out
+
+    def test_analyze_missing_archive_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["analyze", str(tmp_path / "nowhere"), str(tmp_path / "out")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro analyze:" in err
+        assert "no CDS archive or MRT file" in err
+
+    def test_analyze_corrupt_checkpoint_fails_cleanly(
+        self, cli_archive, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_text('{"garbage": true}')
+        code = main(
+            [
+                "analyze",
+                str(cli_archive),
+                str(tmp_path / "out"),
+                "--resume",
+                str(bad),
+            ]
+        )
+        assert code == 1
+        assert "unsupported checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_resume_identical_report(
+        self, cli_archive, tmp_path, capsys
+    ):
+        plain_dir = tmp_path / "plain"
+        ckpt = tmp_path / "study.ckpt"
+        assert main(
+            [
+                "analyze",
+                str(cli_archive),
+                str(plain_dir),
+                "--checkpoint",
+                str(ckpt),
+            ]
+        ) == 0
+        assert ckpt.exists()
+        resumed_dir = tmp_path / "resumed"
+        assert main(
+            [
+                "analyze",
+                str(cli_archive),
+                str(resumed_dir),
+                "--resume",
+                str(ckpt),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert (resumed_dir / "report.txt").read_bytes() == (
+            plain_dir / "report.txt"
+        ).read_bytes()
+
+
+class TestReport:
+    def test_report_roundtrip(self, cli_archive, tmp_path, capsys):
+        out_dir = tmp_path / "analysis"
+        main(["analyze", str(cli_archive), str(out_dir)])
+        capsys.readouterr()
+        assert main(["report", str(out_dir)]) == 0
+        assert "MOAS study summary" in capsys.readouterr().out
+
+    def test_report_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nonexistent")]) == 1
+        assert "no report" in capsys.readouterr().err
+
+
+class TestWatch:
+    @pytest.fixture()
+    def update_file(self, tmp_path):
+        from repro.mrt.attributes import PathAttributes
+        from repro.mrt.records import Bgp4mpMessage
+        from repro.mrt.writer import MrtWriter
+        from repro.netbase import ASPath, Prefix
+
+        prefix = Prefix.parse("193.0.0.0/16")
+
+        def announce(peer: int, *path: int) -> Bgp4mpMessage:
+            return Bgp4mpMessage(
+                peer_asn=peer,
+                local_asn=6447,
+                interface_index=0,
+                peer_address=0xC6200001,
+                local_address=0xC6336401,
+                attributes=PathAttributes(
+                    as_path=ASPath.from_sequence(path)
+                ),
+                announced=(prefix,),
+            )
+
+        path = tmp_path / "updates.mrt"
+        with open(path, "wb") as handle:
+            writer = MrtWriter(handle)
+            writer.write(announce(701, 701, 7).to_record(1000))
+            writer.write(announce(1239, 1239, 8584).to_record(1010))
+        return path
+
+    def test_alerts_printed(self, update_file, capsys):
+        assert main(["watch", str(update_file)]) == 0
+        out = capsys.readouterr().out
+        assert "moas_started 193.0.0.0/16" in out
+        assert "origins=[7,8584]" in out
+        assert "1 alerts; 1 prefixes still in MOAS" in out
+
+    def test_expected_origins_flag_unexpected(
+        self, update_file, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry.json"
+        registry.write_text(json.dumps({"193.0.0.0/16": 7}))
+        assert main(
+            [
+                "watch",
+                str(update_file),
+                "--expected-origins",
+                str(registry),
+            ]
+        ) == 0
+        assert "UNEXPECTED-ORIGIN" in capsys.readouterr().out
+
+
+class TestLegacyShims:
+    def test_shims_emit_deprecation_notice(self, tmp_path, capsys):
+        # FutureWarning so console-script users see it under the
+        # default warning filters (DeprecationWarning would be hidden).
+        with pytest.warns(FutureWarning, match="repro-report"):
+            report_main([str(tmp_path / "missing")])
+        capsys.readouterr()
+
+    def test_simulate_shim_delegates(self, tmp_path, capsys):
+        with pytest.warns(FutureWarning, match="repro-simulate"):
+            code = simulate_main(
+                [str(tmp_path / "arch"), "--scale", "0.01"]
+            )
+        assert code == 0
+        assert "observed_days: 1279" in capsys.readouterr().out

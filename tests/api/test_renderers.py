@@ -1,0 +1,111 @@
+"""Renderer registry: legacy parity, JSON formats, error handling."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import episodes_csv, summary_json
+from repro.analysis.figures import (
+    figure1_ascii,
+    figure1_csv,
+    figure3_ascii,
+    figure3_csv,
+    figure5_ascii,
+    figure5_csv,
+    figure6_ascii,
+    figure6_csv,
+)
+from repro.analysis.report import figure2_table, figure4_table, summary_report
+from repro.api import available_renderings, register_renderer, render
+
+LEGACY_PARITY = [
+    ("figure1", "csv", figure1_csv),
+    ("figure1", "ascii", figure1_ascii),
+    ("figure2", "ascii", figure2_table),
+    ("figure3", "csv", figure3_csv),
+    ("figure3", "ascii", figure3_ascii),
+    ("figure4", "ascii", figure4_table),
+    ("figure5", "csv", figure5_csv),
+    ("figure5", "ascii", figure5_ascii),
+    ("figure6", "csv", figure6_csv),
+    ("figure6", "ascii", figure6_ascii),
+    ("episodes", "csv", episodes_csv),
+    ("summary", "json", summary_json),
+    ("summary", "ascii", summary_report),
+]
+
+
+@pytest.mark.parametrize(
+    "figure,format,legacy",
+    LEGACY_PARITY,
+    ids=[f"{fig}-{fmt}" for fig, fmt, _ in LEGACY_PARITY],
+)
+def test_registry_matches_legacy_renderer(api_results, figure, format, legacy):
+    """Every registered output is byte-identical to its legacy function."""
+    assert render(api_results, figure, format) == legacy(api_results)
+
+
+class TestJsonFormats:
+    @pytest.mark.parametrize(
+        "figure",
+        ["figure1", "figure2", "figure3", "figure4", "figure5", "figure6"],
+    )
+    def test_every_figure_has_parseable_json(self, api_results, figure):
+        payload = json.loads(render(api_results, figure, "json"))
+        assert isinstance(payload, list)
+        assert payload, f"{figure} json rendering is empty"
+
+    def test_figure1_json_mirrors_daily_series(self, api_results):
+        payload = json.loads(render(api_results, "figure1", "json"))
+        assert len(payload) == api_results.total_days
+        first_day, first_count = api_results.daily_series[0]
+        assert payload[0] == {
+            "date": first_day.isoformat(),
+            "conflicts": first_count,
+        }
+
+    def test_figure2_csv_lists_every_year(self, api_results):
+        lines = render(api_results, "figure2", "csv").strip().splitlines()
+        assert lines[0] == "year,median_conflicts,increase_rate"
+        assert len(lines) == 1 + len(api_results.yearly_medians)
+
+
+class TestRegistry:
+    def test_available_renderings_structure(self):
+        available = available_renderings()
+        for figure in (
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+        ):
+            assert "ascii" in available[figure]
+            assert "json" in available[figure]
+        assert "csv" in available["episodes"]
+        assert set(available["summary"]) == {"ascii", "json"}
+
+    def test_unknown_figure_names_alternatives(self, api_results):
+        with pytest.raises(ValueError, match="unknown figure"):
+            render(api_results, "figure99", "csv")
+
+    def test_unknown_format_names_alternatives(self, api_results):
+        with pytest.raises(ValueError, match="no 'svg' renderer"):
+            render(api_results, "figure1", "svg")
+
+    def test_new_registration_is_one_call_away(self, api_results):
+        from repro.api import renderers
+
+        @register_renderer("test-table", "tsv")
+        def _test_table(results) -> str:
+            return f"days\t{results.total_days}\n"
+
+        try:
+            assert render(api_results, "test-table", "tsv") == (
+                f"days\t{api_results.total_days}\n"
+            )
+            with pytest.raises(ValueError, match="already exists"):
+                register_renderer("test-table", "tsv")(_test_table)
+        finally:
+            del renderers._RENDERERS[("test-table", "tsv")]

@@ -1,0 +1,134 @@
+"""MoasService: incremental feeding, checkpointing, resume."""
+
+import json
+
+import pytest
+
+from repro.analysis.pipeline import StudyPipeline
+from repro.api import CHECKPOINT_VERSION, MoasService
+
+
+@pytest.fixture(scope="module")
+def straight_results(api_detections):
+    service = MoasService()
+    service.feed(api_detections)
+    return service.results()
+
+
+class TestFeeding:
+    def test_feed_counts_days(self, api_detections):
+        service = MoasService()
+        assert service.days_fed == 0
+        assert service.last_day is None
+        fed = service.feed(api_detections)
+        assert fed == len(api_detections)
+        assert service.days_fed == len(api_detections)
+        assert service.last_day == api_detections[-1].day
+
+    def test_feed_matches_batch_pipeline(
+        self, api_detections, straight_results
+    ):
+        batch = StudyPipeline().run(iter(api_detections))
+        assert batch == straight_results
+
+    def test_out_of_order_day_rejected(self, api_detections):
+        service = MoasService()
+        service.feed_day(api_detections[1])
+        with pytest.raises(ValueError, match="increasing order"):
+            service.feed_day(api_detections[0])
+
+    def test_skip_seen_refeed_is_idempotent(
+        self, api_detections, straight_results
+    ):
+        service = MoasService()
+        service.feed(api_detections)
+        assert service.feed(api_detections, skip_seen=True) == 0
+        assert service.results() == straight_results
+
+    def test_interim_results_do_not_disturb_stream(
+        self, api_detections, straight_results
+    ):
+        service = MoasService()
+        midpoint = len(api_detections) // 2
+        service.feed(api_detections[:midpoint])
+        interim = service.results()
+        assert interim.total_days == midpoint
+        service.feed(api_detections[midpoint:])
+        assert service.results() == straight_results
+
+
+class TestCheckpointResume:
+    def test_mid_study_resume_equals_straight_run(
+        self, api_detections, straight_results
+    ):
+        """The acceptance criterion: resume == uninterrupted run."""
+        midpoint = len(api_detections) // 3
+        first = MoasService()
+        first.feed(api_detections[:midpoint])
+
+        # Force a real JSON round trip, as a checkpoint file would.
+        snapshot = json.loads(json.dumps(first.snapshot_state()))
+        resumed = MoasService.resume(snapshot)
+        assert resumed.days_fed == midpoint
+
+        resumed.feed(api_detections[midpoint:])
+        assert resumed.results() == straight_results
+
+    def test_checkpoint_file_round_trip(
+        self, tmp_path, api_detections, straight_results
+    ):
+        midpoint = len(api_detections) // 2
+        first = MoasService()
+        first.feed(api_detections[:midpoint])
+        path = first.save_checkpoint(tmp_path / "ckpt" / "study.json")
+        assert path.exists()
+
+        resumed = MoasService.load_checkpoint(path)
+        resumed.feed(api_detections[midpoint:])
+        assert resumed.results() == straight_results
+
+    def test_resume_skip_seen_over_full_source(
+        self, api_detections, straight_results
+    ):
+        """Resuming over a re-streamed overlapping source works."""
+        midpoint = len(api_detections) // 2
+        first = MoasService()
+        first.feed(api_detections[:midpoint])
+        resumed = MoasService.resume(first.snapshot_state())
+        fed = resumed.feed(api_detections, skip_seen=True)
+        assert fed == len(api_detections) - midpoint
+        assert resumed.results() == straight_results
+
+    def test_checkpoint_preserves_pipeline_config(self, api_detections):
+        pipeline = StudyPipeline(spike_window_days=10, spike_factor=2.5)
+        service = MoasService(pipeline)
+        service.feed(api_detections[:20])
+        resumed = MoasService.resume(service.snapshot_state())
+        assert resumed.pipeline == pipeline
+
+    def test_unsupported_version_rejected(self):
+        service = MoasService()
+        snapshot = service.snapshot_state()
+        assert snapshot["version"] == CHECKPOINT_VERSION
+        snapshot["version"] = 999
+        with pytest.raises(ValueError, match="unsupported checkpoint"):
+            MoasService.resume(snapshot)
+
+    def test_empty_session_round_trips(self, api_detections):
+        resumed = MoasService.resume(MoasService().snapshot_state())
+        assert resumed.days_fed == 0
+        resumed.feed(api_detections[:5])
+        assert resumed.results().total_days == 5
+
+
+class TestRenderPassthrough:
+    def test_service_render_matches_registry(
+        self, api_detections, straight_results
+    ):
+        from repro.api import render
+
+        service = MoasService()
+        service.feed(api_detections)
+        assert service.render("summary", "json") == render(
+            straight_results, "summary", "json"
+        )
