@@ -1,15 +1,29 @@
 """PIPELINE — end-to-end study cost, and the Huston-counter baseline.
 
 Times (a) the full pipeline over the 1279-day archive — the whole-paper
-computation — and (b) the Section II related-work baseline that only
-counts conflicts per day.  The baseline must be cheaper, and the
-pipeline must add everything the baseline lacks (episodes, durations,
-classes, case studies): exactly the gap the paper fills over Huston's
-table statistics.
+computation — (b) the Section II related-work baseline that only
+counts conflicts per day, and (c) the parallel engine against the
+serial path, recording the serial/parallel wall-clock pair in
+``BENCH_parallel.json`` so the perf trajectory is tracked run over run.
+The baseline must be cheaper, and the pipeline must add everything the
+baseline lacks (episodes, durations, classes, case studies): exactly
+the gap the paper fills over Huston's table statistics.
+
+Environment knobs for the parallel leg: ``REPRO_BENCH_WORKERS`` (pool
+size, default 4), ``REPRO_BENCH_OUT`` (artifact path, default
+``BENCH_parallel.json`` in the working directory) and
+``REPRO_BENCH_MIN_SPEEDUP`` (default 1.5; the speedup assertion only
+arms when the machine actually has that many CPUs to give).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.analysis.baselines import HustonCounter
 from repro.analysis.pipeline import StudyPipeline
+from repro.api.sources import ArchiveSource
 
 
 def test_full_pipeline(benchmark, detections):
@@ -27,6 +41,58 @@ def test_full_pipeline(benchmark, detections):
         f"{benchmark.stats.stats.mean:.2f} s "
         f"({results.total_days / benchmark.stats.stats.mean:,.0f} days/s)"
     )
+
+
+def test_parallel_pipeline(benchmark, paper_archive):
+    """Serial vs parallel end-to-end study over the same archive.
+
+    Both paths do the whole job — decode the archive, detect, fold —
+    and must produce identical results; the parallel path fans
+    detection out over ``REPRO_BENCH_WORKERS`` processes.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    source = ArchiveSource(paper_archive)
+
+    serial_seconds = []
+    for _round in range(2):
+        started = time.perf_counter()
+        serial_results = StudyPipeline().run(source)
+        serial_seconds.append(time.perf_counter() - started)
+    serial_best = min(serial_seconds)
+
+    parallel_results = benchmark.pedantic(
+        lambda: StudyPipeline().run(source, workers=workers),
+        rounds=3,
+        iterations=1,
+    )
+    parallel_best = benchmark.stats.stats.min
+
+    assert parallel_results == serial_results  # the engine's invariant
+    speedup = serial_best / parallel_best
+    payload = {
+        # Mirrors benchmarks/conftest.py SCALE without importing the
+        # conftest as a module (repo root is not always on sys.path).
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "0.05")),
+        "days": serial_results.total_days,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_best, 4),
+        "parallel_seconds": round(parallel_best, 4),
+        "speedup": round(speedup, 3),
+    }
+    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_parallel.json"))
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\n[parallel] serial {serial_best:.2f} s vs "
+        f"workers={workers} {parallel_best:.2f} s "
+        f"-> {speedup:.2f}x (recorded in {out})"
+    )
+    minimum = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
+    if (os.cpu_count() or 1) >= workers:
+        assert speedup >= minimum, (
+            f"parallel speedup {speedup:.2f}x below {minimum}x "
+            f"with {workers} workers on {os.cpu_count()} CPUs"
+        )
 
 
 def test_huston_baseline(benchmark, detections):

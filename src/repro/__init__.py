@@ -16,8 +16,9 @@ The package layers as follows (lowest first):
 - :mod:`repro.core` — the paper's contribution: MOAS detection,
   classification, episode/duration tracking, statistics and cause
   attribution, plus a streaming real-time alerter.
-- :mod:`repro.analysis` — the end-to-end study pipeline and the
-  table/figure report generators.
+- :mod:`repro.analysis` — the end-to-end study pipeline (serial or
+  sharded across a process pool; see :mod:`repro.analysis.parallel`)
+  and the table/figure report generators.
 - :mod:`repro.api` — the canonical entry surface: pluggable
   :class:`~repro.api.sources.DetectionSource` adapters, the renderer
   registry, the checkpointable :class:`~repro.api.service.MoasService`
@@ -27,7 +28,7 @@ See README.md for install and quickstart, and CHANGES.md for the
 release history.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.netbase import ASPath, PeerId, Prefix, RibSnapshot, Route
 

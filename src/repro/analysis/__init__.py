@@ -2,7 +2,9 @@
 
 :mod:`repro.analysis.sources` adapts archives (CDS or MRT) into daily
 detections; :mod:`repro.analysis.pipeline` streams them into
-:class:`~repro.analysis.pipeline.StudyResults`;
+:class:`~repro.analysis.pipeline.StudyResults` —
+:mod:`repro.analysis.parallel` fans that work out over a process pool
+and merges per-shard states back, with identical results;
 :mod:`repro.analysis.report` and :mod:`repro.analysis.figures` render
 the paper's tables and figures; :mod:`repro.analysis.vantage`
 reproduces the Section III vantage-point comparison; and
@@ -16,13 +18,17 @@ from repro.analysis.compare import (
     fraction_passing,
 )
 from repro.analysis.export import episodes_csv, summary_json
-from repro.analysis.pipeline import StudyPipeline, StudyResults
+from repro.analysis.parallel import ParallelExecutor, resolve_workers
+from repro.analysis.pipeline import StudyPipeline, StudyResults, StudyState
 from repro.analysis.sources import (
     detections_from_archive,
     detections_from_mrt_files,
 )
 
 __all__ = [
+    "ParallelExecutor",
+    "resolve_workers",
+    "StudyState",
     "compare_to_paper",
     "comparison_table",
     "fraction_passing",

@@ -1,9 +1,8 @@
 """Programmatic paper-vs-measured comparison.
 
-EXPERIMENTS.md records one reference run; this module generates the
-same comparison for *any* run, so users changing seeds, scales or
-calibrations can immediately see where they stand relative to the
-paper.  Each check returns a structured row with the paper value, the
+Generates the paper-vs-measured comparison for *any* run, so users
+changing seeds, scales or calibrations can immediately see where they
+stand relative to the paper.  Each check returns a structured row with the paper value, the
 scaled expectation, the measured value and a pass/fail verdict under a
 tolerance band.
 """

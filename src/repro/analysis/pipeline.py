@@ -12,6 +12,16 @@ feedable accumulator that can serialize itself mid-study
 :class:`StudyPipeline` is the batch convenience over it, and
 :class:`repro.api.MoasService` is the session facade that adds
 checkpoint files and pluggable sources on top.
+
+Parallel studies shard this state across the prefix space: a
+:class:`StudyState` built with a :class:`~repro.netbase.sharding.ShardSpec`
+tracks episodes and prefix-length tallies only for its shard, while the
+cheap day-level aggregates (daily counts, classification, spike
+evidence) are computed over the full day so that
+:meth:`StudyState.merge` can recombine disjoint shards into results
+identical to a serial run.  :meth:`StudyPipeline.run` accepts
+``workers``/``shards`` and drives the whole fan-out/merge cycle through
+:class:`repro.analysis.parallel.ParallelExecutor`.
 """
 
 from __future__ import annotations
@@ -19,7 +29,6 @@ from __future__ import annotations
 import datetime
 import statistics
 from collections import Counter, deque
-from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.causes import SpikeReport
@@ -40,6 +49,7 @@ from repro.core.stats import (
     yearly_medians,
 )
 from repro.netbase.prefix import Prefix
+from repro.netbase.sharding import ShardSpec
 from repro.scenario.timeline import CLASSIFICATION_WINDOW
 from repro.topology.ixp import IXP_BLOCK
 
@@ -93,16 +103,43 @@ class StudyPipeline:
     spike_factor: float = 4.0
     duration_thresholds: tuple[int, ...] = (0, 1, 9, 29, 89)
 
-    def start(self) -> "StudyState":
-        """A fresh incremental accumulator under this configuration."""
-        return StudyState(self)
+    def start(self, shard: ShardSpec | None = None) -> "StudyState":
+        """A fresh incremental accumulator under this configuration.
 
-    def run(self, detections: Iterable[DayDetection]) -> StudyResults:
-        """Stream all daily detections and assemble the results."""
-        state = self.start()
-        for detection in detections:
-            state.feed_day(detection)
-        return state.results()
+        With ``shard`` the accumulator tracks per-prefix state (episodes
+        and prefix-length tallies) only for that slice of the prefix
+        space; disjoint shards recombine with :meth:`StudyState.merge`.
+        """
+        return StudyState(self, shard=shard)
+
+    def run(
+        self,
+        detections,
+        *,
+        workers: int = 1,
+        shards: int = 1,
+    ) -> StudyResults:
+        """Stream all daily detections and assemble the results.
+
+        ``detections`` is an iterable of daily
+        :class:`~repro.core.detector.DayDetection` records, or — when
+        ``workers`` asks for parallelism — any detection source the
+        parallel executor can partition (a CDS archive directory /
+        ``ArchiveSource``, or an ``MrtFilesSource``; see
+        :mod:`repro.analysis.parallel`).
+
+        ``workers`` fans per-day detection out over a process pool
+        (``0``/``None`` auto-detects the CPU count; ``1``, the default,
+        is the documented serial fallback that never spawns processes).
+        ``shards`` folds the study into that many prefix-space shards,
+        merged back before results are assembled — results are
+        identical for every ``workers``/``shards`` combination.
+        """
+        from repro.analysis.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(workers=workers, shards=shards)
+        states = executor.run(self, detections)
+        return StudyState.merged(states).results()
 
     def config_dict(self) -> dict:
         """JSON-serializable form of this configuration."""
@@ -141,10 +178,25 @@ class StudyState:
     streaming state round-trips through JSON via :meth:`state_dict` and
     :meth:`from_state`, which is what makes mid-study checkpointing
     possible without replaying earlier days.
+
+    With ``shard`` the state covers one slice of the prefix space: the
+    heavy per-prefix aggregates (the episode tracker and the per-year
+    prefix-length tallies) fold in only the shard's conflicts, while
+    the cheap day-level aggregates (daily counts, classification,
+    spike/case-study evidence, AS_SET exclusion maximum) are computed
+    over the *full* detection exactly as a serial state would.  Every
+    shard must therefore be fed every day's full detection; disjoint
+    shards then recombine with :meth:`merge` into a state whose
+    :meth:`results` are identical to an unsharded run.
     """
 
-    def __init__(self, pipeline: StudyPipeline | None = None) -> None:
+    def __init__(
+        self,
+        pipeline: StudyPipeline | None = None,
+        shard: ShardSpec | None = None,
+    ) -> None:
         self.pipeline = pipeline or StudyPipeline()
+        self.shard = shard
         self._tracker = EpisodeTracker()
         self._daily_series: list[tuple[datetime.date, int]] = []
         self._recent_counts: deque[int] = deque(
@@ -179,7 +231,16 @@ class StudyState:
         day = detection.day
         conflicts = list(detection.conflicts)
         count = len(conflicts)
-        self._tracker.observe_day(day, conflicts)
+        if self.shard is None:
+            sharded = conflicts
+        else:
+            contains = self.shard.contains
+            sharded = [
+                conflict
+                for conflict in conflicts
+                if contains(conflict.prefix)
+            ]
+        self._tracker.observe_day(day, sharded)
         self._total_days += 1
         self._daily_series.append((day, count))
         self._as_set_excluded_max = max(
@@ -188,7 +249,7 @@ class StudyState:
 
         self._days_per_year[day.year] += 1
         bucket = self._length_sums.setdefault(day.year, Counter())
-        for conflict in conflicts:
+        for conflict in sharded:
             bucket[conflict.prefix.length] += 1
 
         window_start, window_end = pipeline.classification_window
@@ -223,13 +284,12 @@ class StudyState:
         exchange_point = sum(
             1 for prefix in episodes if IXP_BLOCK.contains(prefix)
         )
+        medians = yearly_medians(self._daily_series)
         return StudyResults(
             daily_series=list(self._daily_series),
             episodes=episodes,
-            yearly_medians=yearly_medians(self._daily_series),
-            yearly_increase_rates=yearly_increase_rates(
-                yearly_medians(self._daily_series)
-            ),
+            yearly_medians=medians,
+            yearly_increase_rates=yearly_increase_rates(medians),
             peak_days=peak_days(self._daily_series),
             duration_histogram=duration_histogram(episodes.values()),
             duration_expectations=duration_expectations(
@@ -247,11 +307,73 @@ class StudyState:
             total_days=self._total_days,
         )
 
+    # -- shard combination ----------------------------------------------
+
+    def merge(self, other: "StudyState") -> "StudyState":
+        """Combine two states covering disjoint prefix shards.
+
+        Both states must have been fed the same full-day detections
+        (their day-level aggregates are validated to agree) under the
+        same pipeline configuration, over disjoint shards of the same
+        partitioning.  Returns a new state covering the union; neither
+        input is mutated, so the operation is associative and a merged
+        state can keep being fed or merged further.
+        """
+        if self.pipeline != other.pipeline:
+            raise ValueError(
+                "cannot merge states with different pipeline configurations"
+            )
+        if self.shard is None or other.shard is None:
+            raise ValueError(
+                "cannot merge an unsharded state: it already covers "
+                "the full prefix space"
+            )
+        if self._daily_series != other._daily_series:
+            raise ValueError(
+                "cannot merge states fed different day streams "
+                f"({self._total_days} vs {other._total_days} days)"
+            )
+        merged = StudyState(
+            self.pipeline, shard=self.shard.union(other.shard)
+        )
+        merged._tracker = self._tracker.merge(other._tracker)
+        # Day-level aggregates are computed over the full detection in
+        # every shard, so both inputs hold identical copies; take ours.
+        merged._daily_series = list(self._daily_series)
+        merged._recent_counts.extend(self._recent_counts)
+        merged._days_per_year = Counter(self._days_per_year)
+        merged._classification = list(self._classification)
+        merged._case_studies = list(self._case_studies)
+        merged._as_set_excluded_max = self._as_set_excluded_max
+        merged._total_days = self._total_days
+        # Per-prefix aggregates are disjoint; sum the length tallies.
+        merged._length_sums = {
+            year: Counter(bucket) for year, bucket in self._length_sums.items()
+        }
+        for year, bucket in other._length_sums.items():
+            target = merged._length_sums.setdefault(year, Counter())
+            target.update(bucket)
+        return merged
+
+    @classmethod
+    def merged(cls, states: list["StudyState"]) -> "StudyState":
+        """Fold a list of disjoint shard states into one.
+
+        A single (possibly unsharded) state passes through unchanged.
+        """
+        if not states:
+            raise ValueError("cannot merge zero study states")
+        combined = states[0]
+        for state in states[1:]:
+            combined = combined.merge(state)
+        return combined
+
     # -- checkpoint serialization ------------------------------------------
 
     def state_dict(self) -> dict:
         """The complete streaming state as a JSON-serializable dict."""
         return {
+            "shard": self.shard.to_dict() if self.shard is not None else None,
             "tracker": self._tracker.state_dict(),
             "daily_series": [
                 [day.isoformat(), count]
@@ -300,7 +422,15 @@ class StudyState:
         cls, state: dict, *, pipeline: StudyPipeline | None = None
     ) -> "StudyState":
         """Rebuild mid-study streaming state from :meth:`state_dict`."""
-        restored = cls(pipeline)
+        shard_payload = state.get("shard")
+        restored = cls(
+            pipeline,
+            shard=(
+                ShardSpec.from_dict(shard_payload)
+                if shard_payload is not None
+                else None
+            ),
+        )
         restored._tracker = EpisodeTracker.from_state(state["tracker"])
         restored._daily_series = [
             (datetime.date.fromisoformat(day), count)

@@ -5,12 +5,19 @@ One CLI over the :mod:`repro.api` facade.  The legacy
 delegate here, so their behavior (including report bytes) is identical
 by construction.
 
-- ``repro simulate ARCHIVE``: generate a synthetic Route Views archive;
+- ``repro simulate ARCHIVE``: generate a synthetic Route Views archive
+  (``--workers`` parallelizes the optional MRT day dumps);
 - ``repro analyze ARCHIVE OUT``: run the study and write every
-  figure/table, with optional ``--checkpoint`` / ``--resume``;
+  figure/table, with optional ``--checkpoint`` / ``--resume`` and
+  parallel ``--workers`` / ``--shards``;
 - ``repro report OUT``: print a previously generated report;
 - ``repro watch UPDATES.mrt``: stream BGP4MP updates through the
   real-time alerter.
+
+``--workers`` accepts a worker count, ``auto``/``0`` for CPU
+auto-detection, or ``1`` (the default) for the serial path that never
+spawns a process.  Results are identical for every ``--workers`` /
+``--shards`` combination.
 """
 
 from __future__ import annotations
@@ -26,6 +33,34 @@ from repro.api.renderers import render
 from repro.api.service import MoasService
 from repro.scenario.world import ScenarioConfig, simulate_study
 from repro.util.dates import parse_date
+
+
+def _workers_arg(text: str) -> int:
+    """Parse a ``--workers`` value: an integer or ``auto`` (= 0)."""
+    if text.strip().lower() == "auto":
+        return 0
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0, got {value}"
+        )
+    return value
+
+
+def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        metavar="N",
+        help="process-pool size; 'auto' or 0 detects the CPU count, "
+        "1 (default) runs serially without spawning processes",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +106,7 @@ def _add_simulate(sub) -> None:
         help="additionally dump this day as a binary MRT file "
         "(repeatable)",
     )
+    _add_workers_option(parser)
     parser.set_defaults(func=_run_simulate)
 
 
@@ -80,7 +116,10 @@ def _run_simulate(args: argparse.Namespace) -> int:
     )
     export_days = {parse_date(text) for text in args.mrt_export}
     summary = simulate_study(
-        args.archive_dir, config, mrt_export_days=export_days
+        args.archive_dir,
+        config,
+        mrt_export_days=export_days,
+        workers=args.workers,
     )
     print(f"archive written to {args.archive_dir}")
     for key in (
@@ -115,7 +154,18 @@ def _add_analyze(sub) -> None:
         "--checkpoint",
         type=Path,
         metavar="CKPT",
-        help="write the final session state to this checkpoint file",
+        help="write the final session state to this checkpoint file "
+        "(a directory of per-shard states when --shards > 1)",
+    )
+    _add_workers_option(parser)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="fold the study state into M prefix-space shards "
+        "(checkpoints become per-shard files; results are identical; "
+        "default 1, or the checkpoint's own layout with --resume)",
     )
     parser.set_defaults(func=_run_analyze)
 
@@ -124,11 +174,22 @@ def _run_analyze(args: argparse.Namespace) -> int:
     from repro.mrt.errors import MrtError
 
     try:
+        if args.shards is not None and args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
         if args.resume is not None:
-            service = MoasService.load_checkpoint(args.resume)
+            service = MoasService.load_checkpoint(
+                args.resume, workers=args.workers
+            )
+            if args.shards is not None and args.shards != service.shards:
+                raise ValueError(
+                    f"checkpoint has {service.shards} shard(s); "
+                    f"cannot resume it with --shards {args.shards}"
+                )
             service.feed(args.archive_dir, skip_seen=True)
         else:
-            service = MoasService()
+            service = MoasService(
+                workers=args.workers, shards=args.shards or 1
+            )
             service.feed(args.archive_dir)
     except (
         FileNotFoundError,
@@ -140,7 +201,11 @@ def _run_analyze(args: argparse.Namespace) -> int:
         return 1
     results = service.results()
     if args.checkpoint is not None:
-        service.save_checkpoint(args.checkpoint)
+        try:
+            service.save_checkpoint(args.checkpoint)
+        except (ValueError, OSError) as error:
+            print(f"repro analyze: {error}", file=sys.stderr)
+            return 1
 
     # The paper-vs-measured table needs the generation scale, which
     # only CDS archives record; MRT inputs analyze without it.
@@ -289,3 +354,7 @@ def _run_watch(args: argparse.Namespace) -> int:
         f"at end of stream"
     )
     return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

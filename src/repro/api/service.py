@@ -8,6 +8,20 @@ streaming state to JSON at any point, resume later — possibly in a
 different process, against a different shard of the archive — and the
 final :class:`~repro.analysis.pipeline.StudyResults` are identical to
 an uninterrupted run.
+
+The session scales out in two independent directions:
+
+- ``workers=N`` fans per-day detection over a process pool when the
+  source is partitionable (CDS archives, MRT file lists); ``N=1`` (the
+  default) is the documented serial fallback that never spawns a
+  process, and ``N=0`` auto-detects the CPU count.
+- ``shards=M`` folds the streaming state into ``M`` prefix-space
+  shards.  Checkpoints of a sharded session are directories (one
+  ``state_dict`` file per shard plus a manifest) so each shard can be
+  stored, shipped, or resumed independently.
+
+Results are identical for every ``workers``/``shards`` combination —
+the engine's core invariant.
 """
 
 from __future__ import annotations
@@ -15,13 +29,22 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.analysis.parallel import (
+    ParallelExecutor,
+    iter_detections,
+    resolve_workers,
+)
 from repro.analysis.pipeline import StudyPipeline, StudyResults, StudyState
 from repro.api.renderers import render
 from repro.api.sources import open_source
 from repro.core.detector import DayDetection
 
 #: Checkpoint payload version; bump on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: Version 1 (single ``state`` payload) is still readable.
+CHECKPOINT_VERSION = 2
+
+#: File name of the manifest inside a sharded checkpoint directory.
+CHECKPOINT_MANIFEST = "manifest.json"
 
 
 class MoasService:
@@ -29,7 +52,7 @@ class MoasService:
 
     Usage::
 
-        service = MoasService()
+        service = MoasService(workers=4, shards=2)
         service.feed("path/to/archive")        # any DetectionSource
         print(service.render("summary", "ascii"))
         service.save_checkpoint("study.ckpt")  # ... later ...
@@ -38,32 +61,56 @@ class MoasService:
         results = service.results()
     """
 
-    def __init__(self, pipeline: StudyPipeline | None = None) -> None:
+    def __init__(
+        self,
+        pipeline: StudyPipeline | None = None,
+        *,
+        workers: int = 1,
+        shards: int = 1,
+        shard_scheme: str = "hash",
+    ) -> None:
         self.pipeline = pipeline or StudyPipeline()
-        self._state = self.pipeline.start()
+        # One source of truth for worker resolution and shard layout:
+        # the same executor the pipeline path uses.
+        executor = ParallelExecutor(
+            workers=workers, shards=shards, scheme=shard_scheme
+        )
+        self.workers = executor.workers
+        self.shards = executor.shards
+        self._states = executor.make_states(self.pipeline)
 
     # -- feeding -----------------------------------------------------------
 
     @property
     def days_fed(self) -> int:
         """Observed days folded into the session so far."""
-        return self._state.total_days
+        return self._states[0].total_days
 
     @property
     def last_day(self):
         """The most recent day fed, or None for a fresh session."""
-        return self._state.last_day
+        return self._states[0].last_day
 
     def feed_day(self, detection: DayDetection) -> None:
         """Fold one day's detection into the session.
 
         Days must arrive in strictly increasing date order (ValueError
         otherwise) — use ``feed(..., skip_seen=True)`` when re-streaming
-        a source that overlaps what this session already saw.
+        a source that overlaps what this session already saw.  Every
+        shard folds the full detection (day-level aggregates are shared,
+        per-prefix state is shard-filtered).
         """
-        self._state.feed_day(detection)
+        for state in self._states:
+            state.feed_day(detection)
 
-    def feed(self, source, *, skip_seen: bool = False, **options) -> int:
+    def feed(
+        self,
+        source,
+        *,
+        skip_seen: bool = False,
+        workers: int | None = None,
+        **options,
+    ) -> int:
         """Stream a whole source into the session; returns days fed.
 
         ``source`` is anything :func:`~repro.api.sources.open_source`
@@ -72,9 +119,21 @@ class MoasService:
         in-memory iterable.  With ``skip_seen`` days not newer than
         :attr:`last_day` are silently skipped, making it safe to re-feed
         a source that overlaps an earlier feed or a resumed checkpoint.
+
+        ``workers`` overrides the session's worker count for this feed;
+        with more than one worker, partitionable sources are detected
+        on a process pool (others fall back to the serial path — see
+        :mod:`repro.analysis.parallel`).
         """
+        adapted = open_source(source, **options)
+        effective = resolve_workers(
+            self.workers if workers is None else workers
+        )
         fed = 0
-        for detection in open_source(source, **options).detections():
+        for detection in iter_detections(adapted, workers=effective):
+            # Check against the *advancing* last_day so duplicate days
+            # inside one stream are skipped too, not just overlap with
+            # what an earlier feed or resumed checkpoint covered.
             if (
                 skip_seen
                 and self.last_day is not None
@@ -91,9 +150,10 @@ class MoasService:
         """The full study statistics for everything fed so far.
 
         Non-destructive: the session remains feedable, so interim
-        results can be read mid-study.
+        results can be read mid-study.  Sharded sessions merge their
+        shard states on the fly (the states themselves are untouched).
         """
-        return self._state.results()
+        return StudyState.merged(self._states).results()
 
     def render(self, figure: str, format: str = "csv") -> str:
         """Render one figure/table from the current session state."""
@@ -106,33 +166,112 @@ class MoasService:
         return {
             "version": CHECKPOINT_VERSION,
             "pipeline": self.pipeline.config_dict(),
-            "state": self._state.state_dict(),
+            "shards": [state.state_dict() for state in self._states],
         }
 
     @classmethod
-    def resume(cls, snapshot: dict) -> "MoasService":
-        """Rebuild a session from a :meth:`snapshot_state` payload."""
+    def resume(cls, snapshot: dict, *, workers: int = 1) -> "MoasService":
+        """Rebuild a session from a :meth:`snapshot_state` payload.
+
+        Accepts both the current sharded layout (version 2) and legacy
+        single-state version-1 checkpoints.  The worker count is an
+        execution-resource choice, not study state, so it is never part
+        of the checkpoint — pass ``workers`` to continue in parallel.
+        """
         version = snapshot.get("version")
-        if version != CHECKPOINT_VERSION:
+        if version not in (1, CHECKPOINT_VERSION):
             raise ValueError(
                 f"unsupported checkpoint version {version!r}; "
                 f"expected {CHECKPOINT_VERSION}"
             )
         pipeline = StudyPipeline.from_config_dict(snapshot["pipeline"])
-        service = cls(pipeline)
-        service._state = StudyState.from_state(
-            snapshot["state"], pipeline=pipeline
-        )
+        if version == 1:
+            shard_states = [snapshot["state"]]
+        else:
+            shard_states = snapshot["shards"]
+        if not shard_states:
+            raise ValueError("checkpoint contains no shard states")
+        service = cls(pipeline, workers=workers)
+        service._states = [
+            StudyState.from_state(state, pipeline=pipeline)
+            for state in shard_states
+        ]
+        service.shards = len(service._states)
         return service
 
     def save_checkpoint(self, path: Path | str) -> Path:
-        """Write the session checkpoint to ``path`` as JSON."""
+        """Write the session checkpoint to ``path``.
+
+        Single-shard sessions write one JSON file, exactly as before.
+        Sharded sessions write a *directory*: a ``manifest.json``
+        naming the layout plus one ``shard-NN.json`` state file per
+        shard, so shards can be inspected or shipped independently and
+        :meth:`load_checkpoint` can reassemble them.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.snapshot_state()))
+        if len(self._states) == 1:
+            if path.is_dir():
+                raise ValueError(
+                    f"checkpoint path {path} is an existing directory "
+                    f"(a sharded checkpoint?); remove it or choose "
+                    f"another path"
+                )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(self.snapshot_state()))
+            return path
+        if path.is_file():
+            raise ValueError(
+                f"checkpoint path {path} is an existing file (an "
+                f"unsharded checkpoint?); remove it or choose another "
+                f"path"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        shard_files = []
+        for index, state in enumerate(self._states):
+            name = f"shard-{index:02d}.json"
+            (path / name).write_text(json.dumps(state.state_dict()))
+            shard_files.append(name)
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "pipeline": self.pipeline.config_dict(),
+            "shard_count": len(shard_files),
+            "shard_files": shard_files,
+        }
+        (path / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest))
+        # Overwriting a directory that previously held more shards must
+        # not leave that run's extra state files behind.
+        for stale in path.glob("shard-*.json"):
+            if stale.name not in shard_files:
+                stale.unlink()
         return path
 
     @classmethod
-    def load_checkpoint(cls, path: Path | str) -> "MoasService":
-        """Rebuild a session from a :meth:`save_checkpoint` file."""
-        return cls.resume(json.loads(Path(path).read_text()))
+    def load_checkpoint(
+        cls, path: Path | str, *, workers: int = 1
+    ) -> "MoasService":
+        """Rebuild a session from a :meth:`save_checkpoint` file or dir.
+
+        ``workers`` sets the resumed session's pool size (checkpoints
+        never record one; see :meth:`resume`).
+        """
+        path = Path(path)
+        if path.is_dir():
+            manifest = json.loads(
+                (path / CHECKPOINT_MANIFEST).read_text()
+            )
+            version = manifest.get("version")
+            if version != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint version {version!r}; "
+                    f"expected {CHECKPOINT_VERSION}"
+                )
+            snapshot = {
+                "version": version,
+                "pipeline": manifest["pipeline"],
+                "shards": [
+                    json.loads((path / name).read_text())
+                    for name in manifest["shard_files"]
+                ],
+            }
+            return cls.resume(snapshot, workers=workers)
+        return cls.resume(json.loads(path.read_text()), workers=workers)

@@ -2,14 +2,21 @@
 
 The paper's methodology (Section III): take each day's table, read the
 origin AS (last AS of the AS path) of every route for every prefix, and
-flag prefixes with more than one distinct origin.  Routes whose paths
-end in AS *sets* are excluded (the paper saw ~12 such prefixes and left
-them out).
+flag prefixes with more than one distinct origin.  A prefix is excluded
+(and counted) when *any* of its routes' paths ends in an AS *set* — the
+paper saw ~12 such prefixes and left them out entirely, since an AS_SET
+tail makes the true origin ambiguous.
 
 Two input forms are supported: full :class:`~repro.netbase.rib.RibSnapshot`
 tables (e.g. parsed from MRT archives) and the sparse CDS day records,
 which carry per-peer origins for event-touched prefixes and imply the
 registry owner for the rest.
+
+Both detectors take an optional :class:`~repro.netbase.sharding.ShardSpec`
+that restricts the scan to one slice of the prefix space.  Per-shard
+detections from one partition recombine with :func:`merge_detections`
+into exactly the detection a full scan would have produced — the
+foundation of the parallel study engine.
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from dataclasses import dataclass
 
 from repro.netbase.prefix import Prefix
 from repro.netbase.rib import RibSnapshot
-from repro.scenario.archive import ArchiveReader, DayRecord
+from repro.netbase.sharding import ShardSpec
+from repro.scenario.archive import ArchiveReader, DayRecord, PeerRow
 
 
 @dataclass(frozen=True)
@@ -61,33 +69,59 @@ class DayDetection:
         return len(self.conflicts)
 
 
-def detect_snapshot(snapshot: RibSnapshot) -> DayDetection:
+def detect_snapshot(
+    snapshot: RibSnapshot, shard: ShardSpec | None = None
+) -> DayDetection:
     """Scan a full multi-peer table (the MRT-file path).
 
     This is the reference implementation of the paper's methodology:
-    every route of every prefix is examined.
+    every route of every prefix is examined, and a prefix with any
+    AS_SET-terminated route is excluded and counted.  With ``shard``
+    only prefixes inside the shard are scanned (and only they count
+    toward ``prefixes_scanned`` / ``as_set_excluded``), so per-shard
+    detections sum exactly to the full scan.
     """
     conflicts: list[DailyConflict] = []
     as_set_excluded = 0
     scanned = 0
-    for prefix, routes in snapshot.iter_prefix_routes():
+    for prefix, routes in snapshot.iter_prefix_routes(copy=False):
+        if shard is not None and not shard.contains(prefix):
+            continue
         scanned += 1
-        origin_paths: dict[int, set[tuple[int, ...]]] = {}
+        # Pass 1: one origin() call per route into a flat array, no
+        # per-route set/dict churn.  Most prefixes are single-origin
+        # and never leave this pass; AS_SET tails bail out early.
+        origins: list[int | None] = []
+        first_origin: int | None = None
+        multi = False
         saw_as_set = False
         for route in routes:
             origin = route.path.origin()
             if isinstance(origin, frozenset):
                 saw_as_set = True
-                continue
+                break
+            origins.append(origin)
             if origin is None:
                 continue
-            flattened = tuple(route.path.as_list())
-            origin_paths.setdefault(origin, set()).add(flattened)
-        if saw_as_set and not origin_paths:
+            if first_origin is None:
+                first_origin = origin
+            elif origin != first_origin:
+                multi = True
+        if saw_as_set:
             as_set_excluded += 1
             continue
-        if len(origin_paths) >= 2:
-            conflicts.append(_conflict(prefix, origin_paths))
+        if not multi:
+            continue
+        # Pass 2 (conflicted prefixes only): gather distinct paths.
+        origin_paths: dict[int, set[tuple[int, ...]]] = {}
+        for route, origin in zip(routes, origins):
+            if origin is None:
+                continue
+            bucket = origin_paths.get(origin)
+            if bucket is None:
+                origin_paths[origin] = bucket = set()
+            bucket.add(tuple(route.path.as_list()))
+        conflicts.append(_conflict(prefix, origin_paths))
     return DayDetection(
         day=snapshot.day,
         conflicts=tuple(
@@ -98,40 +132,93 @@ def detect_snapshot(snapshot: RibSnapshot) -> DayDetection:
     )
 
 
-def detect_day(record: DayRecord, reader: ArchiveReader) -> DayDetection:
+def detect_day(
+    record: DayRecord,
+    reader: ArchiveReader,
+    shard: ShardSpec | None = None,
+) -> DayDetection:
     """Scan one CDS day record.
 
     Prefixes without rows have a single origin (their registry owner)
     by archive semantics; rows carry each peer's chosen origin for
     event-touched prefixes, so the origin-set test runs on rows grouped
     by prefix.  Registry entries flagged as AS_SET-terminated are
-    excluded and counted, mirroring the paper.
-    """
-    by_prefix: dict[int, dict[int, set[tuple[int, ...]]]] = {}
-    for row in record.rows:
-        origin_paths = by_prefix.setdefault(row.prefix_id, {})
-        origin_paths.setdefault(row.origin, set()).add(
-            reader.path(row.path_id)
-        )
+    excluded and counted — the flag records that the prefix's
+    announcements end in an AS set, i.e. the same "any route ends in an
+    AS set" rule :func:`detect_snapshot` applies to full tables.
 
+    The hot loop touches only event-touched prefixes: exclusion counts
+    come from a precomputed cumulative profile of the registry, and the
+    distinct-origin test runs on plain row arrays, materializing path
+    sets only for actual conflicts.
+    """
+    alive = record.alive_count
+    scanned_profile, as_set_profile = reader.shard_profile(shard)
+    by_prefix: dict[int, list[PeerRow]] = {}
+    for row in record.rows:
+        if row.prefix_id >= alive:
+            continue
+        rows = by_prefix.get(row.prefix_id)
+        if rows is None:
+            by_prefix[row.prefix_id] = rows = []
+        rows.append(row)
+
+    registry = reader.registry
     conflicts: list[DailyConflict] = []
-    as_set_excluded = 0
-    for prefix_id in range(record.alive_count):
-        entry = reader.registry[prefix_id]
+    for prefix_id, rows in by_prefix.items():
+        entry = registry[prefix_id]
         if entry.as_set_tail:
-            as_set_excluded += 1
+            continue  # already counted via the cumulative profile
+        first_origin = rows[0].origin
+        for row in rows:
+            if row.origin != first_origin:
+                break
+        else:
+            continue  # single origin: not a conflict
+        prefix = entry.prefix
+        if shard is not None and not shard.contains(prefix):
             continue
-        origin_paths = by_prefix.get(prefix_id)
-        if origin_paths is None or len(origin_paths) < 2:
-            continue
-        conflicts.append(_conflict(entry.prefix, origin_paths))
+        origin_paths: dict[int, set[tuple[int, ...]]] = {}
+        for row in rows:
+            bucket = origin_paths.get(row.origin)
+            if bucket is None:
+                origin_paths[row.origin] = bucket = set()
+            bucket.add(reader.path(row.path_id))
+        conflicts.append(_conflict(prefix, origin_paths))
     return DayDetection(
         day=record.day,
         conflicts=tuple(
             sorted(conflicts, key=lambda c: c.prefix.sort_key())
         ),
-        prefixes_scanned=record.alive_count,
-        as_set_excluded=as_set_excluded,
+        prefixes_scanned=scanned_profile[alive],
+        as_set_excluded=as_set_profile[alive],
+    )
+
+
+def merge_detections(parts: list[DayDetection]) -> DayDetection:
+    """Recombine per-shard detections of one day into the full scan.
+
+    ``parts`` must come from disjoint shards of the same day; the
+    result is identical to detecting the whole table at once (conflicts
+    in prefix order, counters summed).
+    """
+    if not parts:
+        raise ValueError("cannot merge zero detections")
+    day = parts[0].day
+    for part in parts[1:]:
+        if part.day != day:
+            raise ValueError(
+                f"cannot merge detections of {part.day} into {day}"
+            )
+    conflicts = [
+        conflict for part in parts for conflict in part.conflicts
+    ]
+    conflicts.sort(key=lambda c: c.prefix.sort_key())
+    return DayDetection(
+        day=day,
+        conflicts=tuple(conflicts),
+        prefixes_scanned=sum(part.prefixes_scanned for part in parts),
+        as_set_excluded=sum(part.as_set_excluded for part in parts),
     )
 
 

@@ -75,6 +75,42 @@ class EpisodeTracker:
                 self._max_width[prefix], len(conflict.origins)
             )
 
+    def merge(self, other: "EpisodeTracker") -> "EpisodeTracker":
+        """Combine two trackers covering disjoint prefix shards.
+
+        Both trackers must have been fed the same days (same
+        ``last_fed_day``) over disjoint prefix sets — the contract
+        sharded studies satisfy by construction.  Returns a new
+        tracker; neither input is mutated, so merging is associative
+        and repeatable.
+        """
+        if self._last_fed_day != other._last_fed_day:
+            raise ValueError(
+                "cannot merge trackers fed through different days: "
+                f"{self._last_fed_day} vs {other._last_fed_day}"
+            )
+        merged = EpisodeTracker()
+        merged._last_fed_day = self._last_fed_day
+        merged._first = {**self._first, **other._first}
+        if len(merged._first) != len(self._first) + len(other._first):
+            overlap = sorted(
+                str(prefix)
+                for prefix in set(self._first) & set(other._first)
+            )
+            raise ValueError(
+                "cannot merge trackers with overlapping prefixes: "
+                + ", ".join(overlap[:5])
+            )
+        merged._last = {**self._last, **other._last}
+        merged._days = {**self._days, **other._days}
+        merged._origins = {
+            prefix: set(origins)
+            for tracker in (self, other)
+            for prefix, origins in tracker._origins.items()
+        }
+        merged._max_width = {**self._max_width, **other._max_width}
+        return merged
+
     def state_dict(self) -> dict:
         """JSON-serializable snapshot of the tracker's streaming state.
 

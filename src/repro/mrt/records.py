@@ -200,7 +200,11 @@ class PeerIndexTable:
         cursor = Cursor(body)
         collector_id = cursor.u32("collector BGP id")
         name_len = cursor.u16("view name length")
-        view_name = cursor.take(name_len, "view name").decode("utf-8")
+        raw_name = cursor.take(name_len, "view name")
+        try:
+            view_name = raw_name.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise MrtDecodeError(f"view name is not UTF-8: {error}") from None
         peer_count = cursor.u16("peer count")
         peers = tuple(PeerEntry.decode(cursor) for _ in range(peer_count))
         if not cursor.at_end():

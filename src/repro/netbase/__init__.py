@@ -24,6 +24,7 @@ from repro.netbase.asn import (
 from repro.netbase.aspath import ASPath, Segment, SegmentType
 from repro.netbase.prefix import Prefix
 from repro.netbase.rib import PeerId, Route, RibSnapshot
+from repro.netbase.sharding import ShardSpec, shard_of
 from repro.netbase.trie import PrefixTrie
 
 __all__ = [
@@ -45,5 +46,7 @@ __all__ = [
     "PeerId",
     "Route",
     "RibSnapshot",
+    "ShardSpec",
+    "shard_of",
     "PrefixTrie",
 ]

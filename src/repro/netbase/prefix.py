@@ -6,8 +6,8 @@ the operations the MOAS analysis needs — parsing Route Views style
 ``a.b.c.d/len`` strings, containment tests, supernet/subnet navigation,
 and total ordering for use as dictionary keys and in sorted reports.
 
-The 2001 study is IPv4-only, so this type deliberately models only IPv4;
-see DESIGN.md section 7.
+The 2001 study is IPv4-only, so this type deliberately models only
+IPv4.
 """
 
 from __future__ import annotations

@@ -80,10 +80,20 @@ class RibSnapshot:
         for routes in self._by_prefix.values():
             yield from routes
 
-    def iter_prefix_routes(self) -> Iterator[tuple[Prefix, list[Route]]]:
-        """``(prefix, routes)`` pairs — the detector's access pattern."""
-        for prefix, routes in self._by_prefix.items():
-            yield prefix, list(routes)
+    def iter_prefix_routes(
+        self, *, copy: bool = True
+    ) -> Iterator[tuple[Prefix, list[Route]]]:
+        """``(prefix, routes)`` pairs — the detector's access pattern.
+
+        With ``copy=False`` the snapshot's internal route lists are
+        yielded directly (no per-prefix allocation); callers must not
+        mutate them.
+        """
+        if copy:
+            for prefix, routes in self._by_prefix.items():
+                yield prefix, list(routes)
+        else:
+            yield from self._by_prefix.items()
 
     def num_prefixes(self) -> int:
         """Distinct prefixes in the snapshot."""

@@ -1,0 +1,158 @@
+"""Deterministic prefix-space partitioning for parallel studies.
+
+A :class:`ShardSpec` names a subset of the IPv4 prefix space: the
+prefixes whose shard index (under a ``hash`` or ``range`` scheme) falls
+in the spec's index set.  Specs from one :meth:`ShardSpec.partition`
+call are pairwise disjoint and jointly cover every prefix, which is the
+contract the sharded study engine builds on: per-shard detections and
+per-shard :class:`~repro.analysis.pipeline.StudyState` accumulators can
+be computed independently and merged back into results identical to a
+serial run.
+
+Both schemes are pure functions of ``(network, length)`` — no reliance
+on Python's randomized object hashing — so shard membership is stable
+across processes, machines, and interpreter restarts, as checkpoint
+files require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netbase.prefix import Prefix
+
+#: Knuth multiplicative constants used by the ``hash`` scheme.
+_MIX_NETWORK = 0x9E3779B1
+_MIX_LENGTH = 0x85EBCA77
+_MASK32 = 0xFFFFFFFF
+
+SCHEMES = ("hash", "range")
+
+
+def shard_of(prefix: Prefix, count: int, scheme: str = "hash") -> int:
+    """The shard index of ``prefix`` in a ``count``-way partition.
+
+    ``hash`` scatters prefixes uniformly (good load balance); ``range``
+    splits the 32-bit address space into ``count`` contiguous bands
+    (good locality — one shard maps to one address region).
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if scheme == "hash":
+        key = (
+            prefix.network * _MIX_NETWORK + prefix.length * _MIX_LENGTH
+        ) & _MASK32
+        key ^= key >> 16
+        return key % count
+    if scheme == "range":
+        return (prefix.network * count) >> 32
+    raise ValueError(f"unknown shard scheme {scheme!r}; use one of {SCHEMES}")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """An immutable subset of a ``count``-way prefix-space partition.
+
+    ``indices`` are the shard numbers this spec covers; a spec from
+    :meth:`partition` covers exactly one.  Disjoint specs combine with
+    :meth:`union` (the merge direction of the study engine).
+    """
+
+    indices: frozenset[int]
+    count: int
+    scheme: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown shard scheme {self.scheme!r}; use one of {SCHEMES}"
+            )
+        if not isinstance(self.indices, frozenset):
+            object.__setattr__(self, "indices", frozenset(self.indices))
+        if not self.indices:
+            raise ValueError("a shard spec must cover at least one index")
+        bad = [i for i in self.indices if not 0 <= i < self.count]
+        if bad:
+            raise ValueError(
+                f"shard indices {sorted(bad)} outside 0..{self.count - 1}"
+            )
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def single(cls, index: int, count: int, scheme: str = "hash") -> "ShardSpec":
+        """The spec covering exactly shard ``index`` of ``count``."""
+        return cls(frozenset((index,)), count, scheme)
+
+    @classmethod
+    def partition(
+        cls, count: int, scheme: str = "hash"
+    ) -> tuple["ShardSpec", ...]:
+        """``count`` disjoint single-index specs covering everything."""
+        return tuple(cls.single(index, count, scheme) for index in range(count))
+
+    # -- membership -----------------------------------------------------
+
+    def shard_of(self, prefix: Prefix) -> int:
+        """The shard index ``prefix`` falls in under this partitioning."""
+        return shard_of(prefix, self.count, self.scheme)
+
+    def contains(self, prefix: Prefix) -> bool:
+        """True if ``prefix`` belongs to one of this spec's shards."""
+        return shard_of(prefix, self.count, self.scheme) in self.indices
+
+    __contains__ = contains
+
+    # -- combination ------------------------------------------------------
+
+    def compatible_with(self, other: "ShardSpec") -> bool:
+        """True if both specs slice the space the same way."""
+        return self.count == other.count and self.scheme == other.scheme
+
+    def overlaps(self, other: "ShardSpec") -> bool:
+        """True if the two specs share a shard index."""
+        return self.compatible_with(other) and bool(
+            self.indices & other.indices
+        )
+
+    def union(self, other: "ShardSpec") -> "ShardSpec":
+        """The combined coverage of two disjoint, compatible specs."""
+        if not self.compatible_with(other):
+            raise ValueError(
+                f"cannot combine {self} with {other}: different partitioning"
+            )
+        if self.indices & other.indices:
+            raise ValueError(
+                f"cannot combine overlapping shards {self} and {other}"
+            )
+        return ShardSpec(self.indices | other.indices, self.count, self.scheme)
+
+    @property
+    def is_complete(self) -> bool:
+        """True if the spec covers the whole prefix space."""
+        return len(self.indices) == self.count
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, for checkpoint payloads."""
+        return {
+            "indices": sorted(self.indices),
+            "count": self.count,
+            "scheme": self.scheme,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            frozenset(payload["indices"]),
+            payload["count"],
+            payload.get("scheme", "hash"),
+        )
+
+    def __str__(self) -> str:
+        indices = ",".join(str(i) for i in sorted(self.indices))
+        return f"shard[{indices}]/{self.count}:{self.scheme}"

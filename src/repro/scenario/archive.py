@@ -234,6 +234,9 @@ class ArchiveReader:
         self._calendar_start = (
             datetime.date.fromisoformat(start) if start else None
         )
+        #: Cached per-shard cumulative registry profiles (see
+        #: :meth:`shard_profile`), keyed by the shard spec (None = all).
+        self._shard_profiles: dict[object, tuple[list[int], list[int]]] = {}
 
     def _load_registry(self) -> list[RegistryEntry]:
         entries: list[RegistryEntry] = []
@@ -286,16 +289,34 @@ class ArchiveReader:
             raise ValueError("archive manifest lacks calendar_start")
         return self._calendar_start + datetime.timedelta(days=day_index)
 
-    def iter_days(self) -> Iterator[DayRecord]:
-        """Stream day records in chronological order."""
+    def iter_days(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[DayRecord]:
+        """Stream day records in chronological order.
+
+        ``start``/``stop`` select a half-open range of *observed-day
+        ordinals* (not calendar day indices): record number ``start``
+        up to but excluding ``stop``.  Skipped records are seeked over
+        without parsing their peer/row payloads, which is what lets
+        parallel workers each decode only their own chunk of the
+        archive.
+        """
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
         with open(self.directory / "days.bin", "rb") as handle:
             if handle.read(4) != MAGIC:
                 raise ValueError("bad days magic")
-            while True:
+            ordinal = 0
+            while stop is None or ordinal < stop:
                 header = handle.read(_DAY_HEADER.size)
                 if not header:
                     return
                 day_index, alive, n_peers, n_rows = _DAY_HEADER.unpack(header)
+                payload = 4 * n_peers + _ROW.size * n_rows
+                if ordinal < start:
+                    handle.seek(payload, 1)
+                    ordinal += 1
+                    continue
                 peers = struct.unpack(
                     f"<{n_peers}I", handle.read(4 * n_peers)
                 )
@@ -303,6 +324,7 @@ class ArchiveReader:
                 rows = tuple(
                     PeerRow(*fields) for fields in _ROW.iter_unpack(rows_raw)
                 )
+                ordinal += 1
                 yield DayRecord(
                     day=self.date_of_index(day_index),
                     day_index=day_index,
@@ -310,6 +332,38 @@ class ArchiveReader:
                     active_peers=peers,
                     rows=rows,
                 )
+
+    def shard_profile(self, shard=None) -> tuple[list[int], list[int]]:
+        """Cumulative registry counts for one shard (or the whole space).
+
+        Returns ``(scanned, as_set)`` lists of length ``num_prefixes + 1``
+        where ``scanned[a]`` is the number of registry prefixes with id
+        below ``a`` that belong to ``shard`` and ``as_set[a]`` counts the
+        AS_SET-flagged ones among them.  Because ids are creation-ordered
+        and a day's alive set is exactly ``[0, alive_count)``, indexing
+        these with a day's ``alive_count`` answers "how many (excluded)
+        prefixes would a scan of this shard visit today" in O(1).
+
+        Computed once per ``(reader, shard)`` and cached; ``shard=None``
+        profiles the full registry.
+        """
+        cached = self._shard_profiles.get(shard)
+        if cached is not None:
+            return cached
+        scanned = [0] * (len(self.registry) + 1)
+        as_set = [0] * (len(self.registry) + 1)
+        in_shard = 0
+        flagged = 0
+        for position, entry in enumerate(self.registry):
+            if shard is None or shard.contains(entry.prefix):
+                in_shard += 1
+                if entry.flags & FLAG_AS_SET_TAIL:
+                    flagged += 1
+            scanned[position + 1] = in_shard
+            as_set[position + 1] = flagged
+        profile = (scanned, as_set)
+        self._shard_profiles[shard] = profile
+        return profile
 
     def ground_truth(self) -> list[dict]:
         """Generator bookkeeping (benchmark validation only)."""

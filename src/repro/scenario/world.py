@@ -142,6 +142,7 @@ class ScenarioWorld:
         archive_dir: FsPath | str,
         *,
         mrt_export_days: set[datetime.date] | None = None,
+        workers: int = 1,
     ) -> dict:
         """Simulate the whole window and write the archive.
 
@@ -150,9 +151,19 @@ class ScenarioWorld:
         the bridge to standard MRT tooling and the integration tests'
         proof that the compact archive and a full table dump agree.
 
+        World evolution is a sequential stochastic process and always
+        runs serially, but with ``workers > 1`` the MRT day dumps are
+        encoded and written on a process pool, overlapping export I/O
+        with the simulation itself (``0`` auto-detects the CPU count;
+        ``1``, the default, never spawns a process).  The archive and
+        dump bytes are identical either way.
+
         Returns a summary dict (also stored in the archive manifest).
         """
+        from repro.util.workers import resolve_workers
+
         mrt_export_days = mrt_export_days or set()
+        workers = resolve_workers(workers)
         writer = ArchiveWriter(archive_dir)
         self._register_initial_prefixes(writer)
 
@@ -160,29 +171,51 @@ class ScenarioWorld:
         for event in self.generator.initial_events(first_peers):
             self._admit_event(event)
 
-        observed_days = 0
-        for day_index, day in enumerate(self.calendar):
-            new_asns, new_prefixes = self.growth.grow_one_day(day_index)
-            for prefix in new_prefixes:
-                writer.register_prefix(
-                    prefix, self.model.prefix_owner[prefix], day_index
-                )
-            active_peers = list(self.collector.active_peers(day_index))
-            self._expire_events(day_index)
-            for event in self.generator.births(day_index, active_peers):
-                self._admit_event(event)
-            for event in self._scripted_events(day, day_index, active_peers):
-                self._admit_event(event)
-            if self.timeline.is_observed(day):
-                record = self._day_record(
-                    writer, day, day_index, active_peers
-                )
-                writer.write_day(record)
-                observed_days += 1
-                if day in mrt_export_days:
-                    self._export_mrt_day(
-                        FsPath(archive_dir), writer, record
+        export_pool = None
+        export_futures = []
+        if workers > 1 and mrt_export_days:
+            from concurrent.futures import ProcessPoolExecutor
+
+            export_pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(mrt_export_days))
+            )
+        try:
+            observed_days = 0
+            for day_index, day in enumerate(self.calendar):
+                new_asns, new_prefixes = self.growth.grow_one_day(day_index)
+                for prefix in new_prefixes:
+                    writer.register_prefix(
+                        prefix, self.model.prefix_owner[prefix], day_index
                     )
+                active_peers = list(self.collector.active_peers(day_index))
+                self._expire_events(day_index)
+                for event in self.generator.births(day_index, active_peers):
+                    self._admit_event(event)
+                for event in self._scripted_events(
+                    day, day_index, active_peers
+                ):
+                    self._admit_event(event)
+                if self.timeline.is_observed(day):
+                    record = self._day_record(
+                        writer, day, day_index, active_peers
+                    )
+                    writer.write_day(record)
+                    observed_days += 1
+                    if day in mrt_export_days:
+                        export_futures.append(
+                            self._export_mrt_day(
+                                FsPath(archive_dir),
+                                writer,
+                                record,
+                                pool=export_pool,
+                            )
+                        )
+            for future in export_futures:
+                if hasattr(future, "result"):
+                    future.result()
+        finally:
+            if export_pool is not None:
+                export_pool.shutdown()
 
         summary = {
             "calendar_start": self.calendar.start.isoformat(),
@@ -325,13 +358,20 @@ class ScenarioWorld:
         archive_dir: FsPath,
         writer: ArchiveWriter,
         record: DayRecord,
-    ) -> FsPath:
+        *,
+        pool=None,
+    ):
         """Dump one day as a full MRT TABLE_DUMP_V2 file.
 
         The table holds every alive prefix for every active peer:
         non-conflicted prefixes carry the peer's converged path to the
         owner, event-touched prefixes carry exactly the day-record
         rows, and AS_SET-flagged aggregates end in a genuine AS_SET.
+
+        The snapshot is always assembled inline (it reads live world
+        state); with ``pool`` the encode-and-write step is submitted to
+        the pool and its future returned instead of the output path,
+        overlapping MRT serialization with the ongoing simulation.
         """
         from repro.mrt.writer import write_rib_snapshot
         from repro.netbase.aspath import ASPath
@@ -377,6 +417,10 @@ class ScenarioWorld:
         mrt_dir = archive_dir / "mrt"
         mrt_dir.mkdir(parents=True, exist_ok=True)
         out = mrt_dir / f"rib.{record.day.isoformat()}.mrt"
+        if pool is not None:
+            return pool.submit(
+                write_rib_snapshot, out, snapshot, dump_format="table_dump_v2"
+            )
         write_rib_snapshot(out, snapshot, dump_format="table_dump_v2")
         return out
 
@@ -386,14 +430,19 @@ def simulate_study(
     config: ScenarioConfig | None = None,
     *,
     mrt_export_days: set[datetime.date] | None = None,
+    workers: int = 1,
 ) -> dict:
     """Run a full study simulation and write its archive.
 
     Convenience wrapper over :class:`ScenarioWorld`; returns the run
-    summary (also persisted in the archive manifest).
+    summary (also persisted in the archive manifest).  ``workers``
+    parallelizes the optional MRT day dumps (see
+    :meth:`ScenarioWorld.run`).
     """
     world = ScenarioWorld(config or ScenarioConfig())
-    return world.run(archive_dir, mrt_export_days=mrt_export_days)
+    return world.run(
+        archive_dir, mrt_export_days=mrt_export_days, workers=workers
+    )
 
 
 def _decay_durations(daily_alive: list[int]) -> list[int]:

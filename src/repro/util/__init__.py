@@ -1,4 +1,5 @@
-"""Shared utilities: dates, deterministic RNG streams, ASCII plotting, tables."""
+"""Shared utilities: dates, deterministic RNG streams, ASCII plotting,
+tables, worker-count resolution."""
 
 from repro.util.dates import (
     DAY,
@@ -8,6 +9,7 @@ from repro.util.dates import (
 )
 from repro.util.rng import RngStreams
 from repro.util.tables import format_table
+from repro.util.workers import resolve_workers
 
 __all__ = [
     "DAY",
@@ -16,4 +18,5 @@ __all__ = [
     "parse_date",
     "RngStreams",
     "format_table",
+    "resolve_workers",
 ]

@@ -1,0 +1,233 @@
+"""The parallel engine's core invariant: parallel == serial, exactly.
+
+Covers the acceptance criteria of the sharded engine: identical
+``StudyResults`` (episodes, case studies, classification series and
+all) for ``workers=1`` / ``workers=4`` / ``shards=8`` merged, sharded
+checkpoints that resume to the same results as an uninterrupted run,
+and the supporting machinery (task partitioning, ordered parallel
+detection, state merging).
+
+``REPRO_TEST_WORKERS`` overrides the worker count used by the equality
+tests, so CI can re-run this file at different pool sizes.
+"""
+
+import datetime
+import os
+
+import pytest
+
+from repro.analysis.parallel import (
+    ParallelExecutor,
+    iter_detections,
+    partition_tasks,
+    resolve_workers,
+)
+from repro.analysis.pipeline import StudyPipeline, StudyState
+from repro.api.sources import ArchiveSource, MemorySource
+from repro.netbase.sharding import ShardSpec
+from repro.scenario.archive import ArchiveReader
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import StudyCalendar
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "4"))
+
+CALENDAR = StudyCalendar(
+    datetime.date(1998, 3, 20), datetime.date(1998, 4, 30)
+)  # spans the 1998 fault spike, so case studies are exercised
+WINDOW = (datetime.date(1998, 3, 20), datetime.date(1998, 4, 30))
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("parallel") / "archive"
+    simulate_study(
+        directory,
+        ScenarioConfig(scale=0.02, calendar=CALENDAR, paper_archive_gaps=False),
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return StudyPipeline(classification_window=WINDOW)
+
+
+@pytest.fixture(scope="module")
+def serial_results(pipeline, archive):
+    return pipeline.run(ArchiveSource(archive))
+
+
+class TestEqualityProperty:
+    """For the same source, every workers/shards layout agrees exactly."""
+
+    def test_workers_match_serial(self, pipeline, archive, serial_results):
+        parallel = pipeline.run(ArchiveSource(archive), workers=WORKERS)
+        assert parallel == serial_results
+
+    def test_eight_shards_merged_match_serial(
+        self, pipeline, archive, serial_results
+    ):
+        sharded = pipeline.run(ArchiveSource(archive), shards=8)
+        assert sharded == serial_results
+
+    def test_workers_and_shards_match_serial(
+        self, pipeline, archive, serial_results
+    ):
+        combined = pipeline.run(
+            ArchiveSource(archive), workers=WORKERS, shards=3
+        )
+        assert combined == serial_results
+
+    def test_range_scheme_matches_serial(
+        self, pipeline, archive, serial_results
+    ):
+        executor = ParallelExecutor(workers=1, shards=4, scheme="range")
+        states = executor.run(pipeline, ArchiveSource(archive))
+        assert StudyState.merged(states).results() == serial_results
+
+    def test_sensitive_fields_identical(
+        self, pipeline, archive, serial_results
+    ):
+        """Spell out the fields the acceptance criteria call out."""
+        sharded = pipeline.run(
+            ArchiveSource(archive), workers=WORKERS, shards=8
+        )
+        assert sharded.episodes == serial_results.episodes
+        assert sharded.case_studies == serial_results.case_studies
+        assert (
+            sharded.classification_series
+            == serial_results.classification_series
+        )
+        assert sharded.daily_series == serial_results.daily_series
+        assert sharded.as_set_excluded_max == (
+            serial_results.as_set_excluded_max
+        )
+
+
+class TestOrderedParallelDetection:
+    def test_parallel_stream_equals_serial_stream(self, archive):
+        source = ArchiveSource(archive)
+        serial = list(source.detections())
+        parallel = list(iter_detections(source, workers=WORKERS))
+        assert parallel == serial
+
+    def test_plain_directory_is_partitionable(self, archive):
+        serial = list(ArchiveSource(archive).detections())
+        parallel = list(iter_detections(str(archive), workers=2))
+        assert parallel == serial
+
+    def test_iter_days_range_matches_slices(self, archive):
+        reader = ArchiveReader(archive)
+        full = list(reader.iter_days())
+        assert list(reader.iter_days(3, 7)) == full[3:7]
+        assert list(reader.iter_days(0, 1)) == full[:1]
+        assert list(reader.iter_days(len(full))) == []
+        assert list(reader.iter_days(5)) == full[5:]
+
+
+class TestPartitioning:
+    def test_archive_tasks_cover_all_days_once(self, archive):
+        tasks = partition_tasks(ArchiveSource(archive), workers=3)
+        manifest_days = ArchiveSource(archive).manifest["num_days"]
+        spans = [args[1:] for _fn, args in tasks]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == manifest_days
+        for (_, previous_stop), (next_start, _) in zip(spans, spans[1:]):
+            assert next_start == previous_stop
+
+    def test_memory_source_not_partitionable(self):
+        assert partition_tasks(MemorySource([]), workers=4) is None
+
+    def test_mrt_source_partitioned_by_file(self, tmp_path):
+        from repro.api.sources import MrtFilesSource
+
+        paths = [tmp_path / f"{index}.mrt" for index in range(10)]
+        source = MrtFilesSource(paths)
+        tasks = partition_tasks(source, workers=2, chunks_per_worker=2)
+        chunked = [path for _fn, (chunk, _days) in tasks for path in chunk]
+        assert chunked == [str(path) for path in paths]
+
+
+class TestResolveWorkers:
+    def test_auto_detects(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) == resolve_workers(0)
+
+    def test_passthrough(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_workers(-2)
+
+
+class TestStateMerging:
+    def test_merge_validates_shard_presence(self, pipeline):
+        full = pipeline.start()
+        other = pipeline.start()
+        with pytest.raises(ValueError, match="unsharded"):
+            full.merge(other)
+
+    def test_merge_validates_day_streams(self, pipeline, archive):
+        detections = list(ArchiveSource(archive).detections())
+        first, second = ShardSpec.partition(2)
+        state_a = pipeline.start(shard=first)
+        state_b = pipeline.start(shard=second)
+        state_a.feed_day(detections[0])
+        with pytest.raises(ValueError, match="different day streams"):
+            state_a.merge(state_b)
+
+    def test_merge_is_associative(self, pipeline, archive, serial_results):
+        detections = list(ArchiveSource(archive).detections())
+        states = [
+            pipeline.start(shard=spec) for spec in ShardSpec.partition(4)
+        ]
+        for detection in detections:
+            for state in states:
+                state.feed_day(detection)
+        left = states[0].merge(states[1]).merge(states[2]).merge(states[3])
+        right = states[0].merge(states[1].merge(states[2].merge(states[3])))
+        assert left.results() == right.results() == serial_results
+
+    def test_merged_state_round_trips_through_json(
+        self, pipeline, archive, serial_results
+    ):
+        import json
+
+        states = [
+            pipeline.start(shard=spec) for spec in ShardSpec.partition(2)
+        ]
+        for detection in ArchiveSource(archive).detections():
+            for state in states:
+                state.feed_day(detection)
+        payload = json.loads(json.dumps(states[0].state_dict()))
+        restored = StudyState.from_state(payload, pipeline=pipeline)
+        assert restored.shard == states[0].shard
+        assert restored.merge(states[1]).results() == serial_results
+
+
+class TestExecutorResume:
+    def test_skip_through_continues_a_partial_run(
+        self, pipeline, archive, serial_results
+    ):
+        detections = list(ArchiveSource(archive).detections())
+        midpoint = len(detections) // 2
+        executor = ParallelExecutor(workers=1, shards=2)
+        states = executor.make_states(pipeline)
+        for detection in detections[:midpoint]:
+            for state in states:
+                state.feed_day(detection)
+        executor.run(
+            pipeline,
+            ArchiveSource(archive),
+            states=states,
+            skip_through=detections[midpoint - 1].day,
+        )
+        assert StudyState.merged(states).results() == serial_results
+
+
+class TestRunValidation:
+    def test_invalid_shards_rejected_on_serial_path(self, pipeline):
+        with pytest.raises(ValueError, match="shards"):
+            pipeline.run([], shards=0)

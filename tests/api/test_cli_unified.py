@@ -226,3 +226,229 @@ class TestLegacyShims:
             )
         assert code == 0
         assert "observed_days: 1279" in capsys.readouterr().out
+
+
+class TestParallelFlags:
+    def test_parallel_analysis_byte_identical(
+        self, cli_archive, tmp_path, capsys
+    ):
+        """`--workers`/`--shards` never change a single output byte."""
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(["analyze", str(cli_archive), str(serial_dir)]) == 0
+        serial_stdout = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(parallel_dir),
+                    "--workers",
+                    "2",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        parallel_stdout = capsys.readouterr().out
+        assert serial_stdout == parallel_stdout
+        for name in ANALYSIS_FILES:
+            assert (serial_dir / name).read_bytes() == (
+                parallel_dir / name
+            ).read_bytes(), f"{name} differs"
+
+    def test_workers_auto_accepted(self, cli_archive, tmp_path):
+        out_dir = tmp_path / "auto"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(out_dir),
+                    "--workers",
+                    "auto",
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "report.txt").exists()
+
+    def test_workers_rejects_garbage(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "analyze",
+                    str(tmp_path),
+                    str(tmp_path / "out"),
+                    "--workers",
+                    "many",
+                ]
+            )
+        assert "workers must be" in capsys.readouterr().err
+
+    def test_sharded_checkpoint_resume_via_cli(
+        self, cli_archive, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "sharded.ckpt"
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(out_dir),
+                    "--shards",
+                    "2",
+                    "--checkpoint",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert checkpoint.is_dir()
+        resumed_dir = tmp_path / "resumed"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(resumed_dir),
+                    "--resume",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (resumed_dir / "report.txt").read_bytes() == (
+            out_dir / "report.txt"
+        ).read_bytes()
+
+    def test_resume_shard_mismatch_fails_cleanly(
+        self, cli_archive, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "two-shards.ckpt"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(tmp_path / "out"),
+                    "--shards",
+                    "2",
+                    "--checkpoint",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "analyze",
+                str(cli_archive),
+                str(tmp_path / "out2"),
+                "--resume",
+                str(checkpoint),
+                "--shards",
+                "5",
+            ]
+        )
+        assert code == 1
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_simulate_workers_identical_archive(self, tmp_path):
+        """simulate --workers changes wall-clock, never bytes."""
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        base = [
+            "simulate",
+            None,
+            "--scale",
+            "0.01",
+            "--mrt-export",
+            "1998-04-07",
+        ]
+        for directory, workers in (
+            (serial_dir, None),
+            (parallel_dir, ["--workers", "2"]),
+        ):
+            argv = list(base)
+            argv[1] = str(directory)
+            if workers:
+                argv.extend(workers)
+            assert main(argv) == 0
+        for name in ("registry.bin", "days.bin", "paths.bin"):
+            assert (serial_dir / name).read_bytes() == (
+                parallel_dir / name
+            ).read_bytes(), f"{name} differs"
+        mrt_name = "mrt/rib.1998-04-07.mrt"
+        assert (serial_dir / mrt_name).read_bytes() == (
+            parallel_dir / mrt_name
+        ).read_bytes()
+
+    def test_checkpoint_layout_collision_fails_cleanly(
+        self, cli_archive, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "single.ckpt"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(tmp_path / "out"),
+                    "--checkpoint",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "analyze",
+                str(cli_archive),
+                str(tmp_path / "out2"),
+                "--shards",
+                "2",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 1
+        assert "existing file" in capsys.readouterr().err
+
+    def test_resume_explicit_shards_one_mismatch_fails(
+        self, cli_archive, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "two.ckpt"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(cli_archive),
+                    str(tmp_path / "out"),
+                    "--shards",
+                    "2",
+                    "--checkpoint",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "analyze",
+                str(cli_archive),
+                str(tmp_path / "out2"),
+                "--resume",
+                str(checkpoint),
+                "--shards",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "cannot resume" in capsys.readouterr().err

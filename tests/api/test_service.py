@@ -132,3 +132,122 @@ class TestRenderPassthrough:
         assert service.render("summary", "json") == render(
             straight_results, "summary", "json"
         )
+
+
+class TestShardedService:
+    def test_sharded_results_equal_serial(
+        self, api_detections, straight_results
+    ):
+        service = MoasService(shards=4)
+        service.feed(api_detections)
+        assert service.results() == straight_results
+
+    def test_worker_feed_equals_serial(self, api_archive, straight_results):
+        import os
+
+        workers = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+        service = MoasService(workers=workers)
+        service.feed(api_archive)
+        assert service.results() == straight_results
+
+    def test_sharded_checkpoint_is_a_directory(
+        self, tmp_path, api_detections
+    ):
+        service = MoasService(shards=3)
+        service.feed(api_detections[:10])
+        path = service.save_checkpoint(tmp_path / "sharded.ckpt")
+        assert path.is_dir()
+        assert (path / "manifest.json").exists()
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["shard_count"] == 3
+        for name in manifest["shard_files"]:
+            assert (path / name).exists()
+
+    def test_sharded_resume_mid_study_equals_straight_run(
+        self, tmp_path, api_detections, straight_results
+    ):
+        """Acceptance: a sharded checkpoint resumed mid-study equals
+        an uninterrupted run."""
+        midpoint = len(api_detections) // 3
+        first = MoasService(shards=4)
+        first.feed(api_detections[:midpoint])
+        path = first.save_checkpoint(tmp_path / "sharded-mid.ckpt")
+
+        resumed = MoasService.load_checkpoint(path)
+        assert resumed.shards == 4
+        assert resumed.days_fed == midpoint
+        resumed.feed(api_detections[midpoint:])
+        assert resumed.results() == straight_results
+
+    def test_legacy_version1_payload_still_resumes(self, api_detections):
+        """Pre-shard checkpoints (version 1, single `state`) load."""
+        service = MoasService()
+        service.feed(api_detections[:8])
+        snapshot = service.snapshot_state()
+        legacy = {
+            "version": 1,
+            "pipeline": snapshot["pipeline"],
+            "state": snapshot["shards"][0],
+        }
+        resumed = MoasService.resume(json.loads(json.dumps(legacy)))
+        assert resumed.days_fed == 8
+        resumed.feed(api_detections[8:])
+        full = MoasService()
+        full.feed(api_detections)
+        assert resumed.results() == full.results()
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            MoasService(shards=0)
+
+    def test_checkpoint_layout_collision_raises_cleanly(
+        self, tmp_path, api_detections
+    ):
+        single = MoasService()
+        single.feed(api_detections[:3])
+        sharded = MoasService(shards=2)
+        sharded.feed(api_detections[:3])
+        file_path = single.save_checkpoint(tmp_path / "study.ckpt")
+        dir_path = sharded.save_checkpoint(tmp_path / "sharded.ckpt")
+        with pytest.raises(ValueError, match="existing file"):
+            sharded.save_checkpoint(file_path)
+        with pytest.raises(ValueError, match="existing directory"):
+            single.save_checkpoint(dir_path)
+
+    def test_resume_carries_requested_workers(
+        self, tmp_path, api_detections
+    ):
+        service = MoasService(shards=2)
+        service.feed(api_detections[:5])
+        path = service.save_checkpoint(tmp_path / "w.ckpt")
+        resumed = MoasService.load_checkpoint(path, workers=2)
+        assert resumed.workers == 2
+        assert MoasService.load_checkpoint(path).workers == 1
+
+    def test_resaving_fewer_shards_removes_stale_files(
+        self, tmp_path, api_detections
+    ):
+        wide = MoasService(shards=4)
+        wide.feed(api_detections[:3])
+        path = wide.save_checkpoint(tmp_path / "re.ckpt")
+        assert (path / "shard-03.json").exists()
+        narrow = MoasService(shards=2)
+        narrow.feed(api_detections[:3])
+        narrow.save_checkpoint(path)
+        assert not (path / "shard-03.json").exists()
+        assert MoasService.load_checkpoint(path).shards == 2
+
+    def test_skip_seen_tolerates_intra_stream_duplicates(
+        self, api_detections
+    ):
+        # A stream containing the same day twice (e.g. two dumps of
+        # one day in an MRT list) feeds once and skips the duplicate.
+        service = MoasService()
+        stream = [
+            api_detections[0],
+            api_detections[1],
+            api_detections[1],
+            api_detections[2],
+        ]
+        assert service.feed(stream, skip_seen=True) == 3
+        assert service.days_fed == 3

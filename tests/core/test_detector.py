@@ -2,10 +2,13 @@
 
 import datetime
 
-from repro.core.detector import detect_day, detect_snapshot
+import pytest
+
+from repro.core.detector import detect_day, detect_snapshot, merge_detections
 from repro.netbase.aspath import ASPath
 from repro.netbase.prefix import Prefix
 from repro.netbase.rib import PeerId, RibSnapshot, Route
+from repro.netbase.sharding import ShardSpec
 from repro.scenario.archive import (
     ArchiveReader,
     ArchiveWriter,
@@ -65,8 +68,10 @@ class TestDetectSnapshot:
         assert detection.num_conflicts == 0
         assert detection.as_set_excluded == 1
 
-    def test_as_set_route_does_not_create_conflict(self):
-        # One normal route + one AS_SET route: single-origin prefix.
+    def test_mixed_as_set_route_excludes_prefix(self):
+        # The paper's rule: a prefix is excluded when *any* of its
+        # routes' paths ends in an AS set, even if other routes carry
+        # ordinary single-AS origins.
         snapshot = RibSnapshot.from_routes(
             DAY,
             [
@@ -76,8 +81,23 @@ class TestDetectSnapshot:
         )
         detection = detect_snapshot(snapshot)
         assert detection.num_conflicts == 0
-        # The prefix still has a usable route, so it is not "excluded".
-        assert detection.as_set_excluded == 0
+        assert detection.as_set_excluded == 1
+
+    def test_mixed_as_set_route_suppresses_real_moas(self):
+        # Regression for the all-routes-vs-any-route divergence: two
+        # distinct single-AS origins would be a conflict, but a third
+        # AS_SET-terminated route excludes the whole prefix.
+        snapshot = RibSnapshot.from_routes(
+            DAY,
+            [
+                route("10.0.0.0/8", "701 42", PEER_A),
+                route("10.0.0.0/8", "1239 43", PEER_B),
+                route("10.0.0.0/8", "3333 {44,45}", PEER_A),
+            ],
+        )
+        detection = detect_snapshot(snapshot)
+        assert detection.num_conflicts == 0
+        assert detection.as_set_excluded == 1
 
     def test_three_origins(self):
         snapshot = RibSnapshot.from_routes(
@@ -200,3 +220,84 @@ class TestEquivalence:
             from_snapshot.conflicts[0].origins
             == from_record.conflicts[0].origins
         )
+
+
+class TestShardScopedDetection:
+    def _snapshot(self):
+        routes = []
+        for third_octet in range(8):
+            prefix = f"10.0.{third_octet}.0/24"
+            routes.append(route(prefix, f"701 {100 + third_octet}", PEER_A))
+            routes.append(route(prefix, f"1239 {200 + third_octet}", PEER_B))
+        routes.append(route("192.0.2.0/24", "701 {42,43}", PEER_A))
+        routes.append(route("198.51.100.0/24", "701 7", PEER_A))
+        return RibSnapshot.from_routes(DAY, routes)
+
+    @pytest.mark.parametrize("scheme", ["hash", "range"])
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_shard_merge_equals_full_scan(self, scheme, count):
+        snapshot = self._snapshot()
+        full = detect_snapshot(snapshot)
+        parts = [
+            detect_snapshot(snapshot, shard=spec)
+            for spec in ShardSpec.partition(count, scheme)
+        ]
+        assert merge_detections(parts) == full
+
+    def test_shard_counts_partition_the_scan(self):
+        snapshot = self._snapshot()
+        full = detect_snapshot(snapshot)
+        parts = [
+            detect_snapshot(snapshot, shard=spec)
+            for spec in ShardSpec.partition(4)
+        ]
+        assert sum(part.prefixes_scanned for part in parts) == (
+            full.prefixes_scanned
+        )
+        assert sum(part.as_set_excluded for part in parts) == (
+            full.as_set_excluded
+        )
+
+    def test_day_record_shard_merge_equals_full_scan(self, tmp_path):
+        writer = ArchiveWriter(tmp_path / "archive")
+        for index in range(6):
+            writer.register_prefix(
+                Prefix.parse(f"10.{index}.0.0/16"), 100 + index, 0
+            )
+        writer.register_prefix(
+            Prefix.parse("192.0.2.0/24"), 42, 0, flags=FLAG_AS_SET_TAIL
+        )
+        rows = []
+        for index in range(6):
+            path_a = writer.intern_path((701, 100 + index))
+            path_b = writer.intern_path((1239, 300 + index))
+            rows.append(PeerRow(index, 701, 100 + index, path_a))
+            rows.append(PeerRow(index, 1239, 300 + index, path_b))
+        record = DayRecord(
+            day=DAY,
+            day_index=0,
+            alive_count=7,
+            active_peers=(701, 1239),
+            rows=tuple(rows),
+        )
+        writer.write_day(record)
+        writer.finalize({"calendar_start": DAY.isoformat()})
+        reader = ArchiveReader(tmp_path / "archive")
+        full = detect_day(record, reader)
+        assert full.as_set_excluded == 1
+        parts = [
+            detect_day(record, reader, shard=spec)
+            for spec in ShardSpec.partition(3)
+        ]
+        assert merge_detections(parts) == full
+
+    def test_merge_rejects_mismatched_days(self):
+        snapshot = self._snapshot()
+        first = detect_snapshot(snapshot)
+        other = RibSnapshot.from_routes(
+            DAY + datetime.timedelta(days=1),
+            [route("10.0.0.0/24", "701 1", PEER_A)],
+        )
+        second = detect_snapshot(other)
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_detections([first, second])

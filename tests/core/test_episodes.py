@@ -156,3 +156,55 @@ class TestEpisodeInvariants:
         episode = episodes[P1]
         span = (episode.last_day - episode.first_day).days + 1
         assert episode.days_observed <= span
+
+
+class TestMerge:
+    def test_disjoint_merge_equals_combined_feed(self):
+        together = EpisodeTracker()
+        only_p1 = EpisodeTracker()
+        only_p2 = EpisodeTracker()
+        for offset in range(4):
+            p1_today = [conflict(P1, 1, 2)] if offset % 2 == 0 else []
+            p2_today = [conflict(P2, 3, 4)] if offset < 3 else []
+            together.observe_day(day(offset), p1_today + p2_today)
+            only_p1.observe_day(day(offset), p1_today)
+            only_p2.observe_day(day(offset), p2_today)
+        merged = only_p1.merge(only_p2)
+        assert merged.finalize() == together.finalize()
+        assert len(merged) == len(together)
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = EpisodeTracker()
+        right = EpisodeTracker()
+        left.observe_day(day(0), [conflict(P1)])
+        right.observe_day(day(0), [conflict(P2)])
+        merged = left.merge(right)
+        merged.observe_day(day(1), [conflict(P1, 5, 6)])
+        assert left.finalize()[P1].days_observed == 1
+        assert len(right) == 1
+        assert merged.finalize()[P1].days_observed == 2
+
+    def test_merge_rejects_overlapping_prefixes(self):
+        left = EpisodeTracker()
+        right = EpisodeTracker()
+        left.observe_day(day(0), [conflict(P1)])
+        right.observe_day(day(0), [conflict(P1)])
+        with pytest.raises(ValueError, match="overlapping"):
+            left.merge(right)
+
+    def test_merge_rejects_mismatched_days(self):
+        left = EpisodeTracker()
+        right = EpisodeTracker()
+        left.observe_day(day(0), [conflict(P1)])
+        right.observe_day(day(1), [conflict(P2)])
+        with pytest.raises(ValueError, match="different days"):
+            left.merge(right)
+
+    def test_merged_tracker_keeps_feeding_in_order(self):
+        left = EpisodeTracker()
+        right = EpisodeTracker()
+        left.observe_day(day(3), [conflict(P1)])
+        right.observe_day(day(3), [conflict(P2)])
+        merged = left.merge(right)
+        with pytest.raises(ValueError, match="increasing order"):
+            merged.observe_day(day(3), [conflict(P1)])

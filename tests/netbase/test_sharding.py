@@ -1,0 +1,114 @@
+"""Tests for the prefix-space shard partitioner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.prefix import Prefix
+from repro.netbase.sharding import SCHEMES, ShardSpec, shard_of
+
+prefix_strategy = st.builds(
+    lambda network, length: Prefix(network, length, strict=False),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestShardOf:
+    @given(prefix_strategy, st.integers(min_value=1, max_value=64))
+    def test_hash_index_in_range(self, prefix, count):
+        assert 0 <= shard_of(prefix, count, "hash") < count
+
+    @given(prefix_strategy, st.integers(min_value=1, max_value=64))
+    def test_range_index_in_range(self, prefix, count):
+        assert 0 <= shard_of(prefix, count, "range") < count
+
+    def test_range_scheme_is_monotone_in_network(self):
+        low = Prefix.parse("1.0.0.0/8")
+        high = Prefix.parse("250.0.0.0/8")
+        assert shard_of(low, 4, "range") <= shard_of(high, 4, "range")
+        assert shard_of(low, 4, "range") == 0
+        assert shard_of(high, 4, "range") == 3
+
+    def test_deterministic_across_calls(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert shard_of(prefix, 8) == shard_of(prefix, 8)
+
+    def test_rejects_bad_scheme_and_count(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        with pytest.raises(ValueError, match="scheme"):
+            shard_of(prefix, 4, "modulo")
+        with pytest.raises(ValueError, match="count"):
+            shard_of(prefix, 0)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @given(prefix=prefix_strategy)
+    def test_every_prefix_in_exactly_one_shard(self, scheme, prefix):
+        specs = ShardSpec.partition(5, scheme)
+        owners = [spec for spec in specs if spec.contains(prefix)]
+        assert len(owners) == 1
+
+    def test_partition_shapes(self):
+        specs = ShardSpec.partition(3)
+        assert len(specs) == 3
+        assert all(len(spec.indices) == 1 for spec in specs)
+        assert not any(
+            a.overlaps(b)
+            for index, a in enumerate(specs)
+            for b in specs[index + 1 :]
+        )
+
+    def test_union_of_partition_is_complete(self):
+        specs = ShardSpec.partition(4)
+        combined = specs[0]
+        for spec in specs[1:]:
+            assert not combined.is_complete
+            combined = combined.union(spec)
+        assert combined.is_complete
+
+    @given(prefix=prefix_strategy)
+    def test_complete_union_contains_everything(self, prefix):
+        specs = ShardSpec.partition(6)
+        combined = specs[0]
+        for spec in specs[1:]:
+            combined = combined.union(spec)
+        assert combined.contains(prefix)
+        assert prefix in combined  # __contains__ alias
+
+
+class TestUnionValidation:
+    def test_overlapping_union_rejected(self):
+        spec = ShardSpec.single(0, 4)
+        with pytest.raises(ValueError, match="overlapping"):
+            spec.union(ShardSpec(frozenset((0, 1)), 4))
+
+    def test_incompatible_count_rejected(self):
+        with pytest.raises(ValueError, match="partitioning"):
+            ShardSpec.single(0, 4).union(ShardSpec.single(1, 8))
+
+    def test_incompatible_scheme_rejected(self):
+        with pytest.raises(ValueError, match="partitioning"):
+            ShardSpec.single(0, 4).union(ShardSpec.single(1, 4, "range"))
+
+
+class TestValidationAndSerialization:
+    def test_empty_indices_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ShardSpec(frozenset(), 4)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ShardSpec(frozenset((4,)), 4)
+
+    def test_round_trips_through_dict(self):
+        spec = ShardSpec(frozenset((1, 3)), 8, "range")
+        assert ShardSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_defaults_scheme(self):
+        spec = ShardSpec.from_dict({"indices": [2], "count": 4})
+        assert spec.scheme == "hash"
+
+    def test_specs_are_hashable(self):
+        assert len({ShardSpec.single(0, 2), ShardSpec.single(0, 2)}) == 1

@@ -81,7 +81,99 @@ class TestMappingBehaviour:
         assert match == (default, "default")
 
 
+class TestDeletePruning:
+    def test_delete_prunes_empty_chain(self):
+        # Deleting the only entry must remove the whole internal chain,
+        # not just clear the value node.
+        trie = PrefixTrie()
+        trie[Prefix.parse("10.1.2.0/24")] = 1
+        del trie[Prefix.parse("10.1.2.0/24")]
+        assert trie._root.children == [None, None]
+
+    def test_delete_prunes_up_to_shared_ancestor(self):
+        # 10.0.0.0/15 covers both /16 halves; deleting one leaf must
+        # prune its private chain but stop at the still-needed fork.
+        trie = PrefixTrie()
+        keep = Prefix.parse("10.0.0.0/16")
+        drop = Prefix.parse("10.1.0.0/16")
+        trie[keep] = "keep"
+        trie[drop] = "drop"
+        del trie[drop]
+        assert keep in trie
+        assert drop not in trie
+        # The dropped branch is physically gone: walking towards it
+        # dead-ends at the fork (depth 15), so _find returns None.
+        assert trie._find(drop) is None
+
+    def test_delete_stops_at_valued_ancestor(self):
+        trie = PrefixTrie()
+        parent = Prefix.parse("10.1.0.0/16")
+        child = Prefix.parse("10.1.2.0/24")
+        trie[parent] = "p"
+        trie[child] = "c"
+        del trie[child]
+        assert parent in trie
+        assert trie._find(child) is None
+        assert trie._find(parent) is not None
+
+    def test_delete_cleared_node_with_descendants_not_pruned(self):
+        trie = PrefixTrie()
+        parent = Prefix.parse("10.0.0.0/8")
+        child = Prefix.parse("10.1.0.0/16")
+        trie[parent] = "p"
+        trie[child] = "c"
+        del trie[parent]
+        # The parent's node must survive as a pass-through for the
+        # child, but no longer report presence.
+        node = trie._find(parent)
+        assert node is not None
+        assert not node.present
+        assert trie[child] == "c"
+
+    def test_reinsert_after_prune(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("192.0.2.0/24")
+        trie[prefix] = 1
+        del trie[prefix]
+        trie[prefix] = 2
+        assert trie[prefix] == 2
+        assert len(trie) == 1
+
+
 class TestLongestMatch:
+    def test_root_entry_is_fallback_not_winner(self):
+        # A present root (default route) must lose to any deeper match
+        # but win when nothing else covers the query.
+        trie = PrefixTrie()
+        default = Prefix.parse("0.0.0.0/0")
+        specific = Prefix.parse("10.1.0.0/16")
+        trie[default] = "default"
+        trie[specific] = "specific"
+        assert trie.longest_match(Prefix.parse("10.1.2.0/24")) == (
+            specific,
+            "specific",
+        )
+        assert trie.longest_match(Prefix.parse("192.0.2.0/24")) == (
+            default,
+            "default",
+        )
+
+    def test_root_entry_matches_zero_length_query(self):
+        trie = PrefixTrie()
+        default = Prefix.parse("0.0.0.0/0")
+        trie[default] = "default"
+        assert trie.longest_match(default) == (default, "default")
+
+    def test_root_entry_survives_mid_chain_miss(self):
+        # The walk stops at a dead branch; the root entry must still be
+        # reported as the best match found so far.
+        trie = PrefixTrie()
+        default = Prefix.parse("0.0.0.0/0")
+        trie[default] = "default"
+        trie[Prefix.parse("10.1.0.0/16")] = "deep"
+        match = trie.longest_match(Prefix.parse("10.2.0.0/16"))
+        assert match == (default, "default")
+
     def test_picks_most_specific(self):
         trie = PrefixTrie()
         trie[Prefix.parse("10.0.0.0/8")] = "short"
