@@ -6,7 +6,9 @@ detections; :mod:`repro.analysis.pipeline` streams them into
 :mod:`repro.analysis.parallel` fans that work out over a process pool
 and merges per-shard states back, with identical results;
 :mod:`repro.analysis.report` and :mod:`repro.analysis.figures` render
-the paper's tables and figures; :mod:`repro.analysis.vantage`
+the paper's tables and figures; :mod:`repro.analysis.evaluation`
+scores verdict-engine cause attribution against injected ground truth
+(per-kind precision/recall, confusion matrix); :mod:`repro.analysis.vantage`
 reproduces the Section III vantage-point comparison; and
 :mod:`repro.analysis.baselines` implements the related-work baseline
 (Huston's bare daily counter).
@@ -17,6 +19,11 @@ from repro.analysis.compare import (
     comparison_table,
     fraction_passing,
 )
+from repro.analysis.evaluation import (
+    EvaluationReport,
+    EvaluationResult,
+    evaluate_verdicts,
+)
 from repro.analysis.export import episodes_csv, summary_json
 from repro.analysis.parallel import ParallelExecutor, resolve_workers
 from repro.analysis.pipeline import StudyPipeline, StudyResults, StudyState
@@ -26,6 +33,9 @@ from repro.analysis.sources import (
 )
 
 __all__ = [
+    "EvaluationReport",
+    "EvaluationResult",
+    "evaluate_verdicts",
     "ParallelExecutor",
     "resolve_workers",
     "StudyState",

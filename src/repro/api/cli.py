@@ -11,6 +11,9 @@ by construction.
   figure/table, with optional ``--checkpoint`` / ``--resume`` and
   parallel ``--workers`` / ``--shards``;
 - ``repro report OUT``: print a previously generated report;
+- ``repro evaluate ARCHIVE``: run the verdict engine over an archive
+  and score its cause attribution against the archive's injected
+  incident labels (see ``repro simulate --incidents``);
 - ``repro watch UPDATES.mrt``: stream BGP4MP updates through the
   real-time alerter.
 
@@ -73,6 +76,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_simulate(sub)
     _add_analyze(sub)
     _add_report(sub)
+    _add_evaluate(sub)
     _add_watch(sub)
     args = parser.parse_args(argv)
     return args.func(args)
@@ -106,13 +110,35 @@ def _add_simulate(sub) -> None:
         help="additionally dump this day as a binary MRT file "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--incidents",
+        metavar="SCRIPT",
+        help="inject labeled incidents: 'canned' (the standard "
+        "evaluation suite) or a JSON incident-script file; ground "
+        "truth lands in <archive>/incidents.json",
+    )
     _add_workers_option(parser)
     parser.set_defaults(func=_run_simulate)
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
+    incidents = None
+    if args.incidents is not None:
+        from repro.scenario.incidents import IncidentScript
+        from repro.util.dates import PAPER_CALENDAR
+
+        try:
+            incidents = IncidentScript.from_spec(
+                args.incidents, num_days=PAPER_CALENDAR.num_days
+            )
+        except (FileNotFoundError, ValueError, KeyError) as error:
+            print(f"repro simulate: {error}", file=sys.stderr)
+            return 1
     config = ScenarioConfig(
-        scale=args.scale, seed=args.seed, num_peers=args.peers
+        scale=args.scale,
+        seed=args.seed,
+        num_peers=args.peers,
+        incidents=incidents,
     )
     export_days = {parse_date(text) for text in args.mrt_export}
     summary = simulate_study(
@@ -129,6 +155,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
         "events_total",
     ):
         print(f"  {key}: {summary[key]}")
+    if "incidents_injected" in summary:
+        print(f"  incidents_injected: {summary['incidents_injected']}")
     return 0
 
 
@@ -281,6 +309,70 @@ def _run_report(args: argparse.Namespace) -> int:
         )
         return 1
     print(report_path.read_text(), end="")
+    return 0
+
+
+# -- evaluate -----------------------------------------------------------------
+
+
+def _add_evaluate(sub) -> None:
+    parser = sub.add_parser(
+        "evaluate",
+        help="score the verdict engine against injected ground truth",
+        description="Run the verdict engine over an archive and score "
+        "its cause attribution (per-kind precision/recall, confusion "
+        "matrix) against the archive's incident labels.",
+    )
+    parser.add_argument("archive_dir", type=Path)
+    parser.add_argument(
+        "--format",
+        choices=("ascii", "csv", "json"),
+        default="ascii",
+        help="report format printed to stdout (default ascii)",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        metavar="FILE",
+        help="additionally write the full JSON scoring payload here "
+        "(the CI artifact format)",
+    )
+    _add_workers_option(parser)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="M",
+        help="fold verdict evidence into M prefix-space shards "
+        "(results are identical; default 1)",
+    )
+    parser.set_defaults(func=_run_evaluate)
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    from repro.mrt.errors import MrtError
+
+    try:
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
+        service = MoasService(workers=args.workers, shards=args.shards)
+        report = service.evaluate(args.archive_dir)
+    except (
+        FileNotFoundError,
+        ValueError,
+        MrtError,
+        json.JSONDecodeError,
+    ) as error:
+        print(f"repro evaluate: {error}", file=sys.stderr)
+        return 1
+    print(render(report.result, "evaluation", args.format), end="")
+    if args.json_out is not None:
+        from repro.util.io import atomic_write_text
+
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            args.json_out, render(report.result, "evaluation", "json")
+        )
     return 0
 
 

@@ -13,6 +13,11 @@ from __future__ import annotations
 import json
 from collections.abc import Callable
 
+from repro.analysis.evaluation import (
+    evaluation_ascii,
+    evaluation_csv,
+    evaluation_json,
+)
 from repro.analysis.export import episodes_csv, summary_json
 from repro.analysis.figures import (
     figure1_ascii,
@@ -60,8 +65,11 @@ def render(results: StudyResults, figure: str, format: str = "csv") -> str:
     """Render ``figure`` from ``results`` in ``format``.
 
     ``figure`` is one of :func:`available_renderings`'s keys
-    (``figure1`` ... ``figure6``, ``episodes``, ``summary``);
-    ``format`` is ``csv``, ``ascii``, or ``json`` where registered.
+    (``figure1`` ... ``figure6``, ``episodes``, ``summary``,
+    ``evaluation``); ``format`` is ``csv``, ``ascii``, or ``json``
+    where registered.  Dispatch is purely by name: most renderers
+    consume :class:`StudyResults`, while ``evaluation`` renders an
+    :class:`~repro.analysis.evaluation.EvaluationResult`.
     """
     renderer = _RENDERERS.get((figure, format))
     if renderer is None:
@@ -236,3 +244,16 @@ def _figure6_json(results: StudyResults) -> str:
 register_renderer("episodes", "csv")(episodes_csv)
 register_renderer("summary", "json")(summary_json)
 register_renderer("summary", "ascii")(summary_report)
+
+
+# -- incident-attribution evaluation ------------------------------------------
+#
+# These render an
+# :class:`~repro.analysis.evaluation.EvaluationResult` (the output of
+# ``MoasService.evaluate()``), not a :class:`StudyResults` — the
+# registry dispatches purely on the figure name, which is what lets the
+# evaluation layer plug in without a parallel rendering surface.
+
+register_renderer("evaluation", "csv")(evaluation_csv)
+register_renderer("evaluation", "ascii")(evaluation_ascii)
+register_renderer("evaluation", "json")(evaluation_json)

@@ -38,6 +38,7 @@ from repro.analysis.pipeline import StudyPipeline, StudyResults, StudyState
 from repro.api.renderers import render
 from repro.api.sources import open_source
 from repro.core.detector import DayDetection
+from repro.util.io import atomic_write_text
 
 #: Checkpoint payload version; bump on incompatible layout changes.
 #: Version 1 (single ``state`` payload) is still readable.
@@ -159,6 +160,75 @@ class MoasService:
         """Render one figure/table from the current session state."""
         return render(self.results(), figure, format)
 
+    # -- verdicts and evaluation ---------------------------------------------
+
+    def evaluate(self, source, *, config=None, workers=None, **options):
+        """Run the verdict engine over ``source`` and score it.
+
+        Streams the source's daily detections (worker-parallel exactly
+        like :meth:`feed`, sharded like the session) through a
+        :class:`~repro.core.verdict.VerdictEngine`, finalizes one
+        :class:`~repro.core.verdict.Verdict` per prefix, and — when the
+        source is a CDS archive carrying answer keys — scores the
+        predicted kinds against ``incidents.json`` (injected labels)
+        and ``ground_truth.json`` (organic causes).  Returns an
+        :class:`~repro.analysis.evaluation.EvaluationReport`; its
+        ``result`` renders via ``render(result, "evaluation", fmt)``.
+
+        Evaluation is independent of the session's fed study state: it
+        only borrows the session's worker/shard layout.
+        """
+        from repro.analysis.evaluation import (
+            EvaluationReport,
+            evaluate_verdicts,
+        )
+        from repro.core.verdict import VerdictConfig, VerdictEngine
+        from repro.scenario.incidents import IncidentLabel
+
+        config = config or VerdictConfig()
+        adapted = open_source(source, **options)
+        engines = [
+            VerdictEngine(config, shard=state.shard)
+            for state in self._states
+        ]
+        effective = resolve_workers(
+            self.workers if workers is None else workers
+        )
+        for detection in iter_detections(adapted, workers=effective):
+            for engine in engines:
+                engine.feed_day(detection)
+        merged = VerdictEngine.merged(engines)
+
+        registry = None
+        injected: list[IncidentLabel] = []
+        organic: list[dict] = []
+        directory = getattr(adapted, "directory", None)
+        if directory is not None and (
+            Path(directory) / "manifest.json"
+        ).is_file():
+            from repro.scenario.archive import ArchiveReader
+
+            reader = ArchiveReader(directory)
+            registry = reader.registry
+            if reader.has_incidents():
+                injected = [
+                    IncidentLabel.from_dict(row)
+                    for row in reader.incident_labels()
+                ]
+            if (Path(directory) / "ground_truth.json").is_file():
+                organic = reader.ground_truth()
+
+        verdicts = merged.finalize(registry=registry)
+        result = evaluate_verdicts(
+            verdicts, injected=injected, organic=organic
+        )
+        return EvaluationReport(
+            verdicts=verdicts,
+            result=result,
+            labels=tuple(injected),
+            config=config.to_dict(),
+        )
+
     # -- checkpointing -----------------------------------------------------
 
     def snapshot_state(self) -> dict:
@@ -204,9 +274,17 @@ class MoasService:
 
         Single-shard sessions write one JSON file, exactly as before.
         Sharded sessions write a *directory*: a ``manifest.json``
-        naming the layout plus one ``shard-NN.json`` state file per
+        naming the layout plus one ``shard-NN.gG.json`` state file per
         shard, so shards can be inspected or shipped independently and
         :meth:`load_checkpoint` can reassemble them.
+
+        Every write is crash-safe.  Files go down via temp-file +
+        ``os.replace`` (a truncated file is never observable), and the
+        directory layout commits through the manifest: shard files
+        carry a fresh generation suffix, the manifest naming them is
+        replaced *last*, and only then are the previous generation's
+        files pruned — a crash at any point leaves the prior checkpoint
+        fully loadable.
         """
         path = Path(path)
         if len(self._states) == 1:
@@ -217,7 +295,9 @@ class MoasService:
                     f"another path"
                 )
             path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(self.snapshot_state()))
+            # Atomic replace: a crash mid-write must leave the previous
+            # checkpoint intact, never a truncated JSON file.
+            atomic_write_text(path, json.dumps(self.snapshot_state()))
             return path
         if path.is_file():
             raise ValueError(
@@ -226,20 +306,33 @@ class MoasService:
                 f"path"
             )
         path.mkdir(parents=True, exist_ok=True)
+        generation = 0
+        manifest_path = path / CHECKPOINT_MANIFEST
+        if manifest_path.is_file():
+            try:
+                previous = json.loads(manifest_path.read_text())
+                generation = int(previous.get("generation", 0)) + 1
+            except (json.JSONDecodeError, TypeError, ValueError):
+                generation = 1
         shard_files = []
         for index, state in enumerate(self._states):
-            name = f"shard-{index:02d}.json"
-            (path / name).write_text(json.dumps(state.state_dict()))
+            name = f"shard-{index:02d}.g{generation}.json"
+            atomic_write_text(path / name, json.dumps(state.state_dict()))
             shard_files.append(name)
         manifest = {
             "version": CHECKPOINT_VERSION,
             "pipeline": self.pipeline.config_dict(),
             "shard_count": len(shard_files),
             "shard_files": shard_files,
+            "generation": generation,
         }
-        (path / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest))
-        # Overwriting a directory that previously held more shards must
-        # not leave that run's extra state files behind.
+        # The manifest is the commit point: it lands last, atomically,
+        # and names only complete files.  A crash before this line
+        # leaves the previous manifest pointing at the previous
+        # generation's files, all still present and consistent.
+        atomic_write_text(manifest_path, json.dumps(manifest))
+        # Only after the commit: prune superseded generations (and any
+        # extra shards a wider previous layout left behind).
         for stale in path.glob("shard-*.json"):
             if stale.name not in shard_files:
                 stale.unlink()

@@ -11,7 +11,10 @@
 - :mod:`repro.core.causes` — cause attribution heuristics (exchange
   points, private ASNs, fault spikes, the duration heuristic of VI-F);
 - :mod:`repro.core.realtime` — a streaming MOAS alerter (extension; the
-  direction the paper's Section VII points at).
+  direction the paper's Section VII points at);
+- :mod:`repro.core.verdict` — the unified tagging engine: every
+  analyzer's signal folded into one per-episode :class:`Verdict`
+  (tags, predicted incident kind, benign..suspicious score).
 """
 
 from repro.core.classifier import ConflictClass, classify_conflict, classify_pair
@@ -24,7 +27,8 @@ from repro.core.stats import (
     prefix_length_distribution,
     yearly_medians,
 )
-from repro.core.validator import ConflictValidator, ValidatorConfig, Verdict
+from repro.core.validator import ConflictValidator, ValidatorConfig
+from repro.core.verdict import Verdict, VerdictConfig, VerdictEngine
 
 __all__ = [
     "ConflictClass",
@@ -45,4 +49,6 @@ __all__ = [
     "ConflictValidator",
     "ValidatorConfig",
     "Verdict",
+    "VerdictConfig",
+    "VerdictEngine",
 ]

@@ -26,6 +26,7 @@ class AlertKind(enum.Enum):
 
     MOAS_STARTED = "moas_started"
     MOAS_ORIGIN_ADDED = "moas_origin_added"
+    MOAS_ORIGIN_REMOVED = "moas_origin_removed"
     MOAS_ENDED = "moas_ended"
 
 
@@ -197,9 +198,19 @@ class StreamingMoasDetector:
         if len(before) < 2 and len(after) >= 2:
             kind = AlertKind.MOAS_STARTED
         elif len(before) >= 2 and len(after) >= 2:
-            kind = AlertKind.MOAS_ORIGIN_ADDED if len(after) > len(
-                before
-            ) else None
+            # Still in MOAS but the set changed: the stream stays
+            # loss-free by reporting the origin that moved.  A single
+            # update shifts at most one origin in and one out; a swap
+            # reports the arrival (the departure stays visible in
+            # previous_origins).
+            arrived = after - before
+            departed = before - after
+            if arrived:
+                kind = AlertKind.MOAS_ORIGIN_ADDED
+                changed = next(iter(arrived))
+            elif departed:
+                kind = AlertKind.MOAS_ORIGIN_REMOVED
+                changed = next(iter(departed))
         elif len(before) >= 2 and len(after) < 2:
             kind = AlertKind.MOAS_ENDED
         if kind is None:

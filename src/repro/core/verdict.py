@@ -1,0 +1,416 @@
+"""Per-episode verdicts: one tagging engine over every analyzer.
+
+The paper's Section VI walks through causes one analysis at a time
+(exchange points by address block, private ASNs by number range,
+duration as a validity hint, path shape per Section V, sub-prefix
+anomalies per VI-E).  Modern systems — GRIP for MOAS, the RPKI conflict
+classifiers — run all of those signals at once and emit one *tagged
+verdict* per event.  This module is that engine for our substrate:
+
+- :class:`VerdictEngine` streams daily
+  :class:`~repro.core.detector.DayDetection` records (shard-filtered
+  and mergeable exactly like the study state, so it runs through the
+  parallel executor), accumulating per-prefix evidence: duration,
+  origin sets, presence gaps, Section V class votes, private-ASN
+  sightings;
+- :meth:`VerdictEngine.finalize` combines that evidence with the
+  archive's prefix registry (for sub-prefix / aggregate shapes and
+  owner attribution) into one :class:`Verdict` per prefix: a tag set, a
+  predicted incident kind, and a benign..suspicious score.
+
+The predicted kinds use the same vocabulary as the injectable incidents
+(:class:`~repro.scenario.incidents.IncidentKind`), which is what lets
+:mod:`repro.analysis.evaluation` score any verdict run against injected
+ground truth.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.classifier import ConflictClass, classify_conflict
+from repro.core.detector import DayDetection
+from repro.netbase.asn import is_private_asn
+from repro.netbase.prefix import Prefix
+from repro.netbase.sharding import ShardSpec
+from repro.netbase.trie import PrefixTrie
+from repro.topology.ixp import IXP_BLOCK
+
+# -- tags -----------------------------------------------------------------
+
+TAG_IXP = "ixp-prefix"
+TAG_PRIVATE_ASN = "private-asn-origin"
+TAG_SHORT_LIVED = "short-lived"
+TAG_LONG_LIVED = "long-lived"
+TAG_WIDE_ORIGIN_SET = "wide-origin-set"
+TAG_FLAPPING = "flapping"
+TAG_FOREIGN_SUBPREFIX = "foreign-subprefix"
+TAG_FOREIGN_AGGREGATE = "foreign-aggregate"
+TAG_ORIG_TRAN_AS = "orig-tran-as"
+TAG_SPLIT_VIEW = "split-view"
+TAG_DISTINCT_PATHS = "distinct-paths"
+
+#: Predicted kind for prefixes no incident heuristic fires on.
+KIND_ORGANIC = "organic"
+
+_CLASS_TAGS = {
+    ConflictClass.ORIG_TRAN_AS: TAG_ORIG_TRAN_AS,
+    ConflictClass.SPLIT_VIEW: TAG_SPLIT_VIEW,
+    ConflictClass.DISTINCT_PATHS: TAG_DISTINCT_PATHS,
+}
+
+#: tag -> suspicion shift; the base is 0.5 ("no idea"), positive pushes
+#: toward malicious, negative toward benign.  Magnitudes follow the
+#: paper's confidence ordering: address-block and registry shapes are
+#: near-certain, duration is the confessedly weak signal.
+_SUSPICION_SHIFTS: dict[str, float] = {
+    TAG_IXP: -0.35,
+    TAG_LONG_LIVED: -0.20,
+    TAG_WIDE_ORIGIN_SET: -0.15,
+    TAG_ORIG_TRAN_AS: -0.15,
+    TAG_PRIVATE_ASN: -0.10,  # ASE leakage: sloppy but operational (VI-C)
+    TAG_SHORT_LIVED: 0.25,
+    TAG_FLAPPING: 0.20,
+    TAG_FOREIGN_SUBPREFIX: 0.40,
+    TAG_FOREIGN_AGGREGATE: 0.40,
+}
+
+
+@dataclass(frozen=True)
+class VerdictConfig:
+    """Thresholds for the tagging heuristics."""
+
+    #: VI-F duration heuristic: conflicts this short lean *invalid*.
+    short_days: int = 9
+    #: Conflicts at least this long lean valid (standing policy).
+    long_days: int = 30
+    #: Simultaneous origins for the anycast shape (paper VI-D).
+    anycast_min_origins: int = 4
+    #: Share of the study an anycast-like conflict must span.
+    anycast_min_share: float = 0.35
+    #: Absence fraction (within the episode's own span) for "flapping".
+    flapping_min_gap: float = 0.4
+    flapping_min_days: int = 3
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (recorded in evaluation reports)."""
+        return {
+            "short_days": self.short_days,
+            "long_days": self.long_days,
+            "anycast_min_origins": self.anycast_min_origins,
+            "anycast_min_share": self.anycast_min_share,
+            "flapping_min_gap": self.flapping_min_gap,
+            "flapping_min_days": self.flapping_min_days,
+        }
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One prefix's unified assessment: tags, kind, suspicion."""
+
+    prefix: Prefix
+    kind: str  # an IncidentKind value, or "organic"
+    tags: frozenset[str]
+    #: 0.0 (certainly benign) .. 1.0 (certainly malicious).
+    suspicion: float
+    days_observed: int
+    origins: frozenset[int]
+    #: Origins that are not the registered owner (empty without a
+    #: registry, or when every origin is the owner's).
+    perpetrators: frozenset[int] = frozenset()
+
+    @property
+    def benign(self) -> bool:
+        return self.suspicion < 0.5
+
+
+@dataclass
+class _Evidence:
+    """Streaming per-prefix accumulator (one conflicted prefix)."""
+
+    first_ordinal: int
+    last_ordinal: int
+    days: int = 0
+    origins: set[int] = field(default_factory=set)
+    max_width: int = 0
+    class_votes: Counter = field(default_factory=Counter)
+    private_asn: bool = False
+    first_day: datetime.date | None = None
+    last_day: datetime.date | None = None
+
+
+class VerdictEngine:
+    """Streaming evidence accumulation toward per-prefix verdicts.
+
+    Mirrors the :class:`~repro.analysis.pipeline.StudyState` contract:
+    feed every day's full detection in order; with ``shard`` only
+    conflicts inside the shard accumulate evidence, and disjoint-shard
+    engines recombine with :meth:`merge` into exactly the serial
+    engine.  Verdicts come from :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        config: VerdictConfig | None = None,
+        *,
+        shard: ShardSpec | None = None,
+    ) -> None:
+        self.config = config or VerdictConfig()
+        self.shard = shard
+        self._evidence: dict[Prefix, _Evidence] = {}
+        self._total_days = 0
+
+    @property
+    def total_days(self) -> int:
+        """Observed days fed so far."""
+        return self._total_days
+
+    def __len__(self) -> int:
+        return len(self._evidence)
+
+    # -- streaming ----------------------------------------------------------
+
+    def feed_day(self, detection: DayDetection) -> None:
+        """Fold one day's detection into the evidence tables."""
+        self._total_days += 1
+        ordinal = self._total_days
+        contains = self.shard.contains if self.shard is not None else None
+        for conflict in detection.conflicts:
+            prefix = conflict.prefix
+            if contains is not None and not contains(prefix):
+                continue
+            evidence = self._evidence.get(prefix)
+            if evidence is None:
+                evidence = self._evidence[prefix] = _Evidence(
+                    first_ordinal=ordinal,
+                    last_ordinal=ordinal,
+                    first_day=detection.day,
+                )
+            evidence.last_ordinal = ordinal
+            evidence.last_day = detection.day
+            evidence.days += 1
+            evidence.origins.update(conflict.origins)
+            evidence.max_width = max(
+                evidence.max_width, len(conflict.origins)
+            )
+            if not evidence.private_asn:
+                evidence.private_asn = any(
+                    is_private_asn(origin) for origin in conflict.origins
+                )
+            # Section V class vote for the day; conflicts without path
+            # information simply contribute no vote.
+            try:
+                evidence.class_votes[classify_conflict(conflict)] += 1
+            except ValueError:
+                pass
+
+    # -- shard recombination -------------------------------------------------
+
+    def merge(self, other: "VerdictEngine") -> "VerdictEngine":
+        """Combine two engines fed the same days over disjoint shards."""
+        if self.config != other.config:
+            raise ValueError(
+                "cannot merge verdict engines with different configs"
+            )
+        if self._total_days != other._total_days:
+            raise ValueError(
+                "cannot merge verdict engines fed different day streams: "
+                f"{self._total_days} vs {other._total_days} days"
+            )
+        overlap = set(self._evidence) & set(other._evidence)
+        if overlap:
+            raise ValueError(
+                "cannot merge verdict engines with overlapping prefixes: "
+                + ", ".join(
+                    str(prefix) for prefix in sorted(
+                        overlap, key=lambda p: p.sort_key()
+                    )[:5]
+                )
+            )
+        shard = None
+        if self.shard is not None and other.shard is not None:
+            shard = self.shard.union(other.shard)
+        merged = VerdictEngine(self.config, shard=shard)
+        merged._total_days = self._total_days
+        merged._evidence = {**self._evidence, **other._evidence}
+        return merged
+
+    @classmethod
+    def merged(cls, engines: list["VerdictEngine"]) -> "VerdictEngine":
+        """Fold disjoint shard engines into one (single engine passes)."""
+        if not engines:
+            raise ValueError("cannot merge zero verdict engines")
+        combined = engines[0]
+        for engine in engines[1:]:
+            combined = combined.merge(engine)
+        return combined
+
+    # -- verdicts -------------------------------------------------------------
+
+    def finalize(self, registry=None) -> dict[Prefix, Verdict]:
+        """One verdict per evidenced prefix (plus registry-only shapes).
+
+        ``registry`` is an optional sequence of archive
+        :class:`~repro.scenario.archive.RegistryEntry` rows.  With it,
+        sub-prefix hijack and faulty-aggregation shapes are detected
+        from announced-space structure — including prefixes that never
+        produced a same-prefix MOAS conflict at all — and perpetrators
+        are attributed as "origins that are not the registered owner".
+        """
+        owners: dict[Prefix, int] = {}
+        structural: dict[Prefix, str] = {}
+        if registry is not None:
+            structural = _structural_tags(registry)
+            owners = {
+                entry.prefix: entry.owner
+                for entry in registry
+            }
+        verdicts: dict[Prefix, Verdict] = {}
+        for prefix, evidence in self._evidence.items():
+            tags = self._episode_tags(prefix, evidence)
+            tag = structural.get(prefix)
+            if tag is not None:
+                tags.add(tag)
+            verdicts[prefix] = self._verdict(
+                prefix,
+                tags,
+                days=evidence.days,
+                origins=frozenset(evidence.origins),
+                owner=owners.get(prefix),
+            )
+        # Registry-only shapes: announced-space anomalies that never
+        # conflicted (the AS7007 signature same-prefix MOAS cannot see).
+        for prefix, tag in structural.items():
+            if prefix in verdicts:
+                continue
+            owner = owners.get(prefix)
+            verdicts[prefix] = self._verdict(
+                prefix,
+                {tag},
+                days=0,
+                origins=frozenset(() if owner is None else (owner,)),
+                owner=None,  # the announcer *is* the suspect
+            )
+        return verdicts
+
+    # -- internals ------------------------------------------------------------
+
+    def _episode_tags(self, prefix: Prefix, evidence: _Evidence) -> set[str]:
+        config = self.config
+        tags: set[str] = set()
+        if IXP_BLOCK.contains(prefix):
+            tags.add(TAG_IXP)
+        if evidence.private_asn:
+            tags.add(TAG_PRIVATE_ASN)
+        if evidence.days <= config.short_days:
+            tags.add(TAG_SHORT_LIVED)
+        if evidence.days >= config.long_days:
+            tags.add(TAG_LONG_LIVED)
+        if evidence.max_width >= config.anycast_min_origins:
+            tags.add(TAG_WIDE_ORIGIN_SET)
+        span = evidence.last_ordinal - evidence.first_ordinal + 1
+        gap = 1.0 - evidence.days / span
+        if (
+            gap >= config.flapping_min_gap
+            and evidence.days >= config.flapping_min_days
+            and TAG_IXP not in tags
+        ):
+            tags.add(TAG_FLAPPING)
+        if evidence.class_votes:
+            winner, _votes = max(
+                evidence.class_votes.items(),
+                key=lambda item: (item[1], item[0].value),
+            )
+            tags.add(_CLASS_TAGS[winner])
+        return tags
+
+    def _verdict(
+        self,
+        prefix: Prefix,
+        tags: set[str],
+        *,
+        days: int,
+        origins: frozenset[int],
+        owner: int | None,
+    ) -> Verdict:
+        config = self.config
+        kind = KIND_ORGANIC
+        wide_and_standing = (
+            TAG_WIDE_ORIGIN_SET in tags
+            and self._total_days > 0
+            and days >= config.anycast_min_share * self._total_days
+        )
+        if TAG_IXP in tags:
+            kind = "ixp_conflict"
+        elif TAG_FOREIGN_SUBPREFIX in tags:
+            kind = "subprefix_hijack"
+        elif TAG_FOREIGN_AGGREGATE in tags:
+            kind = "faulty_aggregation"
+        elif TAG_PRIVATE_ASN in tags:
+            kind = "private_leak"
+        elif wide_and_standing:
+            kind = "anycast"
+        elif TAG_FLAPPING in tags and days < config.long_days:
+            kind = "flapping_fault"
+        elif TAG_SHORT_LIVED in tags:
+            kind = "exact_hijack"
+        suspicion = 0.5 + sum(
+            _SUSPICION_SHIFTS.get(tag, 0.0) for tag in tags
+        )
+        if wide_and_standing:
+            suspicion -= 0.15
+        suspicion = min(1.0, max(0.0, suspicion))
+        perpetrators: frozenset[int] = frozenset()
+        if owner is not None:
+            perpetrators = frozenset(
+                origin for origin in origins if origin != owner
+            )
+        elif TAG_FOREIGN_SUBPREFIX in tags or TAG_FOREIGN_AGGREGATE in tags:
+            perpetrators = origins
+        return Verdict(
+            prefix=prefix,
+            kind=kind,
+            tags=frozenset(tags),
+            suspicion=round(suspicion, 4),
+            days_observed=days,
+            origins=origins,
+            perpetrators=perpetrators,
+        )
+
+
+def _structural_tags(registry) -> dict[Prefix, str]:
+    """Announced-space anomaly tags from the prefix registry.
+
+    For every prefix registered *during* the study (``created_day > 0``)
+    whose closest covering registration belongs to a different owner:
+    the younger side of the pair is the anomaly.  A new more-specific
+    under an old foreign cover is the AS7007 de-aggregation shape; a new
+    cover over old foreign more-specifics is faulty aggregation.
+    AS_SET-flagged aggregates (excluded by the paper's methodology) and
+    exchange-point fabric registrations are skipped.
+    """
+    trie: PrefixTrie = PrefixTrie()
+    entries = [
+        entry
+        for entry in registry
+        if not entry.as_set_tail and not entry.exchange_point
+    ]
+    for entry in entries:
+        trie[entry.prefix] = entry
+    tags: dict[Prefix, str] = {}
+    for entry in entries:
+        if entry.prefix.length == 0:
+            continue
+        cover = None
+        for candidate in trie.covering(entry.prefix):
+            if candidate[0] != entry.prefix:
+                cover = candidate[1]  # keep the most specific cover
+        if cover is None or cover.owner == entry.owner:
+            continue
+        if entry.created_day > cover.created_day:
+            tags[entry.prefix] = TAG_FOREIGN_SUBPREFIX
+        elif cover.created_day > entry.created_day:
+            tags.setdefault(cover.prefix, TAG_FOREIGN_AGGREGATE)
+    return tags

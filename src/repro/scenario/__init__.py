@@ -19,6 +19,13 @@ from repro.scenario.archive import (
 from repro.scenario.calibration import Calibration, PAPER
 from repro.scenario.collector import CollectorConfig
 from repro.scenario.events import Cause, ConflictEvent
+from repro.scenario.incidents import (
+    IncidentInjector,
+    IncidentKind,
+    IncidentLabel,
+    IncidentScript,
+    IncidentSpec,
+)
 from repro.scenario.routing import CollectorRouting, PeerView
 from repro.scenario.timeline import StudyTimeline
 from repro.scenario.world import ScenarioConfig, ScenarioWorld, simulate_study
@@ -33,6 +40,11 @@ __all__ = [
     "CollectorConfig",
     "Cause",
     "ConflictEvent",
+    "IncidentInjector",
+    "IncidentKind",
+    "IncidentLabel",
+    "IncidentScript",
+    "IncidentSpec",
     "CollectorRouting",
     "PeerView",
     "StudyTimeline",

@@ -220,6 +220,15 @@ class ArchiveWriter:
         with open(self.directory / "ground_truth.json", "w") as handle:
             json.dump(events, handle, default=str)
 
+    def write_incidents(self, labels: list[dict]) -> None:
+        """Persist injected-incident ground truth (the answer key).
+
+        Unlike ``ground_truth.json`` this file is a first-class study
+        input: ``repro evaluate`` scores verdicts against it.
+        """
+        with open(self.directory / "incidents.json", "w") as handle:
+            json.dump(labels, handle, default=str)
+
 
 class ArchiveReader:
     """Streams a CDS archive back as :class:`DayRecord` objects."""
@@ -368,4 +377,13 @@ class ArchiveReader:
     def ground_truth(self) -> list[dict]:
         """Generator bookkeeping (benchmark validation only)."""
         with open(self.directory / "ground_truth.json") as handle:
+            return json.load(handle)
+
+    def has_incidents(self) -> bool:
+        """True when the archive carries injected-incident labels."""
+        return (self.directory / "incidents.json").is_file()
+
+    def incident_labels(self) -> list[dict]:
+        """Injected-incident ground truth rows (see ``write_incidents``)."""
+        with open(self.directory / "incidents.json") as handle:
             return json.load(handle)

@@ -45,6 +45,9 @@ class Cause(enum.Enum):
     PROVIDER_TRANSITION = "provider_transition"
     MISCONFIG = "misconfig"
     FAULT_MASS_ORIGINATION = "fault_mass_origination"
+    #: Stable wide multi-origin service (injected incidents only; the
+    #: paper found none, so the organic generator never draws it).
+    ANYCAST = "anycast"
 
     @property
     def is_valid(self) -> bool:

@@ -1,0 +1,702 @@
+"""Fault-injection: scripted, labeled incidents for generated worlds.
+
+The paper's Section VI attributes conflicts to causes but concedes its
+valid/invalid heuristic is imperfect; measuring *how* imperfect needs
+workloads where the truth is known.  This module provides them: a
+composable library of incident scripts injected into a
+:class:`~repro.scenario.world.ScenarioWorld` run, each emitting
+machine-readable ground-truth labels (prefix, days, perpetrator, kind)
+written beside the archive as ``incidents.json``.
+
+Seven incident kinds cover the fault taxonomy the paper opens plus the
+benign look-alikes follow-up work identified:
+
+- ``EXACT_HIJACK`` — an unrelated AS co-originates an existing prefix
+  for a few days (the classic origin hijack / fat-finger misconfig);
+- ``SUBPREFIX_HIJACK`` — AS7007-style de-aggregation: the perpetrator
+  announces new more-specific fragments of other organizations' blocks
+  (no same-prefix MOAS at all — only sub-prefix analysis sees it);
+- ``FAULTY_AGGREGATION`` — the perpetrator announces a covering
+  aggregate over address space it does not own;
+- ``PRIVATE_LEAK`` — an upstream leaks a private ASN into origin
+  position (Section VI-C gone wrong);
+- ``ANYCAST`` — a legitimate, stable, wide MOAS: many origins announce
+  the prefix for most of the remaining study ("Live Long and Prosper");
+- ``IXP_CONFLICT`` — a new exchange-point fabric prefix co-originated
+  by its members (Section VI-A);
+- ``FLAPPING_FAULT`` — a short-lived fault that keeps coming back:
+  the conflict flickers on and off across a few weeks.
+
+Scripts are immutable and composable: :meth:`IncidentScript.add`
+returns a new script, :meth:`IncidentScript.canned` builds the standard
+evaluation suite scaled to any study length, and scripts round-trip
+through JSON for the ``repro simulate --incidents`` CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path as FsPath
+
+from repro.netbase.asn import PRIVATE_AS_MIN
+from repro.netbase.prefix import Prefix
+from repro.scenario.events import Cause, ConflictEvent
+from repro.topology.ixp import IXP_BLOCK
+from repro.topology.model import Tier
+
+#: Candidate draws before giving up on realizing one incident.
+_MAX_ATTEMPTS = 32
+
+
+class IncidentKind(enum.Enum):
+    """The injectable incident taxonomy."""
+
+    EXACT_HIJACK = "exact_hijack"
+    SUBPREFIX_HIJACK = "subprefix_hijack"
+    FAULTY_AGGREGATION = "faulty_aggregation"
+    PRIVATE_LEAK = "private_leak"
+    ANYCAST = "anycast"
+    IXP_CONFLICT = "ixp_conflict"
+    FLAPPING_FAULT = "flapping_fault"
+
+    @property
+    def is_malicious(self) -> bool:
+        """True for incidents an operator would want paged about."""
+        return self not in (IncidentKind.ANYCAST, IncidentKind.IXP_CONFLICT)
+
+
+#: Default duration (days) per kind; ``None`` means "until study end"
+#: (registry-shaped incidents cannot be withdrawn from a CDS archive,
+#: and anycast / IXP conflicts are standing arrangements).
+_DEFAULT_DURATION: dict[IncidentKind, int | None] = {
+    IncidentKind.EXACT_HIJACK: 3,
+    IncidentKind.SUBPREFIX_HIJACK: None,
+    IncidentKind.FAULTY_AGGREGATION: None,
+    IncidentKind.PRIVATE_LEAK: 60,
+    IncidentKind.ANYCAST: None,
+    IncidentKind.IXP_CONFLICT: None,
+    IncidentKind.FLAPPING_FAULT: 28,
+}
+
+
+@dataclass(frozen=True)
+class IncidentSpec:
+    """One scripted incident: what to inject, when, and how big.
+
+    ``perpetrator`` and target prefixes are drawn deterministically from
+    the world when left unset, so a spec stays valid across scales.
+    """
+
+    kind: IncidentKind
+    start_index: int
+    duration: int | None = None  # None = kind default
+    perpetrator: int | None = None
+    count: int = 1  # fragments for SUBPREFIX_HIJACK
+    origin_count: int = 5  # target origin-set width for ANYCAST
+    duty_cycle: float = 0.4  # FLAPPING_FAULT presence fraction
+
+    def __post_init__(self) -> None:
+        if self.start_index < 0:
+            raise ValueError(
+                f"incident start_index must be >= 0, got {self.start_index}"
+            )
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(
+                f"incident duration must be >= 1, got {self.duration}"
+            )
+        if self.count < 1:
+            raise ValueError(f"incident count must be >= 1, got {self.count}")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty cycle {self.duty_cycle} outside (0, 1]"
+            )
+
+    def resolved_duration(self, num_days: int) -> int:
+        """Concrete duration inside a ``num_days`` study."""
+        duration = self.duration
+        if duration is None:
+            duration = _DEFAULT_DURATION[self.kind]
+        if duration is None:
+            duration = num_days - self.start_index
+        return max(1, min(duration, num_days - self.start_index))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the script-file row)."""
+        return {
+            "kind": self.kind.value,
+            "start_index": self.start_index,
+            "duration": self.duration,
+            "perpetrator": self.perpetrator,
+            "count": self.count,
+            "origin_count": self.origin_count,
+            "duty_cycle": self.duty_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IncidentSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` (not a bare TypeError),
+        so a mistyped script file — or an ``incidents.json`` *label*
+        file passed where a script belongs — fails with a clean
+        message.
+        """
+        known = dict(payload)
+        if "kind" not in known:
+            raise ValueError("incident spec is missing its 'kind' field")
+        kind = IncidentKind(known.pop("kind"))
+        allowed = {
+            "start_index",
+            "duration",
+            "perpetrator",
+            "count",
+            "origin_count",
+            "duty_cycle",
+        }
+        unexpected = sorted(set(known) - allowed)
+        if unexpected:
+            raise ValueError(
+                "incident spec has unexpected fields "
+                f"{', '.join(unexpected)} (is this a ground-truth label "
+                f"file rather than a script?)"
+            )
+        try:
+            return cls(kind=kind, **known)
+        except TypeError as error:
+            # e.g. a string where a number belongs: keep the clean
+            # ValueError contract for script files.
+            raise ValueError(f"invalid incident spec: {error}") from None
+
+
+@dataclass(frozen=True)
+class IncidentLabel:
+    """Ground truth for one injected prefix: the answer key row."""
+
+    kind: IncidentKind
+    prefix: Prefix
+    start_index: int
+    end_index: int
+    perpetrator: int | None
+    origins: tuple[int, ...]
+
+    @property
+    def duration_days(self) -> int:
+        return self.end_index - self.start_index + 1
+
+    def to_dict(self) -> dict:
+        """The ``incidents.json`` row for this label."""
+        return {
+            "kind": self.kind.value,
+            "prefix": str(self.prefix),
+            "start_index": self.start_index,
+            "end_index": self.end_index,
+            "perpetrator": self.perpetrator,
+            "origins": list(self.origins),
+            "malicious": self.kind.is_malicious,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IncidentLabel":
+        return cls(
+            kind=IncidentKind(payload["kind"]),
+            prefix=Prefix.parse(payload["prefix"]),
+            start_index=payload["start_index"],
+            end_index=payload["end_index"],
+            perpetrator=payload["perpetrator"],
+            origins=tuple(payload["origins"]),
+        )
+
+
+@dataclass(frozen=True)
+class IncidentScript:
+    """An immutable, composable sequence of incident specs."""
+
+    specs: tuple[IncidentSpec, ...] = ()
+
+    def add(self, kind: IncidentKind | str, start_index: int, **options) -> "IncidentScript":
+        """A new script with one more incident appended."""
+        if isinstance(kind, str):
+            kind = IncidentKind(kind)
+        spec = IncidentSpec(kind=kind, start_index=start_index, **options)
+        return IncidentScript(specs=self.specs + (spec,))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @classmethod
+    def canned(cls, num_days: int) -> "IncidentScript":
+        """The standard evaluation suite: one incident of every kind.
+
+        Placement scales with the study length so the same suite runs
+        against a 100-day test window or the full 1279-day campaign.
+        The benchmark F1 floor and the CI smoke job pin against this.
+        """
+        if num_days < 20:
+            raise ValueError(
+                f"canned suite needs a >= 20 day study, got {num_days}"
+            )
+
+        def day(fraction: float) -> int:
+            return max(1, min(num_days - 2, int(num_days * fraction)))
+
+        return (
+            cls()
+            .add(IncidentKind.ANYCAST, day(0.10))
+            .add(IncidentKind.IXP_CONFLICT, day(0.15))
+            .add(IncidentKind.PRIVATE_LEAK, day(0.25))
+            .add(IncidentKind.EXACT_HIJACK, day(0.30), duration=3)
+            .add(IncidentKind.SUBPREFIX_HIJACK, day(0.35), count=3)
+            .add(IncidentKind.FAULTY_AGGREGATION, day(0.40))
+            .add(
+                IncidentKind.FLAPPING_FAULT,
+                day(0.50),
+                duration=min(28, max(10, num_days // 4)),
+            )
+            .add(IncidentKind.EXACT_HIJACK, day(0.70), duration=4)
+        )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_json(self) -> str:
+        """The script as a JSON document (``--incidents`` file format)."""
+        return json.dumps(
+            {"incidents": [spec.to_dict() for spec in self.specs]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "IncidentScript":
+        """Parse a :meth:`to_json` document.
+
+        Malformed documents raise :class:`ValueError` with a usable
+        message — including the easy mistake of handing over an
+        ``incidents.json`` ground-truth *label* file (a JSON list)
+        instead of a script (an object with an ``incidents`` array).
+        """
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or "incidents" not in payload:
+            raise ValueError(
+                "an incident script is a JSON object with an "
+                "'incidents' array (a bare list is a ground-truth "
+                "label file, not a script)"
+            )
+        rows = payload["incidents"]
+        if not isinstance(rows, list) or not all(
+            isinstance(row, dict) for row in rows
+        ):
+            raise ValueError(
+                "'incidents' must be an array of incident-spec objects"
+            )
+        return cls(
+            specs=tuple(IncidentSpec.from_dict(row) for row in rows)
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str, *, num_days: int) -> "IncidentScript":
+        """Resolve a CLI ``--incidents`` value: ``canned`` or a file."""
+        if spec.strip().lower() == "canned":
+            return cls.canned(num_days)
+        path = FsPath(spec)
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no incident script at {spec!r} (and it is not 'canned')"
+            )
+        return cls.from_json(path.read_text())
+
+
+class IncidentInjector:
+    """Realizes a script against a live :class:`ScenarioWorld` run.
+
+    The injector owns its own RNG stream (derived from the world seed
+    under the ``"incidents"`` name), so incident target selection is
+    deterministic per ``(seed, script)`` and independent of the organic
+    generator's draw sequence.
+    """
+
+    def __init__(
+        self,
+        script: IncidentScript,
+        *,
+        model,
+        routing,
+        streams,
+        num_days: int,
+        is_conflicted,
+    ) -> None:
+        self.script = script
+        self.model = model
+        self.routing = routing
+        self.num_days = num_days
+        self._is_conflicted = is_conflicted
+        self._rng = streams.python("incidents")
+        self._pending: dict[int, list[IncidentSpec]] = {}
+        self.unrealized: list[IncidentSpec] = []
+        for spec in script:
+            if spec.start_index >= num_days:
+                # Scheduled past the study window: report it instead of
+                # silently dropping a labeled workload.
+                self.unrealized.append(spec)
+            else:
+                self._pending.setdefault(spec.start_index, []).append(spec)
+        self.labels: list[IncidentLabel] = []
+        #: Prefixes any incident already touched (labels stay unique).
+        self._touched: set[Prefix] = set()
+        self._ixp_counter = 0
+        self._population_cache: list[Prefix] = []
+        self._as_population_cache: list[int] = []
+
+    def touched(self, prefix: Prefix) -> bool:
+        """Whether any incident has claimed ``prefix``.
+
+        The world keeps organic events off touched prefixes for the
+        rest of the study, so every label stays the sole cause of its
+        prefix's episode.
+        """
+        return prefix in self._touched
+
+    # -- the per-day hook ---------------------------------------------------
+
+    def inject_day(
+        self, day_index: int, active_peers: list[int], writer
+    ) -> list[ConflictEvent]:
+        """Realize every incident scripted for ``day_index``.
+
+        Returns conflict events for the world to admit; registry-shaped
+        incidents (sub-prefix fragments, aggregates, IXP fabrics) are
+        registered on ``writer`` directly.  Ground truth accumulates in
+        :attr:`labels`; incidents that found no viable target after
+        bounded retries land in :attr:`unrealized` instead of raising —
+        a scripted world must keep running.
+        """
+        events: list[ConflictEvent] = []
+        for spec in self._pending.pop(day_index, []):
+            realize = getattr(self, f"_realize_{spec.kind.value}")
+            realized = realize(spec, day_index, active_peers, writer)
+            if realized is None:
+                self.unrealized.append(spec)
+            else:
+                events.extend(realized)
+        return events
+
+    # -- per-kind realization ----------------------------------------------
+
+    def _realize_exact_hijack(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        picked = self._pick_victim(exclude_owner=spec.perpetrator)
+        if picked is None:
+            return None
+        prefix, owner = picked
+        perpetrator = spec.perpetrator
+        for _ in range(_MAX_ATTEMPTS):
+            if perpetrator is None:
+                perpetrator = self._random_as(exclude={owner})
+            if perpetrator is None or perpetrator == owner:
+                perpetrator = None
+                continue
+            if self.routing.conflict_visible(
+                [owner, perpetrator], active_peers
+            ):
+                break
+            if spec.perpetrator is not None:
+                # A pinned but invisible perpetrator: try other victims.
+                picked = self._pick_victim(exclude_owner=perpetrator)
+                if picked is None:
+                    return None
+                prefix, owner = picked
+                continue
+            perpetrator = None
+        else:
+            return None
+        end = day_index + spec.resolved_duration(self.num_days) - 1
+        event = ConflictEvent(
+            prefix=prefix,
+            origins=(owner, perpetrator),
+            cause=Cause.MISCONFIG,
+            start_index=day_index,
+            end_index=end,
+        )
+        self._label(spec.kind, prefix, day_index, end, perpetrator, event.origins)
+        return [event]
+
+    def _realize_flapping_fault(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        realized = self._realize_exact_hijack(
+            replace(spec, kind=IncidentKind.EXACT_HIJACK),
+            day_index,
+            active_peers,
+            writer,
+        )
+        if realized is None:
+            return None
+        (event,) = realized
+        # Re-shape the hijack into an intermittent one and re-label it.
+        flickering = ConflictEvent(
+            prefix=event.prefix,
+            origins=event.origins,
+            cause=event.cause,
+            start_index=event.start_index,
+            end_index=event.end_index,
+            duty_cycle=spec.duty_cycle,
+            flicker_seed=len(self.labels),
+        )
+        self.labels[-1] = replace(
+            self.labels[-1], kind=IncidentKind.FLAPPING_FAULT
+        )
+        return [flickering]
+
+    def _realize_private_leak(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        for _ in range(_MAX_ATTEMPTS):
+            picked = self._pick_victim()
+            if picked is None:
+                return None
+            prefix, owner = picked
+            providers = self.model.graph.providers_of(owner)
+            if not providers:
+                continue
+            # Two upstreams front the customer; one forgot to strip the
+            # private ASN, so it surfaces in origin position behind that
+            # provider — the same shape the organic PRIVATE_AS process
+            # uses for a leak (a leaf customer joining the graph).
+            if len(providers) >= 2:
+                clean, leaky = self._rng.sample(providers, k=2)
+            else:
+                clean = providers[0]
+                others = [
+                    asn
+                    for asn in self.model.ases_in_tier(Tier.TRANSIT)
+                    if asn not in (owner, clean)
+                ]
+                if not others:
+                    continue
+                leaky = self._rng.choice(others)
+            leaked = self._fresh_private_asn()
+            self.model.graph.add_as(leaked)
+            self.model.graph.add_customer(leaky, leaked)
+            if not self.routing.conflict_visible(
+                [clean, leaked], active_peers
+            ):
+                continue
+            end = day_index + spec.resolved_duration(self.num_days) - 1
+            event = ConflictEvent(
+                prefix=prefix,
+                origins=tuple(sorted((clean, leaked))),
+                cause=Cause.PRIVATE_AS,
+                start_index=day_index,
+                end_index=end,
+            )
+            self._label(spec.kind, prefix, day_index, end, leaked, event.origins)
+            return [event]
+        return None
+
+    def _realize_anycast(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        want = max(4, spec.origin_count)
+        transits = self.model.ases_in_tier(Tier.TRANSIT)
+        best: tuple[Prefix, tuple[int, ...]] | None = None
+        for _ in range(_MAX_ATTEMPTS):
+            picked = self._pick_victim()
+            if picked is None:
+                return None
+            prefix, owner = picked
+            pool = [asn for asn in transits if asn != owner]
+            if len(pool) < want:
+                return None
+            candidates = [
+                owner,
+                *self._rng.sample(pool, k=min(len(pool), want + 2)),
+            ]
+            # Keep exactly the origins that win at some peer: the event
+            # then *is* the wide stable conflict anycast looks like.
+            winners = tuple(
+                sorted(
+                    self.routing.visible_origins(candidates, active_peers)
+                )
+            )
+            if len(winners) >= want:
+                best = (prefix, winners[:want] if len(winners) > want else winners)
+                break
+            if len(winners) >= 2 and best is None:
+                best = (prefix, winners)
+        if best is None:
+            return None
+        prefix, origins = best
+        end = day_index + spec.resolved_duration(self.num_days) - 1
+        event = ConflictEvent(
+            prefix=prefix,
+            origins=origins,
+            cause=Cause.ANYCAST,
+            start_index=day_index,
+            end_index=end,
+        )
+        self._label(spec.kind, prefix, day_index, end, None, origins)
+        return [event]
+
+    def _realize_ixp_conflict(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        transits = self.model.ases_in_tier(Tier.TRANSIT)
+        if len(transits) < 2:
+            return None
+        for _ in range(_MAX_ATTEMPTS):
+            members = tuple(
+                sorted(self._rng.sample(transits, k=min(4, len(transits))))
+            )
+            if len(self.routing.visible_origins(list(members), active_peers)) >= 2:
+                break
+        else:
+            return None
+        # A fresh fabric /24 from the top of the held-out IXP block,
+        # clear of the organically generated exchange points.
+        from repro.topology.ixp import ixp_prefix
+
+        while True:
+            index = 255 - self._ixp_counter
+            self._ixp_counter += 1
+            if index < 0:
+                return None
+            prefix = ixp_prefix(index)
+            if not writer.has_prefix(prefix):
+                break
+        from repro.scenario.archive import FLAG_EXCHANGE_POINT
+
+        writer.register_prefix(
+            prefix, members[0], day_index, flags=FLAG_EXCHANGE_POINT
+        )
+        end = day_index + spec.resolved_duration(self.num_days) - 1
+        event = ConflictEvent(
+            prefix=prefix,
+            origins=members,
+            cause=Cause.EXCHANGE_POINT,
+            start_index=day_index,
+            end_index=end,
+        )
+        self._label(spec.kind, prefix, day_index, end, None, members)
+        return [event]
+
+    def _realize_subprefix_hijack(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        perpetrator = spec.perpetrator or self._random_as(exclude=set())
+        if perpetrator is None:
+            return None
+        end = self.num_days - 1
+        # All-or-nothing: collect every fragment before registering any,
+        # so a partially-realizable incident reports as unrealized
+        # instead of silently shrinking the labeled workload.
+        fragments: list[Prefix] = []
+        for _ in range(_MAX_ATTEMPTS * spec.count):
+            if len(fragments) >= spec.count:
+                break
+            picked = self._pick_victim(exclude_owner=perpetrator)
+            if picked is None:
+                break
+            victim, _owner = picked
+            if victim.length > 22:
+                continue
+            fragment = Prefix(victim.network, victim.length + 2, strict=False)
+            if (
+                writer.has_prefix(fragment)
+                or fragment in self._touched
+                or fragment in fragments
+            ):
+                continue
+            fragments.append(fragment)
+        if len(fragments) < spec.count:
+            return None
+        for fragment in fragments:
+            writer.register_prefix(fragment, perpetrator, day_index)
+            self._label(
+                spec.kind, fragment, day_index, end, perpetrator,
+                (perpetrator,),
+            )
+        return []
+
+    def _realize_faulty_aggregation(
+        self, spec, day_index, active_peers, writer
+    ) -> list[ConflictEvent] | None:
+        perpetrator = spec.perpetrator or self._random_as(exclude=set())
+        if perpetrator is None:
+            return None
+        for _ in range(_MAX_ATTEMPTS):
+            picked = self._pick_victim(exclude_owner=perpetrator)
+            if picked is None:
+                return None
+            victim, owner = picked
+            if victim.length < 18:
+                continue
+            aggregate = Prefix(
+                victim.network, victim.length - 2, strict=False
+            )
+            if writer.has_prefix(aggregate) or aggregate in self._touched:
+                continue
+            writer.register_prefix(aggregate, perpetrator, day_index)
+            end = self.num_days - 1
+            self._label(
+                spec.kind, aggregate, day_index, end, perpetrator,
+                (perpetrator,),
+            )
+            return []
+        return None
+
+    # -- draw helpers -------------------------------------------------------
+
+    def _label(
+        self, kind, prefix, start, end, perpetrator, origins
+    ) -> None:
+        self.labels.append(
+            IncidentLabel(
+                kind=kind,
+                prefix=prefix,
+                start_index=start,
+                end_index=min(end, self.num_days - 1),
+                perpetrator=perpetrator,
+                origins=tuple(origins),
+            )
+        )
+        self._touched.add(prefix)
+
+    def _pick_victim(
+        self, exclude_owner: int | None = None
+    ) -> tuple[Prefix, int] | None:
+        # Growth adds prefixes daily; rebuild the cached list only when
+        # the table size changed (same pattern as the event generator).
+        if len(self._population_cache) != len(self.model.prefix_owner):
+            self._population_cache = list(self.model.prefix_owner)
+        population = self._population_cache
+        for _ in range(_MAX_ATTEMPTS):
+            prefix = self._rng.choice(population)
+            owner = self.model.prefix_owner[prefix]
+            if (
+                prefix in self._touched
+                or self._is_conflicted(prefix)
+                or owner == exclude_owner
+                or IXP_BLOCK.contains(prefix)
+            ):
+                continue
+            return prefix, owner
+        return None
+
+    def _random_as(self, exclude: set[int]) -> int | None:
+        if len(self._as_population_cache) != len(self.model.as_info):
+            self._as_population_cache = list(self.model.as_info)
+        for _ in range(_MAX_ATTEMPTS):
+            asn = self._rng.choice(self._as_population_cache)
+            if asn not in exclude:
+                return asn
+        return None
+
+    def _fresh_private_asn(self) -> int:
+        while True:
+            candidate = PRIVATE_AS_MIN + self._rng.randrange(1022)
+            if candidate not in self.model.graph:
+                return candidate

@@ -28,6 +28,7 @@ from repro.scenario.calibration import (
 from repro.scenario.collector import CollectorConfig
 from repro.scenario.events import ConflictEvent
 from repro.scenario.generator import EventGenerator
+from repro.scenario.incidents import IncidentInjector, IncidentScript
 from repro.scenario.routing import CollectorRouting
 from repro.scenario.timeline import StudyTimeline
 from repro.topology.generator import TopologyConfig, build_initial_model
@@ -50,6 +51,10 @@ class ScenarioConfig:
     calibration: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
     #: Prefixes whose routes end in AS sets (excluded by the paper).
     as_set_prefix_count: int = PAPER.as_set_prefixes
+    #: Scripted, labeled incidents injected on top of the organic
+    #: event processes (see :mod:`repro.scenario.incidents`); their
+    #: ground truth is written beside the archive as ``incidents.json``.
+    incidents: "IncidentScript | None" = None
 
     def topology_config(self) -> TopologyConfig:
         """The topology configuration at this scenario's scale."""
@@ -96,6 +101,9 @@ class ScenarioWorld:
         )
         self.active_events: dict[Prefix, ConflictEvent] = {}
         self.event_log: list[dict] = []
+        #: Prefixes any event ever conflicted (injected incidents avoid
+        #: them so episode-level ground truth stays unambiguous).
+        self._conflicted_ever: set[Prefix] = set()
         #: Per-conflicted-prefix cached day rows: prefix -> (n_peers, rows).
         self._row_cache: dict[Prefix, tuple[int, tuple[PeerRow, ...]]] = {}
         self.generator = EventGenerator(
@@ -105,8 +113,35 @@ class ScenarioWorld:
             self.streams,
             num_days=self.calendar.num_days,
             scale=config.scale,
-            is_conflicted=lambda prefix: prefix in self.active_events,
+            is_conflicted=self._organic_blocked,
         )
+        self.incident_injector: IncidentInjector | None = None
+        if config.incidents is not None:
+            self.incident_injector = IncidentInjector(
+                config.incidents,
+                model=self.model,
+                routing=self.routing,
+                streams=self.streams,
+                num_days=self.calendar.num_days,
+                is_conflicted=lambda prefix: (
+                    prefix in self.active_events
+                    or prefix in self._conflicted_ever
+                ),
+            )
+
+    def _organic_blocked(self, prefix: Prefix) -> bool:
+        """Whether the organic generator must avoid ``prefix``.
+
+        Actively conflicted prefixes are always off limits; prefixes an
+        injected incident ever touched stay off limits for the rest of
+        the study, so each incident label remains the sole explanation
+        of its prefix's episode.  Without incidents this is exactly the
+        pre-incident behavior (organic conflicts may recur).
+        """
+        if prefix in self.active_events:
+            return True
+        injector = self.incident_injector
+        return injector is not None and injector.touched(prefix)
 
     # -- scripted incidents ------------------------------------------------
 
@@ -195,6 +230,11 @@ class ScenarioWorld:
                     day, day_index, active_peers
                 ):
                     self._admit_event(event)
+                if self.incident_injector is not None:
+                    for event in self.incident_injector.inject_day(
+                        day_index, active_peers, writer
+                    ):
+                        self._admit_event(event)
                 if self.timeline.is_observed(day):
                     record = self._day_record(
                         writer, day, day_index, active_peers
@@ -232,8 +272,19 @@ class ScenarioWorld:
                 for asn, join_day in self.collector.peer_schedule
             ],
         }
+        if self.incident_injector is not None:
+            summary["incidents_injected"] = len(
+                self.incident_injector.labels
+            )
+            summary["incidents_unrealized"] = len(
+                self.incident_injector.unrealized
+            )
         writer.finalize(summary)
         writer.write_ground_truth(self.event_log)
+        if self.incident_injector is not None:
+            writer.write_incidents(
+                [label.to_dict() for label in self.incident_injector.labels]
+            )
         return summary
 
     # -- internals --------------------------------------------------------
@@ -278,6 +329,7 @@ class ScenarioWorld:
         if event.prefix in self.active_events:
             return
         self.active_events[event.prefix] = event
+        self._conflicted_ever.add(event.prefix)
         self.event_log.append(
             {
                 "prefix": str(event.prefix),

@@ -1,0 +1,41 @@
+"""Crash-safe file writing.
+
+Checkpoints and manifests must never be observable half-written: a
+process dying mid-``write_text`` leaves a truncated JSON file that a
+later resume reads as corruption.  :func:`atomic_write_text` gives the
+standard fix — write a temporary file in the *same directory* (same
+filesystem, so the final rename cannot degrade to a copy) and
+``os.replace`` it over the destination, which POSIX guarantees is
+atomic: readers see either the old complete file or the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Write ``text`` to ``path`` so no reader ever sees a torn file."""
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except FileNotFoundError:
+            pass
+        raise
+    return path

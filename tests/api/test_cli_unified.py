@@ -36,6 +36,36 @@ class TestSimulate:
         main(["simulate", str(tmp_path / "a"), "--scale", "0.01"])
         assert "observed_days: 1279" in capsys.readouterr().out
 
+    def test_incidents_canned_writes_labels(self, tmp_path, capsys):
+        archive = tmp_path / "incident-archive"
+        code = main(
+            [
+                "simulate",
+                str(archive),
+                "--scale",
+                "0.01",
+                "--incidents",
+                "canned",
+            ]
+        )
+        assert code == 0
+        assert "incidents_injected:" in capsys.readouterr().out
+        labels = json.loads((archive / "incidents.json").read_text())
+        assert labels
+        assert {"kind", "prefix", "perpetrator"} <= set(labels[0])
+
+    def test_incidents_bad_script_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                str(tmp_path / "arch"),
+                "--incidents",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 1
+        assert "repro simulate:" in capsys.readouterr().err
+
 
 class TestAnalyze:
     def test_produces_report_and_figures(self, cli_archive, tmp_path, capsys):
@@ -212,20 +242,43 @@ class TestWatch:
 
 
 class TestLegacyShims:
-    def test_shims_emit_deprecation_notice(self, tmp_path, capsys):
-        # FutureWarning so console-script users see it under the
-        # default warning filters (DeprecationWarning would be hidden).
-        with pytest.warns(FutureWarning, match="repro-report"):
-            report_main([str(tmp_path / "missing")])
-        capsys.readouterr()
+    """One warns-and-works test per deprecated entry point.
 
-    def test_simulate_shim_delegates(self, tmp_path, capsys):
+    Everything else drives the unified ``repro`` CLI, so these are the
+    only places the shims run — and the FutureWarning is asserted (not
+    leaked into the tier-1 warning summary).  FutureWarning, not
+    DeprecationWarning, so console-script users see the notice under
+    the default warning filters.
+    """
+
+    def test_simulate_shim_warns_and_works(self, tmp_path, capsys):
         with pytest.warns(FutureWarning, match="repro-simulate"):
             code = simulate_main(
                 [str(tmp_path / "arch"), "--scale", "0.01"]
             )
         assert code == 0
         assert "observed_days: 1279" in capsys.readouterr().out
+
+    def test_analyze_shim_warns_and_works(
+        self, cli_archive, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "legacy-analysis"
+        with pytest.warns(FutureWarning, match="repro-analyze"):
+            code = analyze_main([str(cli_archive), str(out_dir)])
+        assert code == 0
+        assert (out_dir / "report.txt").exists()
+        capsys.readouterr()
+
+    def test_report_shim_warns_and_works(
+        self, cli_archive, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "legacy-report"
+        assert main(["analyze", str(cli_archive), str(out_dir)]) == 0
+        capsys.readouterr()
+        with pytest.warns(FutureWarning, match="repro-report"):
+            code = report_main([str(out_dir)])
+        assert code == 0
+        assert "MOAS study summary" in capsys.readouterr().out
 
 
 class TestParallelFlags:

@@ -230,11 +230,15 @@ class TestShardedService:
         wide = MoasService(shards=4)
         wide.feed(api_detections[:3])
         path = wide.save_checkpoint(tmp_path / "re.ckpt")
-        assert (path / "shard-03.json").exists()
+        wide_files = json.loads(
+            (path / "manifest.json").read_text()
+        )["shard_files"]
+        assert len(wide_files) == 4
+        assert all((path / name).exists() for name in wide_files)
         narrow = MoasService(shards=2)
         narrow.feed(api_detections[:3])
         narrow.save_checkpoint(path)
-        assert not (path / "shard-03.json").exists()
+        assert not any((path / name).exists() for name in wide_files)
         assert MoasService.load_checkpoint(path).shards == 2
 
     def test_skip_seen_tolerates_intra_stream_duplicates(
@@ -251,3 +255,104 @@ class TestShardedService:
         ]
         assert service.feed(stream, skip_seen=True) == 3
         assert service.days_fed == 3
+
+
+class TestCheckpointAtomicity:
+    """A crash mid-save must never corrupt an existing checkpoint."""
+
+    def _service(self, api_detections, *, shards=1):
+        service = MoasService(shards=shards)
+        for detection in api_detections[:5]:
+            service.feed_day(detection)
+        return service
+
+    def test_failed_single_file_save_preserves_previous(
+        self, api_detections, tmp_path, monkeypatch
+    ):
+        import os
+
+        service = self._service(api_detections)
+        path = tmp_path / "study.ckpt"
+        service.save_checkpoint(path)
+        before = path.read_bytes()
+
+        for detection in api_detections[5:8]:
+            service.feed_day(detection)
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (_ for _ in ()).throw(
+                OSError("simulated crash")
+            )
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            service.save_checkpoint(path)
+        # The old checkpoint is byte-identical and still loads.
+        assert path.read_bytes() == before
+        restored = MoasService.load_checkpoint(path)
+        assert restored.days_fed == 5
+        # No stray temp files pollute the directory.
+        assert [entry.name for entry in tmp_path.iterdir()] == ["study.ckpt"]
+
+    def test_truncated_checkpoint_is_never_observed(
+        self, api_detections, tmp_path, monkeypatch
+    ):
+        """Even a crash mid-*write* leaves no partial file behind."""
+        import os
+
+        service = self._service(api_detections)
+        path = tmp_path / "study.ckpt"
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (_ for _ in ()).throw(
+                OSError("power loss")
+            )
+        )
+        with pytest.raises(OSError, match="power loss"):
+            service.save_checkpoint(path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_sharded_save_preserves_previous_shards(
+        self, api_detections, tmp_path, monkeypatch
+    ):
+        import os
+
+        service = self._service(api_detections, shards=2)
+        path = tmp_path / "study-ckpt"
+        service.save_checkpoint(path)
+        before = {
+            entry.name: entry.read_bytes() for entry in path.iterdir()
+        }
+
+        for detection in api_detections[5:8]:
+            service.feed_day(detection)
+        real_replace = os.replace
+        calls = {"count": 0}
+
+        def crash_on_second(src, dst):
+            calls["count"] += 1
+            if calls["count"] >= 2:
+                raise OSError("simulated crash")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", crash_on_second)
+        with pytest.raises(OSError, match="simulated crash"):
+            service.save_checkpoint(path)
+        monkeypatch.undo()
+        # The manifest is the commit point and was never rewritten, so
+        # the previous generation's files are all still present, byte
+        # identical, and the checkpoint loads as the 5-day session.
+        after = {entry.name: entry.read_bytes() for entry in path.iterdir()}
+        for name, content in before.items():
+            assert after[name] == content, f"{name} changed"
+        restored = MoasService.load_checkpoint(path)
+        assert restored.days_fed == 5
+        # A subsequent healthy save commits the 8-day state and prunes
+        # every superseded shard file, including the crash leftovers.
+        service.save_checkpoint(path)
+        assert MoasService.load_checkpoint(path).days_fed == 8
+        manifest = json.loads((path / "manifest.json").read_text())
+        shard_files = {
+            entry.name
+            for entry in path.iterdir()
+            if entry.name != "manifest.json"
+        }
+        assert shard_files == set(manifest["shard_files"])

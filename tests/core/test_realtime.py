@@ -139,3 +139,70 @@ class TestAlerts:
             AlertKind.MOAS_ENDED,
         ]
         assert [alert.timestamp for alert in alerts] == [200, 300]
+
+
+class TestOriginRemoval:
+    """Regression: the 3->2 transition (still MOAS) must not be silent."""
+
+    def test_origin_removed_while_still_moas(self):
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        detector.process_update(announce(3561, PREFIX, 3561, 44))
+        alerts = detector.process_update(withdraw(3561, PREFIX))
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.kind is AlertKind.MOAS_ORIGIN_REMOVED
+        assert alert.origins == {42, 43}
+        assert alert.previous_origins == {42, 43, 44}
+        assert alert.changed_origin == 44
+        assert detector.in_moas(PREFIX)
+
+    def test_full_lifecycle_is_loss_free(self):
+        """1 -> 2 -> 3 -> 2 -> 1 origins: every transition alerts."""
+        detector = StreamingMoasDetector()
+        assert detector.process_update(announce(701, PREFIX, 701, 42)) == []
+        kinds = []
+        for message in (
+            announce(1239, PREFIX, 1239, 43),  # 1 -> 2
+            announce(3561, PREFIX, 3561, 44),  # 2 -> 3
+            withdraw(1239, PREFIX),            # 3 -> 2
+            withdraw(3561, PREFIX),            # 2 -> 1
+        ):
+            alerts = detector.process_update(message)
+            assert len(alerts) == 1
+            kinds.append(alerts[0].kind)
+        assert kinds == [
+            AlertKind.MOAS_STARTED,
+            AlertKind.MOAS_ORIGIN_ADDED,
+            AlertKind.MOAS_ORIGIN_REMOVED,
+            AlertKind.MOAS_ENDED,
+        ]
+        assert not detector.in_moas(PREFIX)
+
+    def test_origin_swap_reports_arrival(self):
+        # Peer 3561 switches 44 -> 45 while the prefix stays in MOAS:
+        # the arrival is alerted, the departure shows in
+        # previous_origins.
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(3561, PREFIX, 3561, 44))
+        alerts = detector.process_update(announce(3561, PREFIX, 3561, 45))
+        assert len(alerts) == 1
+        assert alerts[0].kind is AlertKind.MOAS_ORIGIN_ADDED
+        assert alerts[0].changed_origin == 45
+        assert alerts[0].origins == {42, 45}
+        assert alerts[0].previous_origins == {42, 44}
+
+    def test_origin_change_onto_existing_origin_reports_removal(self):
+        # Peer 3561 re-announces with origin 42 (already present): the
+        # set shrinks 3 -> 2 and the departed origin is the alert.
+        detector = StreamingMoasDetector()
+        detector.process_update(announce(701, PREFIX, 701, 42))
+        detector.process_update(announce(1239, PREFIX, 1239, 43))
+        detector.process_update(announce(3561, PREFIX, 3561, 44))
+        alerts = detector.process_update(announce(3561, PREFIX, 3561, 42))
+        assert len(alerts) == 1
+        assert alerts[0].kind is AlertKind.MOAS_ORIGIN_REMOVED
+        assert alerts[0].changed_origin == 44
+        assert alerts[0].origins == {42, 43}

@@ -1,0 +1,241 @@
+"""Tests for the unified per-episode verdict engine."""
+
+import datetime
+
+import pytest
+
+from repro.core.detector import DailyConflict, DayDetection
+from repro.core.verdict import (
+    KIND_ORGANIC,
+    TAG_FLAPPING,
+    TAG_FOREIGN_AGGREGATE,
+    TAG_FOREIGN_SUBPREFIX,
+    TAG_IXP,
+    TAG_LONG_LIVED,
+    TAG_ORIG_TRAN_AS,
+    TAG_PRIVATE_ASN,
+    TAG_SHORT_LIVED,
+    TAG_WIDE_ORIGIN_SET,
+    VerdictConfig,
+    VerdictEngine,
+)
+from repro.netbase.prefix import Prefix
+from repro.netbase.sharding import ShardSpec
+from repro.scenario.archive import (
+    FLAG_AS_SET_TAIL,
+    FLAG_EXCHANGE_POINT,
+    RegistryEntry,
+)
+
+DAY0 = datetime.date(1998, 1, 1)
+
+
+def conflict(prefix: str, *origins: int, paths=None) -> DailyConflict:
+    if paths is None:
+        paths = {origin: ((origin + 100, origin),) for origin in origins}
+    return DailyConflict(
+        prefix=Prefix.parse(prefix),
+        origins=frozenset(origins),
+        paths_by_origin=tuple(sorted(paths.items())),
+    )
+
+
+def detection(day_offset: int, *conflicts: DailyConflict) -> DayDetection:
+    return DayDetection(
+        day=DAY0 + datetime.timedelta(days=day_offset),
+        conflicts=tuple(conflicts),
+        prefixes_scanned=1000,
+        as_set_excluded=0,
+    )
+
+
+def feed_pattern(engine: VerdictEngine, prefix: str, pattern: str, **kw):
+    """Feed one conflicted-prefix presence pattern ('x' = in conflict)."""
+    for offset, mark in enumerate(pattern):
+        if mark == "x":
+            engine.feed_day(detection(offset, conflict(prefix, **kw) if kw
+                                      else conflict(prefix, 1, 2)))
+        else:
+            engine.feed_day(detection(offset))
+
+
+class TestTags:
+    def test_short_lived_is_exact_hijack(self):
+        engine = VerdictEngine()
+        feed_pattern(engine, "10.0.0.0/8", "xxx" + "." * 47)
+        verdict = engine.finalize()[Prefix.parse("10.0.0.0/8")]
+        assert TAG_SHORT_LIVED in verdict.tags
+        assert verdict.kind == "exact_hijack"
+        assert not verdict.benign
+        assert verdict.days_observed == 3
+
+    def test_long_lived_organic_is_benign(self):
+        engine = VerdictEngine()
+        feed_pattern(engine, "10.0.0.0/8", "x" * 50)
+        verdict = engine.finalize()[Prefix.parse("10.0.0.0/8")]
+        assert TAG_LONG_LIVED in verdict.tags
+        assert verdict.kind == KIND_ORGANIC
+        assert verdict.benign
+
+    def test_private_asn_origin_is_private_leak(self):
+        engine = VerdictEngine()
+        engine.feed_day(detection(0, conflict("10.0.0.0/8", 7, 64512)))
+        verdict = engine.finalize()[Prefix.parse("10.0.0.0/8")]
+        assert TAG_PRIVATE_ASN in verdict.tags
+        assert verdict.kind == "private_leak"
+
+    def test_ixp_prefix_wins_over_everything(self):
+        engine = VerdictEngine()
+        engine.feed_day(detection(0, conflict("198.32.1.0/24", 7, 64512)))
+        verdict = engine.finalize()[Prefix.parse("198.32.1.0/24")]
+        assert TAG_IXP in verdict.tags
+        assert verdict.kind == "ixp_conflict"
+        assert verdict.benign
+
+    def test_wide_standing_conflict_is_anycast(self):
+        engine = VerdictEngine()
+        feed_pattern(engine, "10.0.0.0/8", "x" * 40 + "." * 10)
+        # Re-feed with five origins to get the wide tag.
+        wide = VerdictEngine()
+        for offset in range(50):
+            if offset < 40:
+                wide.feed_day(
+                    detection(offset, conflict("10.0.0.0/8", 1, 2, 3, 4, 5))
+                )
+            else:
+                wide.feed_day(detection(offset))
+        verdict = wide.finalize()[Prefix.parse("10.0.0.0/8")]
+        assert TAG_WIDE_ORIGIN_SET in verdict.tags
+        assert verdict.kind == "anycast"
+        assert verdict.benign
+
+    def test_flapping_pattern_detected(self):
+        engine = VerdictEngine()
+        feed_pattern(engine, "10.0.0.0/8", "x..x..x..x..x" + "." * 37)
+        verdict = engine.finalize()[Prefix.parse("10.0.0.0/8")]
+        assert TAG_FLAPPING in verdict.tags
+        assert verdict.kind == "flapping_fault"
+
+    def test_orig_tran_as_class_vote_tagged(self):
+        paths = {1: ((9, 2, 1),), 2: ((9, 2),)}  # origin 2 transits for 1
+        engine = VerdictEngine()
+        for offset in range(40):
+            engine.feed_day(
+                detection(offset, conflict("10.0.0.0/8", 1, 2, paths=paths))
+            )
+        verdict = engine.finalize()[Prefix.parse("10.0.0.0/8")]
+        assert TAG_ORIG_TRAN_AS in verdict.tags
+        assert verdict.kind == KIND_ORGANIC
+
+    def test_perpetrator_attribution_with_registry(self):
+        engine = VerdictEngine()
+        engine.feed_day(detection(0, conflict("10.0.0.0/8", 7, 666)))
+        registry = [
+            RegistryEntry(Prefix.parse("10.0.0.0/8"), owner=7,
+                          created_day=0, flags=0)
+        ]
+        verdict = engine.finalize(registry=registry)[
+            Prefix.parse("10.0.0.0/8")
+        ]
+        assert verdict.perpetrators == {666}
+
+
+class TestStructuralShapes:
+    def test_foreign_subprefix_flagged(self):
+        registry = [
+            RegistryEntry(Prefix.parse("20.0.0.0/8"), 7, 0, 0),
+            RegistryEntry(Prefix.parse("20.1.0.0/16"), 666, 40, 0),
+        ]
+        verdicts = VerdictEngine().finalize(registry=registry)
+        fragment = verdicts[Prefix.parse("20.1.0.0/16")]
+        assert TAG_FOREIGN_SUBPREFIX in fragment.tags
+        assert fragment.kind == "subprefix_hijack"
+        assert not fragment.benign
+        assert fragment.perpetrators == {666}
+        assert Prefix.parse("20.0.0.0/8") not in verdicts
+
+    def test_foreign_aggregate_flagged(self):
+        registry = [
+            RegistryEntry(Prefix.parse("20.1.0.0/16"), 7, 0, 0),
+            RegistryEntry(Prefix.parse("20.0.0.0/8"), 666, 40, 0),
+        ]
+        verdicts = VerdictEngine().finalize(registry=registry)
+        aggregate = verdicts[Prefix.parse("20.0.0.0/8")]
+        assert TAG_FOREIGN_AGGREGATE in aggregate.tags
+        assert aggregate.kind == "faulty_aggregation"
+
+    def test_own_subprefix_not_flagged(self):
+        registry = [
+            RegistryEntry(Prefix.parse("20.0.0.0/8"), 7, 0, 0),
+            RegistryEntry(Prefix.parse("20.1.0.0/16"), 7, 40, 0),
+        ]
+        assert VerdictEngine().finalize(registry=registry) == {}
+
+    def test_as_set_and_ixp_registrations_skipped(self):
+        registry = [
+            RegistryEntry(Prefix.parse("20.1.0.0/16"), 7, 0, 0),
+            RegistryEntry(
+                Prefix.parse("20.0.0.0/8"), 8, 40, FLAG_AS_SET_TAIL
+            ),
+            RegistryEntry(
+                Prefix.parse("198.32.5.0/24"), 9, 40, FLAG_EXCHANGE_POINT
+            ),
+        ]
+        assert VerdictEngine().finalize(registry=registry) == {}
+
+    def test_pre_study_nesting_ignored(self):
+        registry = [
+            RegistryEntry(Prefix.parse("20.0.0.0/8"), 7, 0, 0),
+            RegistryEntry(Prefix.parse("20.1.0.0/16"), 8, 0, 0),
+        ]
+        assert VerdictEngine().finalize(registry=registry) == {}
+
+
+class TestShardMerge:
+    def _detections(self):
+        prefixes = [f"10.{index}.0.0/16" for index in range(8)]
+        days = []
+        for offset in range(12):
+            conflicts = [
+                conflict(prefix, 1, 2 + offset % 3)
+                for index, prefix in enumerate(prefixes)
+                if (offset + index) % 2 == 0
+            ]
+            days.append(detection(offset, *conflicts))
+        return days
+
+    def test_merged_shards_equal_serial(self):
+        days = self._detections()
+        serial = VerdictEngine()
+        shards = [
+            VerdictEngine(shard=spec)
+            for spec in ShardSpec.partition(3, "hash")
+        ]
+        for day in days:
+            serial.feed_day(day)
+            for engine in shards:
+                engine.feed_day(day)
+        merged = VerdictEngine.merged(shards)
+        assert merged.total_days == serial.total_days
+        assert merged.finalize() == serial.finalize()
+
+    def test_merge_rejects_different_day_streams(self):
+        left = VerdictEngine(shard=ShardSpec.partition(2, "hash")[0])
+        right = VerdictEngine(shard=ShardSpec.partition(2, "hash")[1])
+        left.feed_day(detection(0))
+        with pytest.raises(ValueError, match="different day streams"):
+            left.merge(right)
+
+    def test_merge_rejects_overlapping_prefixes(self):
+        left = VerdictEngine()
+        right = VerdictEngine()
+        left.feed_day(detection(0, conflict("10.0.0.0/8", 1, 2)))
+        right.feed_day(detection(0, conflict("10.0.0.0/8", 1, 2)))
+        with pytest.raises(ValueError, match="overlapping"):
+            left.merge(right)
+
+    def test_merge_rejects_different_configs(self):
+        left = VerdictEngine(VerdictConfig(short_days=5))
+        right = VerdictEngine(VerdictConfig(short_days=9))
+        with pytest.raises(ValueError, match="configs"):
+            left.merge(right)

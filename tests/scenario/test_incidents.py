@@ -1,0 +1,292 @@
+"""Tests for the fault-injection scenario library."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.netbase.asn import is_private_asn
+from repro.netbase.prefix import Prefix
+from repro.scenario.archive import ArchiveReader
+from repro.scenario.incidents import (
+    IncidentKind,
+    IncidentLabel,
+    IncidentScript,
+    IncidentSpec,
+)
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.topology.ixp import IXP_BLOCK
+from repro.util.dates import StudyCalendar
+
+CALENDAR = StudyCalendar(
+    datetime.date(1997, 11, 8), datetime.date(1998, 2, 15)
+)  # 100 days
+
+ALL_KINDS = {kind.value for kind in IncidentKind}
+
+
+@pytest.fixture(scope="module")
+def canned_study(tmp_path_factory):
+    """A fully-observed 100-day world with the canned incident suite."""
+    directory = tmp_path_factory.mktemp("incidents") / "archive"
+    config = ScenarioConfig(
+        scale=0.02,
+        calendar=CALENDAR,
+        paper_archive_gaps=False,
+        incidents=IncidentScript.canned(CALENDAR.num_days),
+    )
+    summary = simulate_study(directory, config)
+    return directory, summary
+
+
+class TestScript:
+    def test_canned_covers_every_kind(self):
+        script = IncidentScript.canned(100)
+        kinds = {spec.kind for spec in script}
+        assert kinds == set(IncidentKind)
+
+    def test_add_is_immutable_and_composable(self):
+        base = IncidentScript()
+        grown = base.add(IncidentKind.EXACT_HIJACK, 10).add(
+            "anycast", 20, origin_count=6
+        )
+        assert len(base) == 0
+        assert len(grown) == 2
+        assert grown.specs[1].kind is IncidentKind.ANYCAST
+        assert grown.specs[1].origin_count == 6
+
+    def test_json_round_trip(self):
+        script = IncidentScript.canned(365)
+        assert IncidentScript.from_json(script.to_json()) == script
+
+    def test_from_spec_canned_and_file(self, tmp_path):
+        assert len(IncidentScript.from_spec("canned", num_days=100)) == 8
+        path = tmp_path / "script.json"
+        path.write_text(IncidentScript.canned(100).to_json())
+        assert IncidentScript.from_spec(
+            str(path), num_days=100
+        ) == IncidentScript.canned(100)
+        with pytest.raises(FileNotFoundError):
+            IncidentScript.from_spec("nope.json", num_days=100)
+
+    def test_from_json_rejects_label_files_and_junk(self):
+        # A ground-truth label file is a JSON *list*; scripts are
+        # objects with an "incidents" array.
+        with pytest.raises(ValueError, match="label file"):
+            IncidentScript.from_json('[{"kind": "exact_hijack"}]')
+        with pytest.raises(ValueError, match="incidents"):
+            IncidentScript.from_json('{"other": []}')
+        with pytest.raises(ValueError, match="array of incident-spec"):
+            IncidentScript.from_json('{"incidents": [3]}')
+
+    def test_from_dict_rejects_unknown_fields(self):
+        # Passing an incidents.json *label* row where a script spec
+        # belongs must fail with a clean message, not a TypeError.
+        row = {
+            "kind": "exact_hijack",
+            "prefix": "10.0.0.0/8",
+            "perpetrator": 666,
+        }
+        with pytest.raises(ValueError, match="unexpected fields"):
+            IncidentSpec.from_dict(row)
+        with pytest.raises(ValueError, match="missing its 'kind'"):
+            IncidentSpec.from_dict({"start_index": 3})
+
+    def test_from_dict_rejects_wrong_types_with_value_error(self):
+        with pytest.raises(ValueError, match="invalid incident spec"):
+            IncidentSpec.from_dict(
+                {"kind": "exact_hijack", "start_index": 5, "duration": "3"}
+            )
+
+    def test_out_of_window_spec_reported_unrealized(self, tmp_path):
+        calendar = StudyCalendar(
+            datetime.date(1997, 11, 8), datetime.date(1997, 12, 7)
+        )  # 30 days
+        script = IncidentScript().add(
+            IncidentKind.EXACT_HIJACK, 500, duration=2
+        )
+        summary = simulate_study(
+            tmp_path / "arch",
+            ScenarioConfig(
+                scale=0.01,
+                calendar=calendar,
+                paper_archive_gaps=False,
+                incidents=script,
+            ),
+        )
+        assert summary["incidents_injected"] == 0
+        assert summary["incidents_unrealized"] == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            IncidentSpec(IncidentKind.EXACT_HIJACK, start_index=-1)
+        with pytest.raises(ValueError):
+            IncidentSpec(IncidentKind.EXACT_HIJACK, 0, duration=0)
+        with pytest.raises(ValueError):
+            IncidentSpec(IncidentKind.FLAPPING_FAULT, 0, duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            IncidentScript.canned(5)
+
+    def test_duration_clamps_to_window(self):
+        spec = IncidentSpec(IncidentKind.PRIVATE_LEAK, 90, duration=60)
+        assert spec.resolved_duration(100) == 10
+        open_ended = IncidentSpec(IncidentKind.ANYCAST, 10)
+        assert open_ended.resolved_duration(100) == 90
+
+
+class TestInjection:
+    def test_every_kind_realized_and_labeled(self, canned_study):
+        directory, summary = canned_study
+        assert summary["incidents_unrealized"] == 0
+        labels = [
+            IncidentLabel.from_dict(row)
+            for row in ArchiveReader(directory).incident_labels()
+        ]
+        assert {label.kind.value for label in labels} == ALL_KINDS
+        assert summary["incidents_injected"] == len(labels)
+
+    def test_labels_are_well_formed(self, canned_study):
+        directory, _summary = canned_study
+        reader = ArchiveReader(directory)
+        assert reader.has_incidents()
+        labels = [
+            IncidentLabel.from_dict(row) for row in reader.incident_labels()
+        ]
+        prefixes = [label.prefix for label in labels]
+        assert len(set(prefixes)) == len(prefixes)  # one label per prefix
+        for label in labels:
+            assert 0 <= label.start_index <= label.end_index < CALENDAR.num_days
+            assert label.duration_days >= 1
+            if label.kind in (IncidentKind.ANYCAST, IncidentKind.IXP_CONFLICT):
+                assert label.perpetrator is None
+            else:
+                assert label.perpetrator is not None
+                assert label.perpetrator in label.origins
+            if label.kind is IncidentKind.PRIVATE_LEAK:
+                assert any(is_private_asn(asn) for asn in label.origins)
+            if label.kind is IncidentKind.ANYCAST:
+                assert len(label.origins) >= 4
+            if label.kind is IncidentKind.IXP_CONFLICT:
+                assert IXP_BLOCK.contains(label.prefix)
+
+    def test_moas_incidents_visible_in_detections(self, canned_study):
+        """Every MOAS-shaped incident surfaces in the conflict stream."""
+        from repro.analysis.sources import detections_from_archive
+
+        directory, _summary = canned_study
+        days_seen: dict[Prefix, int] = {}
+        for detection in detections_from_archive(directory):
+            for conflict in detection.conflicts:
+                days_seen[conflict.prefix] = (
+                    days_seen.get(conflict.prefix, 0) + 1
+                )
+        moas_kinds = {
+            IncidentKind.EXACT_HIJACK,
+            IncidentKind.PRIVATE_LEAK,
+            IncidentKind.ANYCAST,
+            IncidentKind.IXP_CONFLICT,
+            IncidentKind.FLAPPING_FAULT,
+        }
+        for row in ArchiveReader(directory).incident_labels():
+            label = IncidentLabel.from_dict(row)
+            if label.kind in moas_kinds:
+                assert days_seen.get(label.prefix, 0) >= 1, label
+
+    def test_subprefix_hijack_is_all_or_nothing(self, canned_study):
+        """Partial fragment realization must not report as success."""
+        directory, summary = canned_study
+        fragments = sum(
+            1
+            for row in ArchiveReader(directory).incident_labels()
+            if row["kind"] == "subprefix_hijack"
+        )
+        wanted = sum(
+            spec.count
+            for spec in IncidentScript.canned(CALENDAR.num_days)
+            if spec.kind is IncidentKind.SUBPREFIX_HIJACK
+        )
+        # Either every fragment was labeled or the spec went into the
+        # unrealized count — never a silently shrunk workload.
+        assert fragments == wanted or summary["incidents_unrealized"] > 0
+        assert fragments in (0, wanted)
+
+    def test_organic_events_avoid_incident_prefixes(self, canned_study):
+        """Incident labels stay the sole cause of their episodes."""
+        directory, _summary = canned_study
+        reader = ArchiveReader(directory)
+        incident_prefixes = {
+            row["prefix"] for row in reader.incident_labels()
+        }
+        organic_prefixes = {
+            event["prefix"]
+            for event in reader.ground_truth()
+            if event["cause"]
+            not in ("misconfig", "private_as", "exchange_point", "anycast")
+        }
+        # MOAS-shaped incidents do appear in the event log (under their
+        # mapped cause), but no *other* organic process may reuse an
+        # incident's prefix — even after the incident expires.
+        assert not (incident_prefixes & organic_prefixes)
+        # Stronger: each incident prefix has at most one event ever
+        # (its own), so the label is the episode's sole explanation.
+        from collections import Counter
+
+        counts = Counter(
+            event["prefix"] for event in reader.ground_truth()
+        )
+        for prefix in incident_prefixes:
+            assert counts[prefix] <= 1, prefix
+
+    def test_registry_incidents_are_registered(self, canned_study):
+        """Sub-prefix and aggregate shapes land in the prefix registry."""
+        directory, _summary = canned_study
+        reader = ArchiveReader(directory)
+        by_prefix = {entry.prefix: entry for entry in reader.registry}
+        for row in reader.incident_labels():
+            label = IncidentLabel.from_dict(row)
+            if label.kind in (
+                IncidentKind.SUBPREFIX_HIJACK,
+                IncidentKind.FAULTY_AGGREGATION,
+            ):
+                entry = by_prefix[label.prefix]
+                assert entry.owner == label.perpetrator
+                assert entry.created_day == label.start_index
+
+
+class TestDeterminism:
+    def test_same_seed_and_script_byte_identical(self, tmp_path):
+        """Seed + script fully determine archive bytes and labels."""
+        calendar = StudyCalendar(
+            datetime.date(1997, 11, 8), datetime.date(1998, 1, 6)
+        )  # 60 days, enough for the suite but fast
+        script = IncidentScript.canned(calendar.num_days)
+        config = ScenarioConfig(
+            scale=0.015,
+            calendar=calendar,
+            paper_archive_gaps=False,
+            incidents=script,
+        )
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        simulate_study(first, config)
+        simulate_study(second, config)
+        for name in (
+            "days.bin",
+            "registry.bin",
+            "paths.bin",
+            "incidents.json",
+            "ground_truth.json",
+        ):
+            assert (first / name).read_bytes() == (
+                second / name
+            ).read_bytes(), f"{name} differs between identical runs"
+
+    def test_label_round_trip_through_json(self, canned_study):
+        directory, _summary = canned_study
+        rows = ArchiveReader(directory).incident_labels()
+        for row in rows:
+            label = IncidentLabel.from_dict(row)
+            assert label.to_dict() == dict(row)
+        # And the file itself is plain JSON.
+        text = (directory / "incidents.json").read_text()
+        assert json.loads(text) == rows

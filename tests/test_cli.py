@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.cli import analyze_main, report_main, simulate_main
+from repro.api.cli import main
 
 
 @pytest.fixture(scope="module")
 def cli_archive(tmp_path_factory):
     directory = tmp_path_factory.mktemp("cli") / "archive"
-    code = simulate_main([str(directory), "--scale", "0.01"])
+    code = main(["simulate", str(directory), "--scale", "0.01"])
     assert code == 0
     return directory
 
@@ -20,7 +20,9 @@ class TestSimulate:
         assert (cli_archive / "registry.bin").exists()
 
     def test_summary_printed(self, capsys, tmp_path):
-        simulate_main([str(tmp_path / "a"), "--scale", "0.01", "--seed", "3"])
+        main(
+            ["simulate", str(tmp_path / "a"), "--scale", "0.01", "--seed", "3"]
+        )
         out = capsys.readouterr().out
         assert "observed_days: 1279" in out
 
@@ -28,7 +30,7 @@ class TestSimulate:
 class TestAnalyze:
     def test_produces_report_and_figures(self, cli_archive, tmp_path, capsys):
         out_dir = tmp_path / "analysis"
-        code = analyze_main([str(cli_archive), str(out_dir)])
+        code = main(["analyze", str(cli_archive), str(out_dir)])
         assert code == 0
         for name in (
             "figure1.csv",
@@ -46,13 +48,13 @@ class TestAnalyze:
 
     def test_report_roundtrip(self, cli_archive, tmp_path, capsys):
         out_dir = tmp_path / "analysis"
-        analyze_main([str(cli_archive), str(out_dir)])
+        main(["analyze", str(cli_archive), str(out_dir)])
         capsys.readouterr()
-        code = report_main([str(out_dir)])
+        code = main(["report", str(out_dir)])
         assert code == 0
         assert "MOAS study summary" in capsys.readouterr().out
 
     def test_report_missing_dir_fails(self, tmp_path, capsys):
-        code = report_main([str(tmp_path / "nonexistent")])
+        code = main(["report", str(tmp_path / "nonexistent")])
         assert code == 1
         assert "no report" in capsys.readouterr().err

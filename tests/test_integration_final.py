@@ -13,7 +13,7 @@ from repro.analysis.sources import (
     detections_from_archive,
     detections_from_mrt_files,
 )
-from repro.cli import simulate_main
+from repro.api.cli import main
 from repro.core.classifier import classify_conflict
 from repro.core.detector import DailyConflict
 from repro.netbase.prefix import Prefix
@@ -23,8 +23,9 @@ class TestCliMrtIntegration:
     def test_cli_mrt_export_feeds_mrt_pipeline(self, tmp_path):
         """An MRT day exported by the CLI parses through the MRT source."""
         archive = tmp_path / "archive"
-        code = simulate_main(
+        code = main(
             [
+                "simulate",
                 str(archive),
                 "--scale",
                 "0.01",
@@ -56,7 +57,7 @@ class TestCliMrtIntegration:
 class TestPipelineDeterminism:
     def test_identical_runs_identical_results(self, tmp_path):
         archive = tmp_path / "archive"
-        simulate_main([str(archive), "--scale", "0.01"])
+        main(["simulate", str(archive), "--scale", "0.01"])
         first = StudyPipeline().run(detections_from_archive(archive))
         second = StudyPipeline().run(detections_from_archive(archive))
         assert summary_json(first) == summary_json(second)

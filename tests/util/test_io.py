@@ -1,0 +1,56 @@
+"""Tests for crash-safe file writing."""
+
+import os
+
+import pytest
+
+from repro.util.io import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_creates_and_overwrites(self, tmp_path):
+        target = tmp_path / "data.json"
+        atomic_write_text(target, "first")
+        assert target.read_text() == "first"
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+
+    def test_no_temp_files_left_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "data.json", "payload")
+        assert [path.name for path in tmp_path.iterdir()] == ["data.json"]
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "data.json"
+        atomic_write_text(target, "intact")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, "torn")
+        assert target.read_text() == "intact"
+
+    def test_failed_replace_cleans_temp_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "data.json"
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError())
+        )
+        with pytest.raises(OSError):
+            atomic_write_text(target, "torn")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_interrupted_write_never_touches_target(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-write leaves the destination byte-identical."""
+        target = tmp_path / "data.json"
+        atomic_write_text(target, "x" * 4096)
+
+        def exploding_fsync(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_text(target, "y" * 10)
+        assert target.read_text() == "x" * 4096
