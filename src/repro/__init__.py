@@ -28,7 +28,7 @@ See README.md for install and quickstart, and CHANGES.md for the
 release history.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.netbase import ASPath, PeerId, Prefix, RibSnapshot, Route
 

@@ -6,10 +6,13 @@ delegate here, so their behavior (including report bytes) is identical
 by construction.
 
 - ``repro simulate ARCHIVE``: generate a synthetic Route Views archive
-  (``--workers`` parallelizes the optional MRT day dumps);
+  (``--workers`` parallelizes the optional MRT day dumps;
+  ``--archive-format v2`` writes the indexed binary day store);
 - ``repro analyze ARCHIVE OUT``: run the study and write every
   figure/table, with optional ``--checkpoint`` / ``--resume`` and
   parallel ``--workers`` / ``--shards``;
+- ``repro convert SRC DST``: re-encode an archive between day-store
+  formats (v1 <-> v2), atomically;
 - ``repro report OUT``: print a previously generated report;
 - ``repro evaluate ARCHIVE``: run the verdict engine over an archive
   and score its cause attribution against the archive's injected
@@ -75,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
     _add_analyze(sub)
+    _add_convert(sub)
     _add_report(sub)
     _add_evaluate(sub)
     _add_watch(sub)
@@ -117,6 +121,14 @@ def _add_simulate(sub) -> None:
         "evaluation suite) or a JSON incident-script file; ground "
         "truth lands in <archive>/incidents.json",
     )
+    parser.add_argument(
+        "--archive-format",
+        choices=("v1", "v2"),
+        default="v1",
+        help="day-store encoding: v1 (default, the original stream) "
+        "or v2 (indexed binary frames; faster to read, same study "
+        "results)",
+    )
     _add_workers_option(parser)
     parser.set_defaults(func=_run_simulate)
 
@@ -139,6 +151,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_peers=args.peers,
         incidents=incidents,
+        archive_format=args.archive_format,
     )
     export_days = {parse_date(text) for text in args.mrt_export}
     summary = simulate_study(
@@ -285,6 +298,58 @@ def write_analysis(
     report = "\n\n".join(sections)
     (out / "report.txt").write_text(report + "\n")
     return report
+
+
+# -- convert ------------------------------------------------------------------
+
+
+def _add_convert(sub) -> None:
+    parser = sub.add_parser(
+        "convert",
+        help="re-encode a CDS archive between day-store formats",
+        description="Re-encode a CDS archive's day store (v1 <-> v2). "
+        "The conversion is atomic: the destination appears only once "
+        "it is complete, so a corrupt source never leaves a "
+        "half-written archive behind.  Study results over the "
+        "converted archive are identical to the original.",
+    )
+    parser.add_argument("source", type=Path, help="existing archive")
+    parser.add_argument(
+        "destination", type=Path, help="output archive (must not exist)"
+    )
+    parser.add_argument(
+        "--to",
+        choices=("v1", "v2"),
+        default="v2",
+        dest="target_format",
+        help="target day-store format (default v2)",
+    )
+    parser.set_defaults(func=_run_convert)
+
+
+def _run_convert(args: argparse.Namespace) -> int:
+    from repro.scenario.archive import convert_archive
+
+    try:
+        summary = convert_archive(
+            args.source, args.destination, format=args.target_format
+        )
+    except (
+        FileNotFoundError,
+        FileExistsError,
+        ValueError,  # includes ArchiveError
+        OSError,
+        json.JSONDecodeError,
+    ) as error:
+        print(f"repro convert: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"converted {summary['source']} ({summary['source_format']}, "
+        f"{summary['num_days']} days, {summary['num_prefixes']} "
+        f"prefixes) -> {summary['destination']} "
+        f"({summary['target_format']})"
+    )
+    return 0
 
 
 # -- report -------------------------------------------------------------------

@@ -21,7 +21,9 @@ The session scales out in two independent directions:
   stored, shipped, or resumed independently.
 
 Results are identical for every ``workers``/``shards`` combination —
-the engine's core invariant.
+the engine's core invariant — and for both CDS archive day-store
+formats (v1 and v2; the reader auto-detects, see
+:mod:`repro.scenario.archive`).
 """
 
 from __future__ import annotations

@@ -79,10 +79,25 @@ class ArchiveSource:
 
     @property
     def manifest(self) -> dict:
-        """The archive's manifest (scale, seed, day count, ...)."""
-        from repro.scenario.archive import ArchiveReader
+        """The archive's manifest (scale, seed, day count, ...).
 
-        return ArchiveReader(self.directory).manifest
+        Read straight from ``manifest.json`` — constructing a reader
+        here would load the registry, path table, and (for v2 stores)
+        the whole footer just to answer a metadata question.
+        """
+        import json
+
+        with open(Path(self.directory) / "manifest.json") as handle:
+            return json.load(handle)
+
+    @property
+    def format(self) -> str:
+        """The archive's day-store format, ``"v1"`` or ``"v2"``.
+
+        Purely informational: detections, parallel partitioning, and
+        checkpoints behave identically on both (v2 just reads faster).
+        """
+        return "v2" if self.manifest.get("format") == "cds-2" else "v1"
 
     def detections(self) -> Iterator[DayDetection]:
         """Stream detections straight off the archive's day chunks."""

@@ -11,10 +11,13 @@ analysis pipeline consumes without any knowledge of how it was made.
 """
 
 from repro.scenario.archive import (
+    ArchiveError,
     ArchiveReader,
     ArchiveWriter,
     DayRecord,
     PeerRow,
+    convert_archive,
+    read_day_index,
 )
 from repro.scenario.calibration import Calibration, PAPER
 from repro.scenario.collector import CollectorConfig
@@ -31,10 +34,13 @@ from repro.scenario.timeline import StudyTimeline
 from repro.scenario.world import ScenarioConfig, ScenarioWorld, simulate_study
 
 __all__ = [
+    "ArchiveError",
     "ArchiveReader",
     "ArchiveWriter",
     "DayRecord",
     "PeerRow",
+    "convert_archive",
+    "read_day_index",
     "Calibration",
     "PAPER",
     "CollectorConfig",

@@ -1,4 +1,4 @@
-"""The compact daily-snapshot (CDS) archive format.
+"""The compact daily-snapshot (CDS) archive format, versions 1 and 2.
 
 The real study consumed ~1279 daily MRT table dumps.  Storing full
 per-peer tables for a multi-year synthetic study would be billions of
@@ -14,6 +14,26 @@ a sparse form:
   count, the active collector peers, and one row per (event-touched
   prefix x peer) giving that peer's chosen origin and path.
 
+Two day-store encodings coexist behind one reader/writer API,
+auto-detected by the magic bytes at the head of ``days.bin``:
+
+- **v1** (magic ``CDS1``): fixed-width struct rows, streamed head to
+  tail.  Positioning ``iter_days(start, ...)`` scans and seeks over
+  every earlier chunk.  v1 stays readable forever.
+- **v2** (magic ``CDS2``): per-day *framed* records — length-prefixed,
+  CRC-checked frame bodies holding varint-encoded day metadata plus
+  references into interned tables (ASNs, active-peer sets, and
+  row *groups*: the per-prefix row runs that repeat day after day
+  while an event is live) — followed by a footer holding those tables,
+  a fixed-width day → byte-offset index, and a checksummed trailer.
+  The reader maps the file with :mod:`mmap`; ``iter_days(start, stop)``
+  is O(1) to position and each interned row group is decoded exactly
+  once per reader, which is what makes the v2 full-study read path
+  several times faster than v1 (see ``benchmarks/bench_archive.py``).
+
+``registry.bin`` and ``paths.bin`` are byte-identical across formats;
+:func:`convert_archive` migrates whole archives either way, atomically.
+
 The analysis pipeline treats this as its raw input and never sees the
 generator's event bookkeeping; ``ground_truth.json`` (written beside the
 archive for benchmark validation) is consumed only by benches.
@@ -23,16 +43,33 @@ MRT tooling.
 
 from __future__ import annotations
 
+import bisect
 import datetime
+import itertools
 import json
+import mmap
+import os
+import shutil
 import struct
+import zlib
 from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path as FsPath
 
 from repro.netbase.prefix import Prefix
+from repro.util.varint import append_uvarint, decode_uvarint
 
 MAGIC = b"CDS1"
+MAGIC_V2 = b"CDS2"
+
+#: Trailer at the very end of a v2 ``days.bin``: footer start, index
+#: start, day count, CRC-32 of everything between footer start and the
+#: trailer, and the end magic proving the file was finalized.
+_TRAILER = struct.Struct("<QQII8s")
+_END_MAGIC = b"CDS2.IDX"
+
+#: v2 frame header: body length, CRC-32 of the body.
+_FRAME_HEADER = struct.Struct("<II")
 
 _REGISTRY_ROW = struct.Struct("<IBIHB")  # network, length, owner, day, flags
 _DAY_HEADER = struct.Struct("<IIHI")  # day_index, alive, n_peers, n_rows
@@ -41,6 +78,24 @@ _U32 = struct.Struct("<I")
 
 FLAG_AS_SET_TAIL = 0x01
 FLAG_EXCHANGE_POINT = 0x02
+
+#: ``manifest.json`` format names, by writer format axis.
+_FORMAT_NAMES = {"v1": "cds-1", "v2": "cds-2"}
+
+#: AS paths are interned behind a one-byte length in both formats.
+MAX_PATH_LENGTH = 255
+
+
+class ArchiveError(ValueError):
+    """A CDS archive is corrupt, truncated, or not an archive at all.
+
+    Subclasses :class:`ValueError` so pre-existing callers (and the
+    CLI's error handling) keep working; every decode-path failure —
+    bad magic, torn frame, checksum mismatch, index pointing outside
+    the file — raises this instead of crashing with a low-level
+    ``struct.error`` / ``IndexError`` or silently returning partial
+    data.
+    """
 
 
 @dataclass(frozen=True)
@@ -83,19 +138,38 @@ class RegistryEntry:
 
 
 class ArchiveWriter:
-    """Builds a CDS archive directory incrementally."""
+    """Builds a CDS archive directory incrementally.
 
-    def __init__(self, directory: FsPath | str) -> None:
+    ``format`` selects the day-store encoding: ``"v1"`` (the original
+    fixed-width stream, the default for compatibility) or ``"v2"`` (the
+    indexed, interned, framed store).  The registry/path-table API and
+    the resulting ``registry.bin`` / ``paths.bin`` bytes are identical
+    either way.
+    """
+
+    def __init__(self, directory: FsPath | str, *, format: str = "v1") -> None:
+        if format not in _FORMAT_NAMES:
+            raise ValueError(
+                f"unknown archive format {format!r}; expected 'v1' or 'v2'"
+            )
         self.directory = FsPath(directory)
+        self.format = format
         self.directory.mkdir(parents=True, exist_ok=True)
         self._registry: list[RegistryEntry] = []
         self._prefix_ids: dict[Prefix, int] = {}
         self._paths: list[tuple[int, ...]] = []
         self._path_ids: dict[tuple[int, ...], int] = {}
         self._days_file = open(self.directory / "days.bin", "wb")
-        self._days_file.write(MAGIC)
+        self._days_file.write(MAGIC if format == "v1" else MAGIC_V2)
         self._num_days = 0
         self._finalized = False
+        # v2 intern state: frames reference these tables by id; the
+        # tables themselves land in the footer at finalize time.
+        self._day_offsets: list[int] = []
+        self._peersets: list[tuple[int, ...]] = []
+        self._peerset_ids: dict[tuple[int, ...], int] = {}
+        self._groups: list[tuple[PeerRow, ...]] = []
+        self._group_ids: dict[tuple[PeerRow, ...], int] = {}
 
     # -- registry -------------------------------------------------------
 
@@ -144,8 +218,14 @@ class ArchiveWriter:
 
     def intern_path(self, path: tuple[int, ...]) -> int:
         """Deduplicate an AS path; returns its table id."""
-        if path in self._path_ids:
-            return self._path_ids[path]
+        existing = self._path_ids.get(path)
+        if existing is not None:
+            return existing
+        if len(path) > MAX_PATH_LENGTH:
+            raise ValueError(
+                f"AS path of length {len(path)} exceeds the table "
+                f"maximum of {MAX_PATH_LENGTH}"
+            )
         path_id = len(self._paths)
         self._paths.append(path)
         self._path_ids[path] = path_id
@@ -162,6 +242,13 @@ class ArchiveWriter:
                 f"alive_count {record.alive_count} exceeds registry size "
                 f"{len(self._registry)}"
             )
+        if self.format == "v2":
+            self._write_day_v2(record)
+        else:
+            self._write_day_v1(record)
+        self._num_days += 1
+
+    def _write_day_v1(self, record: DayRecord) -> None:
         out = self._days_file
         out.write(
             _DAY_HEADER.pack(
@@ -177,7 +264,57 @@ class ArchiveWriter:
             out.write(
                 _ROW.pack(row.prefix_id, row.peer_asn, row.origin, row.path_id)
             )
-        self._num_days += 1
+
+    def _write_day_v2(self, record: DayRecord) -> None:
+        body = bytearray()
+        append_uvarint(body, record.day_index)
+        append_uvarint(body, record.alive_count)
+        append_uvarint(body, self._intern_peerset(tuple(record.active_peers)))
+        group_ids = self._intern_row_groups(record.rows)
+        append_uvarint(body, len(group_ids))
+        for group_id in group_ids:
+            append_uvarint(body, group_id)
+        out = self._days_file
+        self._day_offsets.append(out.tell())
+        out.write(_FRAME_HEADER.pack(len(body), zlib.crc32(body)))
+        out.write(body)
+
+    def _intern_peerset(self, peers: tuple[int, ...]) -> int:
+        existing = self._peerset_ids.get(peers)
+        if existing is not None:
+            return existing
+        peerset_id = len(self._peersets)
+        self._peersets.append(peers)
+        self._peerset_ids[peers] = peerset_id
+        return peerset_id
+
+    def _intern_row_groups(
+        self, rows: tuple[PeerRow, ...]
+    ) -> list[int]:
+        """Split ``rows`` into per-prefix runs and intern each run.
+
+        Rows for one event-touched prefix are contiguous, and the same
+        run recurs on every day the event stays live with the same peer
+        set — so interning runs stores (and later decodes) each one
+        exactly once no matter how many days reference it.
+        """
+        group_ids: list[int] = []
+        index = 0
+        total = len(rows)
+        while index < total:
+            stop = index + 1
+            prefix_id = rows[index].prefix_id
+            while stop < total and rows[stop].prefix_id == prefix_id:
+                stop += 1
+            run = tuple(rows[index:stop])
+            group_id = self._group_ids.get(run)
+            if group_id is None:
+                group_id = len(self._groups)
+                self._groups.append(run)
+                self._group_ids[run] = group_id
+            group_ids.append(group_id)
+            index = stop
+        return group_ids
 
     # -- finalization -----------------------------------------------------
 
@@ -185,6 +322,8 @@ class ArchiveWriter:
         """Write registry, paths and manifest; close the day stream."""
         if self._finalized:
             return
+        if self.format == "v2":
+            self._finalize_days_v2()
         self._days_file.close()
         with open(self.directory / "registry.bin", "wb") as registry:
             registry.write(MAGIC)
@@ -205,7 +344,7 @@ class ArchiveWriter:
                 for asn in path:
                     paths.write(_U32.pack(asn))
         manifest = {
-            "format": "cds-1",
+            "format": _FORMAT_NAMES[self.format],
             "num_prefixes": len(self._registry),
             "num_paths": len(self._paths),
             "num_days": self._num_days,
@@ -214,6 +353,67 @@ class ArchiveWriter:
         with open(self.directory / "manifest.json", "w") as handle:
             json.dump(manifest, handle, indent=2, default=str)
         self._finalized = True
+
+    def _finalize_days_v2(self) -> None:
+        """Append the v2 footer: interned tables, day index, trailer."""
+        out = self._days_file
+        footer_start = out.tell()
+
+        asns: list[int] = []
+        asn_ids: dict[int, int] = {}
+
+        def intern_asn(asn: int) -> int:
+            existing = asn_ids.get(asn)
+            if existing is not None:
+                return existing
+            asn_id = len(asns)
+            asns.append(asn)
+            asn_ids[asn] = asn_id
+            return asn_id
+
+        blob = bytearray()
+        # The ASN table is referenced by both the peer sets and the row
+        # groups, so assign ids in one deterministic sweep first.
+        for peers in self._peersets:
+            for asn in peers:
+                intern_asn(asn)
+        for group in self._groups:
+            for row in group:
+                intern_asn(row.peer_asn)
+                intern_asn(row.origin)
+        append_uvarint(blob, len(asns))
+        for asn in asns:
+            append_uvarint(blob, asn)
+        append_uvarint(blob, len(self._peersets))
+        for peers in self._peersets:
+            append_uvarint(blob, len(peers))
+            for asn in peers:
+                append_uvarint(blob, asn_ids[asn])
+        append_uvarint(blob, len(self._groups))
+        for group in self._groups:
+            append_uvarint(blob, len(group))
+            for row in group:
+                append_uvarint(blob, row.prefix_id)
+                append_uvarint(blob, asn_ids[row.peer_asn])
+                append_uvarint(blob, asn_ids[row.origin])
+                append_uvarint(blob, row.path_id)
+        out.write(blob)
+
+        index_start = footer_start + len(blob)
+        index = struct.pack(
+            f"<{len(self._day_offsets)}Q", *self._day_offsets
+        )
+        out.write(index)
+        footer_crc = zlib.crc32(index, zlib.crc32(blob))
+        out.write(
+            _TRAILER.pack(
+                footer_start,
+                index_start,
+                len(self._day_offsets),
+                footer_crc,
+                _END_MAGIC,
+            )
+        )
 
     def write_ground_truth(self, events: list[dict]) -> None:
         """Persist generator bookkeeping for benchmark validation only."""
@@ -230,8 +430,283 @@ class ArchiveWriter:
             json.dump(labels, handle, default=str)
 
 
+def _parse_trailer(raw_trailer: bytes, size: int) -> tuple[int, int, int, int]:
+    """Validate a v2 trailer; returns (footer, index, days, crc).
+
+    ``size`` is the whole day store's byte length.  Shared by the mmap
+    reader and :func:`read_day_index` so the coordinator and the
+    workers can never disagree about what a well-formed trailer is.
+    """
+    (
+        footer_start,
+        index_start,
+        num_days,
+        footer_crc,
+        end_magic,
+    ) = _TRAILER.unpack(raw_trailer)
+    if end_magic != _END_MAGIC:
+        raise ArchiveError(
+            "v2 day store footer missing or truncated (bad end magic)"
+        )
+    trailer_start = size - _TRAILER.size
+    if not 4 <= footer_start <= index_start <= trailer_start:
+        raise ArchiveError("v2 footer bounds are out of order")
+    if index_start + 8 * num_days != trailer_start:
+        raise ArchiveError(
+            f"v2 day index truncated: {num_days} days do not fit "
+            f"between index start and trailer"
+        )
+    return footer_start, index_start, num_days, footer_crc
+
+
+class _V2DayStore:
+    """mmap-backed decoder for a v2 ``days.bin``.
+
+    Parses the trailer, validates the footer checksum, and decodes the
+    interned ASN / peer-set / row-group tables once up front; frames
+    are then decoded on demand by byte offset, so positioning anywhere
+    in the archive is O(1) and row groups shared across days cost one
+    decode total.
+    """
+
+    def __init__(self, path: FsPath, reader: "ArchiveReader") -> None:
+        self._reader = reader
+        self._file = open(path, "rb")
+        try:
+            self._map = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (OSError, ValueError) as error:
+            self._file.close()
+            raise ArchiveError(f"cannot map v2 day store: {error}") from error
+        try:
+            self._parse_footer()
+        except ArchiveError:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        try:
+            self._map.close()
+        except BufferError:
+            # A traceback in flight can still hold a memoryview into
+            # the map (e.g. the frame that failed its checksum); the
+            # mapping is released when that last view is collected.
+            pass
+        self._file.close()
+
+    # -- footer -----------------------------------------------------------
+
+    def _parse_footer(self) -> None:
+        buf = self._map
+        size = len(buf)
+        if size < len(MAGIC_V2) + _TRAILER.size:
+            raise ArchiveError(
+                "v2 day store truncated: no room for the footer trailer"
+            )
+        trailer_start = size - _TRAILER.size
+        footer_start, index_start, num_days, footer_crc = _parse_trailer(
+            buf[trailer_start:], size
+        )
+        if zlib.crc32(memoryview(buf)[footer_start:trailer_start]) != (
+            footer_crc
+        ):
+            raise ArchiveError("v2 footer checksum mismatch")
+        self.frames_end = footer_start
+        self.num_days = num_days
+        self.offsets: list[int] = list(
+            struct.unpack_from(f"<{num_days}Q", buf, index_start)
+        )
+        try:
+            self._decode_tables(
+                memoryview(buf)[footer_start:index_start]
+            )
+        except (ValueError, IndexError) as error:
+            if isinstance(error, ArchiveError):
+                raise
+            raise ArchiveError(
+                f"v2 footer tables are corrupt: {error}"
+            ) from error
+
+    def _decode_tables(self, blob: memoryview) -> None:
+        # The group table carries four varints per archived row — the
+        # whole footer is hundreds of thousands of values at scale —
+        # so the varint decode is inlined here (byte fetch + shift)
+        # rather than paying a function call per field, mirroring the
+        # other hot-loop inlines in this codebase.  Truncation shows
+        # up as IndexError, which the caller maps to ArchiveError.
+        data = bytes(blob)
+        pos = 0
+
+        def read_count() -> int:
+            nonlocal pos
+            value, pos = decode_uvarint(data, pos)
+            return value
+
+        asns: list[int] = []
+        for _ in range(read_count()):
+            byte = data[pos]
+            pos += 1
+            if byte < 0x80:
+                value = byte
+            else:
+                value = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[pos]
+                    pos += 1
+                    value |= (byte & 0x7F) << shift
+                    if byte < 0x80:
+                        break
+                    shift += 7
+                    if shift > 63:  # decode_uvarint's overlong cap
+                        raise ValueError("overlong varint")
+            asns.append(value)
+        self._peersets: list[tuple[int, ...]] = []
+        for _ in range(read_count()):
+            width = read_count()
+            peers = []
+            for _ in range(width):
+                asn_id, pos = decode_uvarint(data, pos)
+                peers.append(asns[asn_id])
+            self._peersets.append(tuple(peers))
+        self._groups: list[tuple[PeerRow, ...]] = []
+        for _ in range(read_count()):
+            width = read_count()
+            rows = []
+            fields = [0, 0, 0, 0]
+            for _ in range(width):
+                for slot in range(4):
+                    byte = data[pos]
+                    pos += 1
+                    if byte < 0x80:
+                        fields[slot] = byte
+                        continue
+                    value = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        value |= (byte & 0x7F) << shift
+                        if byte < 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:  # decode_uvarint's overlong cap
+                            raise ValueError("overlong varint")
+                    fields[slot] = value
+                rows.append(
+                    PeerRow(
+                        fields[0], asns[fields[1]], asns[fields[2]], fields[3]
+                    )
+                )
+            self._groups.append(tuple(rows))
+        if pos != len(data):
+            raise ArchiveError(
+                f"v2 footer has {len(data) - pos} trailing bytes"
+            )
+
+    # -- frames -----------------------------------------------------------
+
+    def decode_frame(self, ordinal: int) -> DayRecord:
+        offset = self.offsets[ordinal]
+        buf = self._map
+        if offset < 4 or offset + _FRAME_HEADER.size > self.frames_end:
+            raise ArchiveError(
+                f"day {ordinal}: index offset {offset} points outside "
+                f"the day store"
+            )
+        body_len, body_crc = _FRAME_HEADER.unpack_from(buf, offset)
+        body_start = offset + _FRAME_HEADER.size
+        body_end = body_start + body_len
+        if body_end > self.frames_end:
+            raise ArchiveError(
+                f"day {ordinal}: frame overruns the day store"
+            )
+        body = buf[body_start:body_end]  # mmap slice -> bytes
+        if zlib.crc32(body) != body_crc:
+            raise ArchiveError(
+                f"day {ordinal}: frame checksum mismatch (corrupt frame)"
+            )
+        try:
+            pos = 0
+            day_index, pos = decode_uvarint(body, pos)
+            alive, pos = decode_uvarint(body, pos)
+            peerset_id, pos = decode_uvarint(body, pos)
+            n_groups, pos = decode_uvarint(body, pos)
+            groups = self._groups
+            if n_groups == 0:
+                rows: tuple[PeerRow, ...] = ()
+            elif n_groups == 1:
+                group_id, pos = decode_uvarint(body, pos)
+                rows = groups[group_id]
+            else:
+                # Group ids are the bulk of every frame; decode them
+                # with the varint loop inlined (the same hot-loop
+                # treatment as the footer tables).
+                parts = []
+                for _ in range(n_groups):
+                    byte = body[pos]
+                    pos += 1
+                    if byte < 0x80:
+                        group_id = byte
+                    else:
+                        group_id = byte & 0x7F
+                        shift = 7
+                        while True:
+                            byte = body[pos]
+                            pos += 1
+                            group_id |= (byte & 0x7F) << shift
+                            if byte < 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:  # decode_uvarint's cap
+                                raise ValueError("overlong varint")
+                    parts.append(groups[group_id])
+                rows = tuple(itertools.chain.from_iterable(parts))
+            peers = self._peersets[peerset_id]
+        except (ValueError, IndexError) as error:
+            raise ArchiveError(
+                f"day {ordinal}: frame body is corrupt: {error}"
+            ) from error
+        if pos != body_len:
+            raise ArchiveError(
+                f"day {ordinal}: frame body has {body_len - pos} "
+                f"trailing bytes"
+            )
+        return DayRecord(
+            day=self._reader.date_of_index(day_index),
+            day_index=day_index,
+            alive_count=alive,
+            active_peers=peers,
+            rows=rows,
+        )
+
+    def iter_days(
+        self, start: int, stop: int | None
+    ) -> Iterator[DayRecord]:
+        stop = self.num_days if stop is None else min(stop, self.num_days)
+        for ordinal in range(start, stop):
+            yield self.decode_frame(ordinal)
+
+    def iter_days_at(
+        self, start_offset: int, stop_offset: int
+    ) -> Iterator[DayRecord]:
+        """Decode the frames whose offsets lie in ``[start, stop)``."""
+        first = bisect.bisect_left(self.offsets, start_offset)
+        for ordinal in range(first, self.num_days):
+            if self.offsets[ordinal] >= stop_offset:
+                return
+            yield self.decode_frame(ordinal)
+
+
 class ArchiveReader:
-    """Streams a CDS archive back as :class:`DayRecord` objects."""
+    """Streams a CDS archive back as :class:`DayRecord` objects.
+
+    The day-store format (v1 or v2) is auto-detected from the magic
+    bytes of ``days.bin``; everything downstream — ``iter_days``,
+    detection, parallel workers, checkpoints — behaves identically on
+    both.
+    """
 
     def __init__(self, directory: FsPath | str) -> None:
         self.directory = FsPath(directory)
@@ -246,12 +721,42 @@ class ArchiveReader:
         #: Cached per-shard cumulative registry profiles (see
         #: :meth:`shard_profile`), keyed by the shard spec (None = all).
         self._shard_profiles: dict[object, tuple[list[int], list[int]]] = {}
+        self._days_path = self.directory / "days.bin"
+        with open(self._days_path, "rb") as handle:
+            self._days_magic = handle.read(len(MAGIC))
+        # Unknown magic defers to iter_days so a reader over a corrupt
+        # archive can still serve registry/path lookups (v1 behavior).
+        self._v2: _V2DayStore | None = None
+        if self._days_magic == MAGIC_V2:
+            self._v2 = _V2DayStore(self._days_path, self)
+            if self._v2.num_days != self.num_days:
+                count = self._v2.num_days
+                self._v2.close()
+                self._v2 = None
+                raise ArchiveError(
+                    f"day store holds {count} day(s); "
+                    f"manifest says {self.num_days}"
+                )
+
+    @property
+    def format(self) -> str:
+        """The day-store format behind this reader: ``"v1"``/``"v2"``."""
+        return "v2" if self._v2 is not None else "v1"
+
+    def close(self) -> None:
+        """Release the v2 day-store mapping (no-op for v1 readers)."""
+        if self._v2 is not None:
+            self._v2.close()
+            self._v2 = None
+            self._days_magic = b""
 
     def _load_registry(self) -> list[RegistryEntry]:
         entries: list[RegistryEntry] = []
         raw = (self.directory / "registry.bin").read_bytes()
         if raw[:4] != MAGIC:
-            raise ValueError("bad registry magic")
+            raise ArchiveError("bad registry magic")
+        if (len(raw) - 4) % _REGISTRY_ROW.size:
+            raise ArchiveError("registry is truncated mid-row")
         for network, length, owner, day, flags in _REGISTRY_ROW.iter_unpack(
             raw[4:]
         ):
@@ -266,11 +771,13 @@ class ArchiveReader:
         paths: list[tuple[int, ...]] = []
         raw = (self.directory / "paths.bin").read_bytes()
         if raw[:4] != MAGIC:
-            raise ValueError("bad paths magic")
+            raise ArchiveError("bad paths magic")
         offset = 4
         while offset < len(raw):
             count = raw[offset]
             offset += 1
+            if offset + 4 * count > len(raw):
+                raise ArchiveError("path table is truncated mid-path")
             asns = struct.unpack_from(f"<{count}I", raw, offset)
             offset += 4 * count
             paths.append(tuple(asns))
@@ -305,31 +812,60 @@ class ArchiveReader:
 
         ``start``/``stop`` select a half-open range of *observed-day
         ordinals* (not calendar day indices): record number ``start``
-        up to but excluding ``stop``.  Skipped records are seeked over
-        without parsing their peer/row payloads, which is what lets
-        parallel workers each decode only their own chunk of the
-        archive.
+        up to but excluding ``stop``.  On a v1 store skipped records
+        are seeked over without parsing their peer/row payloads; on a
+        v2 store the footer index positions the cursor directly —
+        O(1) — which is what lets parallel workers each decode only
+        their own chunk of the archive.
         """
         if start < 0:
             raise ValueError(f"start must be >= 0, got {start}")
-        with open(self.directory / "days.bin", "rb") as handle:
+        if self._v2 is not None:
+            yield from self._v2.iter_days(start, stop)
+            return
+        yield from self._iter_days_v1(start, stop)
+
+    def _iter_days_v1(
+        self, start: int, stop: int | None
+    ) -> Iterator[DayRecord]:
+        expected_days = self.num_days
+        with open(self._days_path, "rb") as handle:
             if handle.read(4) != MAGIC:
-                raise ValueError("bad days magic")
+                raise ArchiveError("bad days magic")
             ordinal = 0
             while stop is None or ordinal < stop:
                 header = handle.read(_DAY_HEADER.size)
                 if not header:
+                    # Clean EOF is only the end of the archive when the
+                    # manifest agrees; a store truncated exactly at a
+                    # record boundary must not pass for a shorter one.
+                    if ordinal < expected_days:
+                        raise ArchiveError(
+                            f"day store ends after {ordinal} record(s); "
+                            f"manifest says {expected_days}"
+                        )
                     return
+                if len(header) < _DAY_HEADER.size:
+                    raise ArchiveError(
+                        f"day {ordinal}: truncated day header"
+                    )
                 day_index, alive, n_peers, n_rows = _DAY_HEADER.unpack(header)
                 payload = 4 * n_peers + _ROW.size * n_rows
                 if ordinal < start:
                     handle.seek(payload, 1)
                     ordinal += 1
                     continue
-                peers = struct.unpack(
-                    f"<{n_peers}I", handle.read(4 * n_peers)
-                )
+                peers_raw = handle.read(4 * n_peers)
+                if len(peers_raw) < 4 * n_peers:
+                    raise ArchiveError(
+                        f"day {ordinal}: truncated peer list"
+                    )
+                peers = struct.unpack(f"<{n_peers}I", peers_raw)
                 rows_raw = handle.read(_ROW.size * n_rows)
+                if len(rows_raw) < _ROW.size * n_rows:
+                    raise ArchiveError(
+                        f"day {ordinal}: truncated row block"
+                    )
                 rows = tuple(
                     PeerRow(*fields) for fields in _ROW.iter_unpack(rows_raw)
                 )
@@ -341,6 +877,28 @@ class ArchiveReader:
                     active_peers=peers,
                     rows=rows,
                 )
+
+    def iter_days_at(
+        self, start_offset: int, stop_offset: int
+    ) -> Iterator[DayRecord]:
+        """Decode the v2 frames in byte range ``[start, stop)``.
+
+        The offset-range flavor of :meth:`iter_days`, consumed by the
+        parallel executor's work units (offsets come from
+        :func:`read_day_index`).  v1 stores have no byte index —
+        :class:`ArchiveError`.
+        """
+        if self._v2 is None:
+            raise ArchiveError(
+                "byte-offset iteration requires a v2 day store"
+            )
+        return self._v2.iter_days_at(start_offset, stop_offset)
+
+    def day_offsets(self) -> tuple[int, ...]:
+        """Byte offset of every day frame in a v2 store (index order)."""
+        if self._v2 is None:
+            raise ArchiveError("day offsets require a v2 day store")
+        return tuple(self._v2.offsets)
 
     def shard_profile(self, shard=None) -> tuple[list[int], list[int]]:
         """Cumulative registry counts for one shard (or the whole space).
@@ -387,3 +945,142 @@ class ArchiveReader:
         """Injected-incident ground truth rows (see ``write_incidents``)."""
         with open(self.directory / "incidents.json") as handle:
             return json.load(handle)
+
+
+def read_day_index(directory: FsPath | str) -> tuple[list[int], int]:
+    """The v2 day index of an archive: ``(frame offsets, frames end)``.
+
+    Reads only the trailer and the fixed-width index — not the interned
+    tables, not the frames — so task partitioning can hand workers
+    byte-offset ranges without the coordinator decoding anything.
+    Frame ``k`` occupies ``[offsets[k], offsets[k+1])`` (the last one
+    ends at ``frames_end``); workers re-validate frame checksums when
+    they decode.  :class:`ArchiveError` if the store is not v2 or its
+    index is damaged.
+    """
+    path = FsPath(directory) / "days.bin"
+    with open(path, "rb") as handle:
+        if handle.read(len(MAGIC_V2)) != MAGIC_V2:
+            raise ArchiveError(f"{path} is not a v2 day store")
+        size = handle.seek(0, os.SEEK_END)
+        if size < len(MAGIC_V2) + _TRAILER.size:
+            raise ArchiveError(
+                "v2 day store truncated: no room for the footer trailer"
+            )
+        trailer_start = size - _TRAILER.size
+        handle.seek(trailer_start)
+        footer_start, index_start, num_days, _footer_crc = _parse_trailer(
+            handle.read(_TRAILER.size), size
+        )
+        handle.seek(index_start)
+        raw = handle.read(8 * num_days)
+        if len(raw) < 8 * num_days:
+            raise ArchiveError("v2 day index truncated")
+        offsets = list(struct.unpack(f"<{num_days}Q", raw))
+    return offsets, footer_start
+
+
+#: Manifest keys recomputed by every writer; everything else is carried
+#: over verbatim when converting between formats.
+_WRITER_MANIFEST_KEYS = ("format", "num_prefixes", "num_paths", "num_days")
+
+#: Ground-truth side files copied verbatim by :func:`convert_archive`.
+_SIDE_FILES = ("ground_truth.json", "incidents.json")
+
+
+def reencode_archive(
+    reader: ArchiveReader,
+    writer: ArchiveWriter,
+    records=None,
+) -> None:
+    """Stream ``reader``'s whole world into ``writer`` and finalize it.
+
+    Registry ids, path-table ids, day records and manifest extras are
+    preserved exactly; the writer's ``format`` decides the day-store
+    encoding.  ``records`` optionally supplies pre-materialized day
+    records (the benchmarks use this to time pure writes).  Shared by
+    :func:`convert_archive` and ``benchmarks/bench_archive.py`` so the
+    two can never drift on what "the same archive" means.
+    """
+    for entry in reader.registry:
+        writer.register_prefix(
+            entry.prefix,
+            entry.owner,
+            entry.created_day,
+            flags=entry.flags,
+        )
+    for path in reader.paths:
+        writer.intern_path(path)
+    for record in reader.iter_days() if records is None else records:
+        writer.write_day(record)
+    extras = {
+        key: value
+        for key, value in reader.manifest.items()
+        if key not in _WRITER_MANIFEST_KEYS
+    }
+    writer.finalize(extras)
+
+
+def convert_archive(
+    source: FsPath | str,
+    destination: FsPath | str,
+    *,
+    format: str = "v2",
+) -> dict:
+    """Re-encode a CDS archive into ``format`` (``"v1"`` or ``"v2"``).
+
+    Reads every day record from ``source`` and writes an equivalent
+    archive at ``destination``: registry, path table, manifest extras,
+    the ground-truth side files and any exported ``mrt/`` day dumps
+    carry over unchanged (a ``v1`` → ``v1`` conversion is
+    byte-identical), only the day-store encoding differs.  The conversion is **atomic**: everything is built in a
+    hidden temporary directory beside the destination and renamed into
+    place only once complete, so a corrupt source — or a crash mid-way
+    — can never leave a half-written archive behind.
+
+    Returns a summary dict (source/target formats and counts).
+    Raises :class:`ArchiveError` on corrupt input,
+    :class:`FileExistsError` if ``destination`` already exists.
+    """
+    if format not in _FORMAT_NAMES:
+        raise ValueError(
+            f"unknown archive format {format!r}; expected 'v1' or 'v2'"
+        )
+    source = FsPath(source)
+    destination = FsPath(destination)
+    if destination.exists():
+        raise FileExistsError(
+            f"destination {destination} already exists; refusing to "
+            f"overwrite an archive"
+        )
+    reader = ArchiveReader(source)
+    source_format = reader.format
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    staging = destination.parent / (
+        f".{destination.name}.converting-{os.getpid()}"
+    )
+    if staging.exists():
+        shutil.rmtree(staging)
+    try:
+        writer = ArchiveWriter(staging, format=format)
+        reencode_archive(reader, writer)
+        for name in _SIDE_FILES:
+            if (source / name).is_file():
+                shutil.copyfile(source / name, staging / name)
+        if (source / "mrt").is_dir():
+            # Exported MRT day dumps ride along with the archive.
+            shutil.copytree(source / "mrt", staging / "mrt")
+        os.rename(staging, destination)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    finally:
+        reader.close()
+    return {
+        "source": str(source),
+        "destination": str(destination),
+        "source_format": source_format,
+        "target_format": format,
+        "num_days": reader.num_days,
+        "num_prefixes": reader.num_prefixes,
+    }

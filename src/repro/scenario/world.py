@@ -55,6 +55,11 @@ class ScenarioConfig:
     #: event processes (see :mod:`repro.scenario.incidents`); their
     #: ground truth is written beside the archive as ``incidents.json``.
     incidents: "IncidentScript | None" = None
+    #: Day-store encoding written by the collector: ``"v1"`` (the
+    #: original stream, default) or ``"v2"`` (indexed/framed; see
+    #: :mod:`repro.scenario.archive`).  The decoded records — and
+    #: therefore every study result — are identical either way.
+    archive_format: str = "v1"
 
     def topology_config(self) -> TopologyConfig:
         """The topology configuration at this scenario's scale."""
@@ -199,7 +204,9 @@ class ScenarioWorld:
 
         mrt_export_days = mrt_export_days or set()
         workers = resolve_workers(workers)
-        writer = ArchiveWriter(archive_dir)
+        writer = ArchiveWriter(
+            archive_dir, format=self.config.archive_format
+        )
         self._register_initial_prefixes(writer)
 
         first_peers = list(self.collector.active_peers(0))

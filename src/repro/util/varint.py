@@ -1,0 +1,61 @@
+"""Unsigned LEB128 varints, the wire primitive of the v2 day store.
+
+Small non-negative integers dominate archive frames (dense prefix ids,
+table indexes, day ordinals), so the v2 CDS format stores them as
+unsigned LEB128: seven value bits per byte, high bit set on every byte
+except the last.  Values below 128 cost one byte; the format caps at
+ten bytes (the 64-bit ceiling) so a corrupted continuation bit can
+never send the decoder into an unbounded scan.
+"""
+
+from __future__ import annotations
+
+#: Longest legal encoding: ceil(64 / 7) bytes covers the full u64 range.
+MAX_VARINT_BYTES = 10
+
+#: Largest encodable value (unsigned 64-bit).
+MAX_VARINT_VALUE = (1 << 64) - 1
+
+
+def append_uvarint(out: bytearray, value: int) -> None:
+    """Append the LEB128 encoding of ``value`` to ``out``."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    if value > MAX_VARINT_VALUE:
+        raise ValueError(f"varint value {value} exceeds 64 bits")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def encode_uvarint(value: int) -> bytes:
+    """The LEB128 encoding of ``value`` as a fresh bytes object."""
+    out = bytearray()
+    append_uvarint(out, value)
+    return bytes(out)
+
+
+def decode_uvarint(buffer, pos: int = 0) -> tuple[int, int]:
+    """Decode one LEB128 value from ``buffer`` starting at ``pos``.
+
+    Returns ``(value, next_pos)``.  Raises :class:`ValueError` on a
+    truncated encoding (buffer ends mid-varint) or an over-long one
+    (more than :data:`MAX_VARINT_BYTES` bytes — only possible for
+    corrupt input, since the encoder never emits it).
+    """
+    result = 0
+    shift = 0
+    length = len(buffer)
+    for count in range(MAX_VARINT_BYTES):
+        if pos >= length:
+            raise ValueError(f"truncated varint at byte {pos}")
+        byte = buffer[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+    raise ValueError(
+        f"varint longer than {MAX_VARINT_BYTES} bytes (corrupt input)"
+    )

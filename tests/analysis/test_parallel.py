@@ -138,6 +138,37 @@ class TestPartitioning:
     def test_memory_source_not_partitionable(self):
         assert partition_tasks(MemorySource([]), workers=4) is None
 
+    def test_v2_archive_partitions_into_byte_ranges(
+        self, archive, tmp_path
+    ):
+        from repro.scenario.archive import convert_archive, read_day_index
+
+        converted = tmp_path / "v2"
+        convert_archive(archive, converted, format="v2")
+        tasks = partition_tasks(converted, workers=2)
+        offsets, frames_end = read_day_index(converted)
+        bounds = offsets + [frames_end]
+        spans = [args[1:] for _fn, args in tasks]
+        assert spans[0][0] == bounds[0]
+        assert spans[-1][1] == frames_end
+        for (_, previous_stop), (next_start, _) in zip(spans, spans[1:]):
+            assert next_start == previous_stop
+
+    def test_v2_manifest_day_count_lie_raises_cleanly(self, tmp_path):
+        import json as jsonlib
+
+        from repro.scenario.archive import ArchiveError, ArchiveWriter
+
+        directory = tmp_path / "lying"
+        writer = ArchiveWriter(directory, format="v2")
+        writer.finalize({"calendar_start": "1997-11-08"})
+        manifest_path = directory / "manifest.json"
+        manifest = jsonlib.loads(manifest_path.read_text())
+        manifest["num_days"] = 3
+        manifest_path.write_text(jsonlib.dumps(manifest))
+        with pytest.raises(ArchiveError, match="manifest says"):
+            partition_tasks(str(directory), workers=2)
+
     def test_mrt_source_partitioned_by_file(self, tmp_path):
         from repro.api.sources import MrtFilesSource
 

@@ -1,36 +1,57 @@
-"""Failure-injection tests: corrupted CDS archives fail loudly."""
+"""Failure-injection tests: corrupted CDS archives fail loudly.
+
+Every corruption — torn file, flipped bit, lying index — must raise a
+clean :class:`ArchiveError` (never crash with a low-level
+``struct.error``, hang, or silently return partial data), and
+``repro convert`` on a corrupt source must fail without leaving any
+half-written output behind.
+"""
 
 import datetime
 import json
+import struct
 
 import pytest
 
 from repro.netbase.prefix import Prefix
 from repro.scenario.archive import (
+    _TRAILER,
+    ArchiveError,
     ArchiveReader,
     ArchiveWriter,
     DayRecord,
     PeerRow,
+    convert_archive,
 )
+
+
+def _build(directory, format):
+    writer = ArchiveWriter(directory, format=format)
+    pid = writer.register_prefix(Prefix.parse("10.0.0.0/8"), 42, 0)
+    path_id = writer.intern_path((701, 43))
+    for index in range(3):
+        writer.write_day(
+            DayRecord(
+                day=datetime.date(1997, 11, 8)
+                + datetime.timedelta(days=index),
+                day_index=index,
+                alive_count=1,
+                active_peers=(701,),
+                rows=(PeerRow(pid, 701, 43 + index, path_id),),
+            )
+        )
+    writer.finalize({"calendar_start": "1997-11-08"})
+    return directory
 
 
 @pytest.fixture()
 def archive(tmp_path):
-    directory = tmp_path / "archive"
-    writer = ArchiveWriter(directory)
-    pid = writer.register_prefix(Prefix.parse("10.0.0.0/8"), 42, 0)
-    path_id = writer.intern_path((701, 43))
-    writer.write_day(
-        DayRecord(
-            day=datetime.date(1997, 11, 8),
-            day_index=0,
-            alive_count=1,
-            active_peers=(701,),
-            rows=(PeerRow(pid, 701, 43, path_id),),
-        )
-    )
-    writer.finalize({"calendar_start": "1997-11-08"})
-    return directory
+    return _build(tmp_path / "archive", "v1")
+
+
+@pytest.fixture()
+def archive_v2(tmp_path):
+    return _build(tmp_path / "archive-v2", "v2")
 
 
 class TestCorruption:
@@ -76,5 +97,207 @@ class TestCorruption:
     def test_intact_archive_reads_fine(self, archive):
         reader = ArchiveReader(archive)
         days = list(reader.iter_days())
-        assert len(days) == 1
+        assert len(days) == 3
         assert days[0].rows[0].origin == 43
+
+    def test_truncated_day_header(self, archive):
+        days = archive / "days.bin"
+        days.write_bytes(days.read_bytes()[:-60])
+        with pytest.raises(ArchiveError, match="truncated"):
+            list(ArchiveReader(archive).iter_days())
+
+    def test_truncated_row_block(self, archive):
+        days = archive / "days.bin"
+        days.write_bytes(days.read_bytes()[:-5])
+        with pytest.raises(ArchiveError, match="truncated"):
+            list(ArchiveReader(archive).iter_days())
+
+    def test_truncation_at_record_boundary_detected(self, archive):
+        """A clean-EOF truncation must not pass for a shorter archive."""
+        days = archive / "days.bin"
+        record_size = 14 + 4 + 16  # header + one peer + one row
+        days.write_bytes(days.read_bytes()[:-record_size])
+        reader = ArchiveReader(archive)
+        with pytest.raises(ArchiveError, match="manifest says"):
+            list(reader.iter_days())
+        # A worker handed only the missing tail range must fail too,
+        # not silently return an empty chunk.
+        with pytest.raises(ArchiveError, match="manifest says"):
+            list(reader.iter_days(2, 3))
+
+    def test_truncated_registry(self, archive):
+        registry = archive / "registry.bin"
+        registry.write_bytes(registry.read_bytes()[:-3])
+        with pytest.raises(ArchiveError, match="truncated"):
+            ArchiveReader(archive)
+
+    def test_truncated_path_table(self, archive):
+        paths = archive / "paths.bin"
+        paths.write_bytes(paths.read_bytes()[:-2])
+        with pytest.raises(ArchiveError, match="truncated"):
+            ArchiveReader(archive)
+
+
+def _patch_trailer(days_path, *, offsets=None, num_days=None):
+    """Rewrite one v2 index offset (and re-seal the footer CRC)."""
+    import zlib
+
+    data = bytearray(days_path.read_bytes())
+    trailer_start = len(data) - _TRAILER.size
+    footer_start, index_start, count, _crc, end_magic = _TRAILER.unpack_from(
+        data, trailer_start
+    )
+    if offsets:
+        for position, value in offsets.items():
+            struct.pack_into("<Q", data, index_start + 8 * position, value)
+    if num_days is not None:
+        count = num_days
+    crc = zlib.crc32(data[footer_start:trailer_start])
+    _TRAILER.pack_into(
+        data, trailer_start, footer_start, index_start, count, crc, end_magic
+    )
+    days_path.write_bytes(bytes(data))
+
+
+class TestV2Corruption:
+    def test_intact_archive_reads_fine(self, archive_v2):
+        reader = ArchiveReader(archive_v2)
+        days = list(reader.iter_days())
+        assert len(days) == 3
+        assert [day.rows[0].origin for day in days] == [43, 44, 45]
+
+    def test_bad_days_magic(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        data = bytearray(days.read_bytes())
+        data[:4] = b"XXXX"
+        days.write_bytes(bytes(data))
+        reader = ArchiveReader(archive_v2)
+        with pytest.raises(ArchiveError, match="magic"):
+            list(reader.iter_days())
+
+    def test_truncated_footer(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        days.write_bytes(days.read_bytes()[:-10])
+        with pytest.raises(ArchiveError, match="magic|truncated"):
+            ArchiveReader(archive_v2)
+
+    def test_footer_shorter_than_trailer(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        days.write_bytes(days.read_bytes()[:8])
+        with pytest.raises(ArchiveError, match="truncated"):
+            ArchiveReader(archive_v2)
+
+    def test_bit_flipped_frame(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        data = bytearray(days.read_bytes())
+        # Flip a bit inside the first frame's body (after the magic and
+        # the 8-byte frame header).
+        data[13] ^= 0x40
+        days.write_bytes(bytes(data))
+        reader = ArchiveReader(archive_v2)
+        with pytest.raises(ArchiveError, match="checksum"):
+            list(reader.iter_days())
+
+    def test_bit_flipped_footer_table(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        data = bytearray(days.read_bytes())
+        trailer_start = len(data) - _TRAILER.size
+        footer_start, _, _, _, _ = _TRAILER.unpack_from(data, trailer_start)
+        data[footer_start + 2] ^= 0x01
+        days.write_bytes(bytes(data))
+        with pytest.raises(ArchiveError, match="checksum"):
+            ArchiveReader(archive_v2)
+
+    def test_index_pointing_past_eof(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        _patch_trailer(days, offsets={1: 10**9})
+        reader = ArchiveReader(archive_v2)
+        with pytest.raises(ArchiveError, match="outside|overruns"):
+            list(reader.iter_days())
+
+    def test_index_pointing_into_footer(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        data = days.read_bytes()
+        footer_start, _, _, _, _ = _TRAILER.unpack_from(
+            data, len(data) - _TRAILER.size
+        )
+        _patch_trailer(days, offsets={0: footer_start - 2})
+        reader = ArchiveReader(archive_v2)
+        with pytest.raises(ArchiveError, match="outside|overruns"):
+            list(reader.iter_days())
+
+    def test_day_count_beyond_index_rejected(self, archive_v2):
+        days = archive_v2 / "days.bin"
+        _patch_trailer(days, num_days=9)
+        with pytest.raises(ArchiveError, match="index"):
+            ArchiveReader(archive_v2)
+
+    def test_manifest_day_count_mismatch_rejected(self, archive_v2):
+        manifest_path = archive_v2 / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["num_days"] = 9
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="manifest says"):
+            ArchiveReader(archive_v2)
+
+    def test_missing_calendar_start_still_fails_cleanly(self, archive_v2):
+        manifest_path = archive_v2 / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["calendar_start"]
+        manifest_path.write_text(json.dumps(manifest))
+        reader = ArchiveReader(archive_v2)
+        with pytest.raises(ValueError, match="calendar_start"):
+            list(reader.iter_days())
+
+
+class TestConvertAtomicity:
+    """A corrupt source must never leave a half-written destination."""
+
+    def _assert_nothing_written(self, destination):
+        assert not destination.exists()
+        leftovers = [
+            path
+            for path in destination.parent.iterdir()
+            if path.name.startswith(f".{destination.name}.")
+        ]
+        assert leftovers == []
+
+    def test_corrupt_v1_rows_fail_atomically(self, archive, tmp_path):
+        days = archive / "days.bin"
+        days.write_bytes(days.read_bytes()[:-5])
+        destination = tmp_path / "out"
+        with pytest.raises(ArchiveError, match="truncated"):
+            convert_archive(archive, destination)
+        self._assert_nothing_written(destination)
+
+    def test_corrupt_v2_frame_fails_atomically(self, archive_v2, tmp_path):
+        days = archive_v2 / "days.bin"
+        data = bytearray(days.read_bytes())
+        data[13] ^= 0x40
+        days.write_bytes(bytes(data))
+        destination = tmp_path / "out"
+        with pytest.raises(ArchiveError, match="checksum"):
+            convert_archive(archive_v2, destination, format="v1")
+        self._assert_nothing_written(destination)
+
+    def test_corrupt_registry_fails_atomically(self, archive, tmp_path):
+        registry = archive / "registry.bin"
+        data = bytearray(registry.read_bytes())
+        data[:4] = b"XXXX"
+        registry.write_bytes(bytes(data))
+        destination = tmp_path / "out"
+        with pytest.raises(ArchiveError, match="magic"):
+            convert_archive(archive, destination)
+        self._assert_nothing_written(destination)
+
+    def test_cli_convert_corrupt_input_fails_cleanly(
+        self, archive, tmp_path, capsys
+    ):
+        from repro.api.cli import main
+
+        days = archive / "days.bin"
+        days.write_bytes(days.read_bytes()[:-5])
+        destination = tmp_path / "out"
+        assert main(["convert", str(archive), str(destination)]) == 1
+        assert "repro convert:" in capsys.readouterr().err
+        self._assert_nothing_written(destination)

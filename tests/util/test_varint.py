@@ -1,0 +1,77 @@
+"""The LEB128 varint codec under the v2 day store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.varint import (
+    MAX_VARINT_BYTES,
+    MAX_VARINT_VALUE,
+    append_uvarint,
+    decode_uvarint,
+    encode_uvarint,
+)
+
+
+class TestEncode:
+    def test_single_byte_values(self):
+        assert encode_uvarint(0) == b"\x00"
+        assert encode_uvarint(1) == b"\x01"
+        assert encode_uvarint(127) == b"\x7f"
+
+    def test_multi_byte_boundaries(self):
+        assert encode_uvarint(128) == b"\x80\x01"
+        assert encode_uvarint(300) == b"\xac\x02"  # the protobuf example
+        assert len(encode_uvarint(1 << 63)) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="unsigned"):
+            encode_uvarint(-1)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError, match="64 bits"):
+            encode_uvarint(MAX_VARINT_VALUE + 1)
+
+    def test_append_extends_in_place(self):
+        out = bytearray(b"\xff")
+        append_uvarint(out, 128)
+        assert bytes(out) == b"\xff\x80\x01"
+
+
+class TestDecode:
+    def test_roundtrip_boundaries(self):
+        for value in (0, 1, 127, 128, 16383, 16384, 2**32, MAX_VARINT_VALUE):
+            assert decode_uvarint(encode_uvarint(value)) == (
+                value,
+                len(encode_uvarint(value)),
+            )
+
+    def test_position_advances_through_stream(self):
+        stream = encode_uvarint(7) + encode_uvarint(300) + encode_uvarint(0)
+        value, pos = decode_uvarint(stream, 0)
+        assert value == 7
+        value, pos = decode_uvarint(stream, pos)
+        assert value == 300
+        value, pos = decode_uvarint(stream, pos)
+        assert (value, pos) == (0, len(stream))
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_uvarint(b"\x80")
+        with pytest.raises(ValueError, match="truncated"):
+            decode_uvarint(b"", 0)
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError, match="longer than"):
+            decode_uvarint(b"\x80" * (MAX_VARINT_BYTES + 1))
+
+    def test_decodes_from_memoryview(self):
+        view = memoryview(encode_uvarint(99999))
+        assert decode_uvarint(view)[0] == 99999
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT_VALUE))
+def test_roundtrip_property(value):
+    encoded = encode_uvarint(value)
+    assert len(encoded) <= MAX_VARINT_BYTES
+    assert decode_uvarint(encoded) == (value, len(encoded))
