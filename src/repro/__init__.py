@@ -28,9 +28,18 @@ See README.md for install and quickstart, and CHANGES.md for the
 release history.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
-from repro.netbase import ASPath, PeerId, Prefix, RibSnapshot, Route
+from repro.netbase import (
+    ASPath,
+    PeerId,
+    Prefix,
+    RibSnapshot,
+    Roa,
+    RoaTable,
+    Route,
+    ValidationState,
+)
 
 __all__ = [
     "ASPath",
@@ -39,7 +48,10 @@ __all__ = [
     "PeerId",
     "Prefix",
     "RibSnapshot",
+    "Roa",
+    "RoaTable",
     "Route",
+    "ValidationState",
     "render",
     "__version__",
 ]

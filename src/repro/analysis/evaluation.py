@@ -111,6 +111,9 @@ class EvaluationResult:
     num_verdicts: int
     num_labeled: int
     num_injected: int
+    #: Verdicts per RFC 6811 rollup state (``valid`` / ``invalid`` /
+    #: ``not_found``); empty when scoring ran without a ROA table.
+    rpki_states: dict[str, int] = field(default_factory=dict)
 
     @property
     def micro_scores(self) -> KindScore:
@@ -177,6 +180,7 @@ class EvaluationResult:
             "num_verdicts": self.num_verdicts,
             "num_labeled": self.num_labeled,
             "num_injected": self.num_injected,
+            "rpki_states": dict(sorted(self.rpki_states.items())),
         }
 
 
@@ -250,6 +254,12 @@ def evaluate_verdicts(
                 false_negatives=false_negatives,
             )
         )
+    rpki_states: dict[str, int] = {}
+    for verdict in verdicts.values():
+        if verdict.rpki_state is not None:
+            rpki_states[verdict.rpki_state] = (
+                rpki_states.get(verdict.rpki_state, 0) + 1
+            )
     return EvaluationResult(
         confusion=confusion,
         per_kind=tuple(per_kind),
@@ -259,6 +269,7 @@ def evaluate_verdicts(
         num_verdicts=len(verdicts),
         num_labeled=len(truth),
         num_injected=len(labels),
+        rpki_states=rpki_states,
     )
 
 
@@ -299,6 +310,11 @@ def evaluation_ascii(result: EvaluationResult) -> str:
         f"{result.num_labeled} labeled prefixes, "
         f"{result.num_verdicts} verdicts"
     )
+    if result.rpki_states:
+        lines.append("")
+        lines.append("RPKI origin validation (verdicts per state):")
+        for state, count in sorted(result.rpki_states.items()):
+            lines.append(f"  {state:<20} {count}")
     if result.injected_coverage:
         lines.append("")
         lines.append("Injected incidents detected:")

@@ -271,12 +271,18 @@ class ParallelExecutor:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
 
-    def make_states(self, pipeline: StudyPipeline) -> list[StudyState]:
-        """Fresh per-shard accumulators for this executor's layout."""
+    def make_states(
+        self, pipeline: StudyPipeline, *, roa_table=None
+    ) -> list[StudyState]:
+        """Fresh per-shard accumulators for this executor's layout.
+
+        ``roa_table`` (a :class:`~repro.netbase.rpki.RoaTable`) is
+        shared by every shard — it is immutable, so no copies.
+        """
         if self.shards == 1:
-            return [pipeline.start()]
+            return [pipeline.start(roa_table=roa_table)]
         return [
-            pipeline.start(shard=spec)
+            pipeline.start(shard=spec, roa_table=roa_table)
             for spec in ShardSpec.partition(self.shards, self.scheme)
         ]
 
@@ -291,17 +297,21 @@ class ParallelExecutor:
         *,
         states: list[StudyState] | None = None,
         skip_through=None,
+        roa_table=None,
     ) -> list[StudyState]:
         """Detect (possibly in parallel) and fold into per-shard states.
 
         ``states`` continues feeding existing accumulators (the resume
         path); ``skip_through`` drops days up to and including that
-        date, letting a resumed run re-stream an overlapping source.
-        Returns the fed states; merge them with
-        :meth:`StudyState.merged` for combined results.
+        date, letting a resumed run re-stream an overlapping source;
+        ``roa_table`` makes every fresh state validate origins per
+        RFC 6811 (validation happens at fold time in the coordinator,
+        so parallel results stay byte-identical to serial).  Returns
+        the fed states; merge them with :meth:`StudyState.merged` for
+        combined results.
         """
         if states is None:
-            states = self.make_states(pipeline)
+            states = self.make_states(pipeline, roa_table=roa_table)
         for detection in self.detections(source):
             if skip_through is not None and detection.day <= skip_through:
                 continue

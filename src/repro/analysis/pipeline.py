@@ -29,7 +29,7 @@ from __future__ import annotations
 import datetime
 import statistics
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.causes import SpikeReport
 from repro.core.classifier import ConflictClass, classify_day
@@ -49,6 +49,11 @@ from repro.core.stats import (
     yearly_medians,
 )
 from repro.netbase.prefix import Prefix
+from repro.netbase.rpki import (
+    RoaTable,
+    STATE_NOT_EVALUATED,
+    ValidationState,
+)
 from repro.netbase.sharding import ShardSpec
 from repro.scenario.timeline import CLASSIFICATION_WINDOW
 from repro.topology.ixp import IXP_BLOCK
@@ -86,10 +91,28 @@ class StudyResults:
     exchange_point_conflicts: int
     as_set_excluded_max: int
     total_days: int
+    #: Episode prefix -> RFC 6811 rollup (``"valid"`` / ``"invalid"`` /
+    #: ``"not_found"``).  Empty when the study ran without a ROA table;
+    #: see :mod:`repro.netbase.rpki` and the ``rpki`` / ``longevity``
+    #: renderers.
+    rpki_episode_states: dict[Prefix, str] = field(default_factory=dict)
 
     @property
     def total_conflicts(self) -> int:
         return len(self.episodes)
+
+    @property
+    def rpki_state_counts(self) -> dict[str, int]:
+        """Episodes per RFC 6811 rollup state (empty without a table)."""
+        counts: Counter[str] = Counter()
+        for prefix in self.episodes:
+            state = self.rpki_episode_states.get(prefix)
+            if state is None:
+                if not self.rpki_episode_states:
+                    return {}
+                state = STATE_NOT_EVALUATED
+            counts[state] += 1
+        return dict(counts)
 
 
 @dataclass
@@ -103,14 +126,21 @@ class StudyPipeline:
     spike_factor: float = 4.0
     duration_thresholds: tuple[int, ...] = (0, 1, 9, 29, 89)
 
-    def start(self, shard: ShardSpec | None = None) -> "StudyState":
+    def start(
+        self,
+        shard: ShardSpec | None = None,
+        *,
+        roa_table: RoaTable | None = None,
+    ) -> "StudyState":
         """A fresh incremental accumulator under this configuration.
 
         With ``shard`` the accumulator tracks per-prefix state (episodes
         and prefix-length tallies) only for that slice of the prefix
         space; disjoint shards recombine with :meth:`StudyState.merge`.
+        With ``roa_table`` every observed conflict origin is validated
+        per RFC 6811 and episodes carry a validation-state rollup.
         """
-        return StudyState(self, shard=shard)
+        return StudyState(self, shard=shard, roa_table=roa_table)
 
     def run(
         self,
@@ -118,6 +148,7 @@ class StudyPipeline:
         *,
         workers: int = 1,
         shards: int = 1,
+        roa_table: RoaTable | None = None,
     ) -> StudyResults:
         """Stream all daily detections and assemble the results.
 
@@ -138,7 +169,7 @@ class StudyPipeline:
         from repro.analysis.parallel import ParallelExecutor
 
         executor = ParallelExecutor(workers=workers, shards=shards)
-        states = executor.run(self, detections)
+        states = executor.run(self, detections, roa_table=roa_table)
         return StudyState.merged(states).results()
 
     def config_dict(self) -> dict:
@@ -194,9 +225,16 @@ class StudyState:
         self,
         pipeline: StudyPipeline | None = None,
         shard: ShardSpec | None = None,
+        *,
+        roa_table: RoaTable | None = None,
     ) -> None:
         self.pipeline = pipeline or StudyPipeline()
         self.shard = shard
+        #: Immutable ROA database conflicts are validated against;
+        #: shared (not copied) across shards — see
+        #: :mod:`repro.netbase.rpki`.
+        self.roa_table = roa_table
+        self._rpki_states: dict[Prefix, ValidationState] = {}
         self._tracker = EpisodeTracker()
         self._daily_series: list[tuple[datetime.date, int]] = []
         self._recent_counts: deque[int] = deque(
@@ -241,6 +279,16 @@ class StudyState:
                 if contains(conflict.prefix)
             ]
         self._tracker.observe_day(day, sharded)
+        roa_table = self.roa_table
+        if roa_table is not None:
+            states = self._rpki_states
+            for conflict in sharded:
+                prefix = conflict.prefix
+                folded = roa_table.fold_episode_state(
+                    states.get(prefix), prefix, conflict.origins, day=day
+                )
+                if folded is not None:
+                    states[prefix] = folded
         self._total_days += 1
         self._daily_series.append((day, count))
         self._as_set_excluded_max = max(
@@ -305,6 +353,10 @@ class StudyState:
             exchange_point_conflicts=exchange_point,
             as_set_excluded_max=self._as_set_excluded_max,
             total_days=self._total_days,
+            rpki_episode_states={
+                prefix: state.value
+                for prefix, state in self._rpki_states.items()
+            },
         )
 
     # -- shard combination ----------------------------------------------
@@ -323,6 +375,10 @@ class StudyState:
             raise ValueError(
                 "cannot merge states with different pipeline configurations"
             )
+        if self.roa_table != other.roa_table:
+            raise ValueError(
+                "cannot merge states validated against different ROA tables"
+            )
         if self.shard is None or other.shard is None:
             raise ValueError(
                 "cannot merge an unsharded state: it already covers "
@@ -334,9 +390,13 @@ class StudyState:
                 f"({self._total_days} vs {other._total_days} days)"
             )
         merged = StudyState(
-            self.pipeline, shard=self.shard.union(other.shard)
+            self.pipeline,
+            shard=self.shard.union(other.shard),
+            roa_table=self.roa_table,
         )
         merged._tracker = self._tracker.merge(other._tracker)
+        # Per-prefix validation rollups are disjoint across shards.
+        merged._rpki_states = {**self._rpki_states, **other._rpki_states}
         # Day-level aggregates are computed over the full detection in
         # every shard, so both inputs hold identical copies; take ours.
         merged._daily_series = list(self._daily_series)
@@ -415,6 +475,27 @@ class StudyState:
             ],
             "as_set_excluded_max": self._as_set_excluded_max,
             "total_days": self._total_days,
+            # The RPKI block exists only for RPKI-enabled sessions, so
+            # pre-RPKI checkpoints stay loadable (and new checkpoints
+            # without a table stay byte-compatible with them).
+            **(
+                {
+                    "rpki": {
+                        "roas": [
+                            roa.to_dict() for roa in self.roa_table
+                        ],
+                        "states": {
+                            str(prefix): state.value
+                            for prefix, state in sorted(
+                                self._rpki_states.items(),
+                                key=lambda item: item[0].sort_key(),
+                            )
+                        },
+                    }
+                }
+                if self.roa_table is not None
+                else {}
+            ),
         }
 
     @classmethod
@@ -423,6 +504,7 @@ class StudyState:
     ) -> "StudyState":
         """Rebuild mid-study streaming state from :meth:`state_dict`."""
         shard_payload = state.get("shard")
+        rpki_payload = state.get("rpki")
         restored = cls(
             pipeline,
             shard=(
@@ -430,7 +512,17 @@ class StudyState:
                 if shard_payload is not None
                 else None
             ),
+            roa_table=(
+                RoaTable.from_rows(rpki_payload["roas"])
+                if rpki_payload is not None
+                else None
+            ),
         )
+        if rpki_payload is not None:
+            restored._rpki_states = {
+                Prefix.parse(text): ValidationState(value)
+                for text, value in rpki_payload["states"].items()
+            }
         restored._tracker = EpisodeTracker.from_state(state["tracker"])
         restored._daily_series = [
             (datetime.date.fromisoformat(day), count)

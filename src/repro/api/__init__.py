@@ -10,7 +10,8 @@ Three pluggable layers over the analysis core:
 - :mod:`repro.api.service` — :class:`MoasService`, the
   incrementally-feedable, checkpointable study session;
 - :mod:`repro.api.cli` — the single ``repro`` command
-  (``simulate | analyze | report | watch``) built on the facade.
+  (``simulate | analyze | convert | report | evaluate | watch``)
+  built on the facade.
 """
 
 from repro.api.renderers import (

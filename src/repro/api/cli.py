@@ -1,4 +1,4 @@
-"""The single ``repro`` command: simulate | analyze | report | watch.
+"""The ``repro`` command: simulate/analyze/convert/report/evaluate/watch.
 
 One CLI over the :mod:`repro.api` facade.  The legacy
 ``repro-simulate`` / ``repro-analyze`` / ``repro-report`` entry points
@@ -7,10 +7,12 @@ by construction.
 
 - ``repro simulate ARCHIVE``: generate a synthetic Route Views archive
   (``--workers`` parallelizes the optional MRT day dumps;
-  ``--archive-format v2`` writes the indexed binary day store);
+  ``--archive-format v2`` writes the indexed binary day store;
+  ``--rpki`` issues a ROA database beside it);
 - ``repro analyze ARCHIVE OUT``: run the study and write every
-  figure/table, with optional ``--checkpoint`` / ``--resume`` and
-  parallel ``--workers`` / ``--shards``;
+  figure/table, with optional ``--checkpoint`` / ``--resume``,
+  parallel ``--workers`` / ``--shards``, and ``--rpki roas.json``
+  RFC 6811 origin validation;
 - ``repro convert SRC DST``: re-encode an archive between day-store
   formats (v1 <-> v2), atomically;
 - ``repro report OUT``: print a previously generated report;
@@ -122,6 +124,22 @@ def _add_simulate(sub) -> None:
         "truth lands in <archive>/incidents.json",
     )
     parser.add_argument(
+        "--rpki",
+        action="store_true",
+        help="issue an RPKI shadow over the generated world: a ROA "
+        "database (coverage, max-length slack, stale and misissued "
+        "authorizations, incident shadows) written beside the archive "
+        "as roas.json",
+    )
+    parser.add_argument(
+        "--rpki-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of registered prefixes holding a ROA "
+        "(implies --rpki; default 0.9)",
+    )
+    parser.add_argument(
         "--archive-format",
         choices=("v1", "v2"),
         default="v1",
@@ -146,11 +164,25 @@ def _run_simulate(args: argparse.Namespace) -> int:
         except (FileNotFoundError, ValueError, KeyError) as error:
             print(f"repro simulate: {error}", file=sys.stderr)
             return 1
+    rpki = None
+    if args.rpki or args.rpki_coverage is not None:
+        from repro.scenario.rpki import RpkiConfig
+
+        try:
+            rpki = (
+                RpkiConfig()
+                if args.rpki_coverage is None
+                else RpkiConfig(coverage=args.rpki_coverage)
+            )
+        except ValueError as error:
+            print(f"repro simulate: {error}", file=sys.stderr)
+            return 1
     config = ScenarioConfig(
         scale=args.scale,
         seed=args.seed,
         num_peers=args.peers,
         incidents=incidents,
+        rpki=rpki,
         archive_format=args.archive_format,
     )
     export_days = {parse_date(text) for text in args.mrt_export}
@@ -170,6 +202,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
         print(f"  {key}: {summary[key]}")
     if "incidents_injected" in summary:
         print(f"  incidents_injected: {summary['incidents_injected']}")
+    if "roas_issued" in summary:
+        print(f"  roas_issued: {summary['roas_issued']}")
     return 0
 
 
@@ -208,6 +242,15 @@ def _add_analyze(sub) -> None:
         "(checkpoints become per-shard files; results are identical; "
         "default 1, or the checkpoint's own layout with --resume)",
     )
+    parser.add_argument(
+        "--rpki",
+        type=Path,
+        metavar="ROAS",
+        help="validate every conflict origin against this ROA "
+        "database (a roas.json file, or an archive directory holding "
+        "one); adds the rpki.csv / longevity.csv figures and report "
+        "sections",
+    )
     parser.set_defaults(func=_run_analyze)
 
 
@@ -226,10 +269,27 @@ def _run_analyze(args: argparse.Namespace) -> int:
                     f"checkpoint has {service.shards} shard(s); "
                     f"cannot resume it with --shards {args.shards}"
                 )
+            if args.rpki is not None:
+                if service.roa_table is None:
+                    raise ValueError(
+                        "checkpoint was not validating against a ROA "
+                        "table; --rpki cannot be turned on mid-study"
+                    )
+                from repro.netbase.rpki import RoaTable
+
+                if RoaTable.load(args.rpki) != service.roa_table:
+                    raise ValueError(
+                        f"--rpki {args.rpki} differs from the ROA "
+                        f"table the checkpoint was validating "
+                        f"against; a study cannot switch databases "
+                        f"mid-stream"
+                    )
             service.feed(args.archive_dir, skip_seen=True)
         else:
             service = MoasService(
-                workers=args.workers, shards=args.shards or 1
+                workers=args.workers,
+                shards=args.shards or 1,
+                roa_table=args.rpki,
             )
             service.feed(args.archive_dir)
     except (
@@ -272,7 +332,10 @@ def write_analysis(
     Emits every figure CSV, the episode table, the JSON summary and the
     combined ``report.txt`` (with the paper-vs-measured table when the
     archive's generation ``scale`` is known) — the layout both the new
-    and the legacy analyze commands produce.
+    and the legacy analyze commands produce.  Results produced with a
+    ROA table (``--rpki``) additionally emit ``rpki.csv`` /
+    ``longevity.csv`` and their report sections; without one the
+    output tree is byte-identical to earlier releases.
     """
     out = Path(output_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -291,6 +354,13 @@ def write_analysis(
         render(results, "figure5", "ascii"),
         render(results, "figure6", "ascii"),
     ]
+    if results.rpki_episode_states:
+        (out / "rpki.csv").write_text(render(results, "rpki", "csv"))
+        (out / "longevity.csv").write_text(
+            render(results, "longevity", "csv")
+        )
+        sections.append(render(results, "rpki", "ascii"))
+        sections.append(render(results, "longevity", "ascii"))
     if scale:
         sections.append(
             comparison_table(compare_to_paper(results, scale=scale))

@@ -71,6 +71,7 @@ class MoasService:
         workers: int = 1,
         shards: int = 1,
         shard_scheme: str = "hash",
+        roa_table=None,
     ) -> None:
         self.pipeline = pipeline or StudyPipeline()
         # One source of truth for worker resolution and shard layout:
@@ -80,7 +81,18 @@ class MoasService:
         )
         self.workers = executor.workers
         self.shards = executor.shards
-        self._states = executor.make_states(self.pipeline)
+        # Anything RoaTable.load accepts: a table, a roas.json path, or
+        # an archive directory carrying one.  The table is immutable
+        # and shared by every shard; fed conflicts are validated per
+        # RFC 6811 and results gain the rpki/longevity breakdowns.
+        if roa_table is not None:
+            from repro.netbase.rpki import RoaTable
+
+            roa_table = RoaTable.load(roa_table)
+        self.roa_table = roa_table
+        self._states = executor.make_states(
+            self.pipeline, roa_table=roa_table
+        )
 
     # -- feeding -----------------------------------------------------------
 
@@ -164,7 +176,9 @@ class MoasService:
 
     # -- verdicts and evaluation ---------------------------------------------
 
-    def evaluate(self, source, *, config=None, workers=None, **options):
+    def evaluate(
+        self, source, *, config=None, workers=None, rpki=None, **options
+    ):
         """Run the verdict engine over ``source`` and score it.
 
         Streams the source's daily detections (worker-parallel exactly
@@ -177,33 +191,34 @@ class MoasService:
         :class:`~repro.analysis.evaluation.EvaluationReport`; its
         ``result`` renders via ``render(result, "evaluation", fmt)``.
 
+        ``rpki`` supplies a ROA database for RFC 6811 origin validation
+        (anything :meth:`~repro.netbase.rpki.RoaTable.load` accepts);
+        left unset, the session's own table is used, and failing that
+        the archive's ``roas.json`` is picked up automatically — an
+        archive generated with ``--rpki`` always evaluates with its
+        RPKI shadow on.
+
         Evaluation is independent of the session's fed study state: it
-        only borrows the session's worker/shard layout.
+        only borrows the session's worker/shard layout (and default
+        ROA table).
         """
         from repro.analysis.evaluation import (
             EvaluationReport,
             evaluate_verdicts,
         )
         from repro.core.verdict import VerdictConfig, VerdictEngine
+        from repro.netbase.rpki import RoaTable
         from repro.scenario.incidents import IncidentLabel
 
         config = config or VerdictConfig()
         adapted = open_source(source, **options)
-        engines = [
-            VerdictEngine(config, shard=state.shard)
-            for state in self._states
-        ]
-        effective = resolve_workers(
-            self.workers if workers is None else workers
-        )
-        for detection in iter_detections(adapted, workers=effective):
-            for engine in engines:
-                engine.feed_day(detection)
-        merged = VerdictEngine.merged(engines)
 
+        # Resolve the archive's answer keys (and its ROA database)
+        # before streaming: the engines validate while they feed.
         registry = None
         injected: list[IncidentLabel] = []
         organic: list[dict] = []
+        roa_table = self.roa_table if rpki is None else RoaTable.load(rpki)
         directory = getattr(adapted, "directory", None)
         if directory is not None and (
             Path(directory) / "manifest.json"
@@ -219,6 +234,20 @@ class MoasService:
                 ]
             if (Path(directory) / "ground_truth.json").is_file():
                 organic = reader.ground_truth()
+            if roa_table is None and reader.has_roas():
+                roa_table = RoaTable.from_rows(reader.roas())
+
+        engines = [
+            VerdictEngine(config, shard=state.shard, roa_table=roa_table)
+            for state in self._states
+        ]
+        effective = resolve_workers(
+            self.workers if workers is None else workers
+        )
+        for detection in iter_detections(adapted, workers=effective):
+            for engine in engines:
+                engine.feed_day(detection)
+        merged = VerdictEngine.merged(engines)
 
         verdicts = merged.finalize(registry=registry)
         result = evaluate_verdicts(
@@ -269,6 +298,18 @@ class MoasService:
             for state in shard_states
         ]
         service.shards = len(service._states)
+        # RPKI-enabled checkpoints carry their table in every shard
+        # state (each shard file is self-contained); normalize the
+        # restored session to one shared instance so the validation
+        # memos warm once, not per shard.
+        table = service._states[0].roa_table
+        for state in service._states[1:]:
+            if state.roa_table != table:
+                raise ValueError(
+                    "checkpoint shards disagree on the ROA table"
+                )
+            state.roa_table = table
+        service.roa_table = table
         return service
 
     def save_checkpoint(self, path: Path | str) -> Path:

@@ -34,6 +34,7 @@ from repro.core.classifier import ConflictClass, classify_conflict
 from repro.core.detector import DayDetection
 from repro.netbase.asn import is_private_asn
 from repro.netbase.prefix import Prefix
+from repro.netbase.rpki import RoaTable, ValidationState
 from repro.netbase.sharding import ShardSpec
 from repro.netbase.trie import PrefixTrie
 from repro.topology.ixp import IXP_BLOCK
@@ -51,6 +52,16 @@ TAG_FOREIGN_AGGREGATE = "foreign-aggregate"
 TAG_ORIG_TRAN_AS = "orig-tran-as"
 TAG_SPLIT_VIEW = "split-view"
 TAG_DISTINCT_PATHS = "distinct-paths"
+TAG_RPKI_VALID = "rpki-valid"
+TAG_RPKI_INVALID = "rpki-invalid"
+TAG_RPKI_NOT_FOUND = "rpki-not-found"
+
+#: Episode RPKI state -> verdict tag (engines built with a ROA table).
+_RPKI_TAGS = {
+    ValidationState.VALID: TAG_RPKI_VALID,
+    ValidationState.INVALID: TAG_RPKI_INVALID,
+    ValidationState.NOT_FOUND: TAG_RPKI_NOT_FOUND,
+}
 
 #: Predicted kind for prefixes no incident heuristic fires on.
 KIND_ORGANIC = "organic"
@@ -75,6 +86,10 @@ _SUSPICION_SHIFTS: dict[str, float] = {
     TAG_FLAPPING: 0.20,
     TAG_FOREIGN_SUBPREFIX: 0.40,
     TAG_FOREIGN_AGGREGATE: 0.40,
+    # RFC 6811 states: a signed authorization is near-registry-grade
+    # evidence either way; not-found says nothing (no shift).
+    TAG_RPKI_VALID: -0.25,
+    TAG_RPKI_INVALID: 0.35,
 }
 
 
@@ -120,6 +135,11 @@ class Verdict:
     #: Origins that are not the registered owner (empty without a
     #: registry, or when every origin is the owner's).
     perpetrators: frozenset[int] = frozenset()
+    #: Episode-level RFC 6811 rollup (``"valid"`` / ``"invalid"`` /
+    #: ``"not_found"``), or ``None`` when the engine ran without a ROA
+    #: table.  One invalid origin-day taints the episode; a valid
+    #: observation beats mere non-coverage.
+    rpki_state: str | None = None
 
     @property
     def benign(self) -> bool:
@@ -139,6 +159,7 @@ class _Evidence:
     private_asn: bool = False
     first_day: datetime.date | None = None
     last_day: datetime.date | None = None
+    rpki_state: ValidationState | None = None
 
 
 class VerdictEngine:
@@ -156,9 +177,14 @@ class VerdictEngine:
         config: VerdictConfig | None = None,
         *,
         shard: ShardSpec | None = None,
+        roa_table: RoaTable | None = None,
     ) -> None:
         self.config = config or VerdictConfig()
         self.shard = shard
+        #: Immutable ROA database every origin-day is validated against
+        #: (see :mod:`repro.netbase.rpki`); ``None`` disables the RPKI
+        #: signal entirely.
+        self.roa_table = roa_table
         self._evidence: dict[Prefix, _Evidence] = {}
         self._total_days = 0
 
@@ -177,6 +203,7 @@ class VerdictEngine:
         self._total_days += 1
         ordinal = self._total_days
         contains = self.shard.contains if self.shard is not None else None
+        roa_table = self.roa_table
         for conflict in detection.conflicts:
             prefix = conflict.prefix
             if contains is not None and not contains(prefix):
@@ -192,6 +219,13 @@ class VerdictEngine:
             evidence.last_day = detection.day
             evidence.days += 1
             evidence.origins.update(conflict.origins)
+            if roa_table is not None:
+                evidence.rpki_state = roa_table.fold_episode_state(
+                    evidence.rpki_state,
+                    prefix,
+                    conflict.origins,
+                    day=detection.day,
+                )
             evidence.max_width = max(
                 evidence.max_width, len(conflict.origins)
             )
@@ -214,6 +248,11 @@ class VerdictEngine:
             raise ValueError(
                 "cannot merge verdict engines with different configs"
             )
+        if self.roa_table != other.roa_table:
+            raise ValueError(
+                "cannot merge verdict engines validated against "
+                "different ROA tables"
+            )
         if self._total_days != other._total_days:
             raise ValueError(
                 "cannot merge verdict engines fed different day streams: "
@@ -232,7 +271,9 @@ class VerdictEngine:
         shard = None
         if self.shard is not None and other.shard is not None:
             shard = self.shard.union(other.shard)
-        merged = VerdictEngine(self.config, shard=shard)
+        merged = VerdictEngine(
+            self.config, shard=shard, roa_table=self.roa_table
+        )
         merged._total_days = self._total_days
         merged._evidence = {**self._evidence, **other._evidence}
         return merged
@@ -279,6 +320,7 @@ class VerdictEngine:
                 days=evidence.days,
                 origins=frozenset(evidence.origins),
                 owner=owners.get(prefix),
+                rpki_state=evidence.rpki_state,
             )
         # Registry-only shapes: announced-space anomalies that never
         # conflicted (the AS7007 signature same-prefix MOAS cannot see).
@@ -286,12 +328,18 @@ class VerdictEngine:
             if prefix in verdicts:
                 continue
             owner = owners.get(prefix)
+            rpki_state = None
+            if self.roa_table is not None and owner is not None:
+                # No conflict days to validate: judge the announcer's
+                # registration itself against the whole database.
+                rpki_state = self.roa_table.validate(prefix, owner)
             verdicts[prefix] = self._verdict(
                 prefix,
                 {tag},
                 days=0,
                 origins=frozenset(() if owner is None else (owner,)),
                 owner=None,  # the announcer *is* the suspect
+                rpki_state=rpki_state,
             )
         return verdicts
 
@@ -334,8 +382,11 @@ class VerdictEngine:
         days: int,
         origins: frozenset[int],
         owner: int | None,
+        rpki_state: ValidationState | None = None,
     ) -> Verdict:
         config = self.config
+        if rpki_state is not None:
+            tags.add(_RPKI_TAGS[rpki_state])
         kind = KIND_ORGANIC
         wide_and_standing = (
             TAG_WIDE_ORIGIN_SET in tags
@@ -355,6 +406,10 @@ class VerdictEngine:
         elif TAG_FLAPPING in tags and days < config.long_days:
             kind = "flapping_fault"
         elif TAG_SHORT_LIVED in tags:
+            kind = "exact_hijack"
+        elif TAG_RPKI_INVALID in tags and TAG_LONG_LIVED not in tags:
+            # An unauthorized origin with no other explanation: the
+            # RPKI extends the hijack call past the duration heuristic.
             kind = "exact_hijack"
         suspicion = 0.5 + sum(
             _SUSPICION_SHIFTS.get(tag, 0.0) for tag in tags
@@ -377,6 +432,9 @@ class VerdictEngine:
             days_observed=days,
             origins=origins,
             perpetrators=perpetrators,
+            rpki_state=(
+                rpki_state.value if rpki_state is not None else None
+            ),
         )
 
 

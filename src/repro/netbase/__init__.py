@@ -24,6 +24,7 @@ from repro.netbase.asn import (
 from repro.netbase.aspath import ASPath, Segment, SegmentType
 from repro.netbase.prefix import Prefix
 from repro.netbase.rib import PeerId, Route, RibSnapshot
+from repro.netbase.rpki import Roa, RoaTable, ValidationState
 from repro.netbase.sharding import ShardSpec, shard_of
 from repro.netbase.trie import PrefixTrie
 
@@ -46,6 +47,9 @@ __all__ = [
     "PeerId",
     "Route",
     "RibSnapshot",
+    "Roa",
+    "RoaTable",
+    "ValidationState",
     "ShardSpec",
     "shard_of",
     "PrefixTrie",

@@ -429,6 +429,16 @@ class ArchiveWriter:
         with open(self.directory / "incidents.json", "w") as handle:
             json.dump(labels, handle, default=str)
 
+    def write_roas(self, roas: list[dict]) -> None:
+        """Persist the world's ROA database beside the archive.
+
+        One :meth:`~repro.netbase.rpki.Roa.to_dict` row per
+        authorization; ``repro analyze --rpki`` and ``repro evaluate``
+        validate origins against it.
+        """
+        with open(self.directory / "roas.json", "w") as handle:
+            json.dump(roas, handle, indent=2, default=str)
+
 
 def _parse_trailer(raw_trailer: bytes, size: int) -> tuple[int, int, int, int]:
     """Validate a v2 trailer; returns (footer, index, days, crc).
@@ -942,8 +952,31 @@ class ArchiveReader:
         return (self.directory / "incidents.json").is_file()
 
     def incident_labels(self) -> list[dict]:
-        """Injected-incident ground truth rows (see ``write_incidents``)."""
-        with open(self.directory / "incidents.json") as handle:
+        """Injected-incident ground truth rows (see ``write_incidents``).
+
+        An archive generated without incidents simply has no labels:
+        the answer key is empty, not an error.
+        """
+        path = self.directory / "incidents.json"
+        if not path.is_file():
+            return []
+        with open(path) as handle:
+            return json.load(handle)
+
+    def has_roas(self) -> bool:
+        """True when the archive carries a ROA database."""
+        return (self.directory / "roas.json").is_file()
+
+    def roas(self) -> list[dict]:
+        """ROA rows written by :meth:`ArchiveWriter.write_roas`.
+
+        Empty when the world was generated without an RPKI layer —
+        feed the rows to :meth:`repro.netbase.rpki.RoaTable.from_rows`.
+        """
+        path = self.directory / "roas.json"
+        if not path.is_file():
+            return []
+        with open(path) as handle:
             return json.load(handle)
 
 
@@ -985,7 +1018,7 @@ def read_day_index(directory: FsPath | str) -> tuple[list[int], int]:
 _WRITER_MANIFEST_KEYS = ("format", "num_prefixes", "num_paths", "num_days")
 
 #: Ground-truth side files copied verbatim by :func:`convert_archive`.
-_SIDE_FILES = ("ground_truth.json", "incidents.json")
+_SIDE_FILES = ("ground_truth.json", "incidents.json", "roas.json")
 
 
 def reencode_archive(

@@ -1,0 +1,248 @@
+"""Scenario-world ROA issuance: giving a synthetic study an RPKI shadow.
+
+A generated world knows the truth — who owns every prefix, which
+incidents were injected — so it can issue the Route Origin
+Authorizations a contemporary RPKI deployment would hold over that
+world, faults included.  :func:`issue_roas` builds the database that
+:meth:`~repro.scenario.world.ScenarioWorld.run` writes beside the
+archive as ``roas.json`` (day-stamped validity windows, one row per
+:meth:`~repro.netbase.rpki.Roa.to_dict`).
+
+Issuance is two layers:
+
+- **incident shadows** — every injected incident gets the RPKI record
+  real operators would have left behind: hijack and leak victims hold a
+  correct ROA (so the perpetrator's announcement validates *invalid*),
+  anycast deployments hold one ROA per legitimate origin (so the wide
+  stable conflict stays *valid*), sub-prefix hijack fragments are
+  covered only by the victim's ROA (invalid), and IXP fabric prefixes —
+  like much exchange-point space in practice — carry no ROA at all
+  (*not-found*).  Perpetrator-registered prefixes never get their own
+  authorization.
+- **organic coverage** — a ``coverage`` fraction of the remaining
+  registry gets a ROA for its owner (max-length slack included), issued
+  the day the prefix was registered; organizations that run a
+  *legitimate* multi-origin arrangement (multi-homing, traffic
+  engineering, anycast — the generator's valid-cause events) keep
+  their RPKI records current, so their secondary origins are
+  authorized too ("Live Long and Prosper"'s finding that long-lived
+  MOAS is largely RPKI-consistent).  ``stale_fraction`` of covered
+  prefixes model the stale-after-ownership-transfer failure (the ROA
+  still names a previous holder, so the *current* owner validates
+  invalid) and ``misissue_fraction`` add a misissued authorization for
+  an unrelated AS on top of the correct one (the noise signal of
+  arXiv:2502.03378 — a hijack by that AS would validate *valid*).
+
+Everything draws from one named RNG stream, so the database is a pure
+function of ``(seed, world, script)`` — byte-identical across runs,
+like every other archive artifact.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.netbase.prefix import Prefix
+from repro.netbase.rpki import Roa
+from repro.netbase.trie import PrefixTrie
+from repro.scenario.incidents import IncidentKind, IncidentLabel
+
+
+@dataclass(frozen=True)
+class RpkiConfig:
+    """Knobs for the world's ROA issuance process."""
+
+    #: Fraction of eligible registry prefixes that get a ROA.
+    coverage: float = 0.9
+    #: ``max_length`` slack over the registered length (0 = exact).
+    max_length_slack: int = 1
+    #: Fraction of covered prefixes whose ROA is stale — it still names
+    #: a previous holder, so the current owner validates invalid.
+    stale_fraction: float = 0.02
+    #: Fraction of covered prefixes that additionally carry a misissued
+    #: ROA authorizing an unrelated AS.
+    misissue_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("coverage", "stale_fraction", "misissue_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} {value} outside 0..1")
+        if self.max_length_slack < 0:
+            raise ValueError(
+                f"max_length_slack must be >= 0, got {self.max_length_slack}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (recorded in the archive manifest)."""
+        return {
+            "coverage": self.coverage,
+            "max_length_slack": self.max_length_slack,
+            "stale_fraction": self.stale_fraction,
+            "misissue_fraction": self.misissue_fraction,
+        }
+
+
+def _max_length(prefix: Prefix, slack: int) -> int:
+    return min(32, prefix.length + slack)
+
+
+def issue_roas(
+    registry,
+    labels: Sequence[IncidentLabel],
+    *,
+    config: RpkiConfig,
+    asns: Sequence[int],
+    rng,
+    date_of_index: Callable[[int], datetime.date],
+    organic_events: Sequence[dict] = (),
+) -> list[Roa]:
+    """The world's ROA database: incident shadows + organic coverage.
+
+    ``registry`` is the archive's registration rows
+    (:class:`~repro.scenario.archive.RegistryEntry`), ``labels`` the
+    injected-incident ground truth, ``asns`` the AS population for
+    wrong-origin draws, ``rng`` a dedicated :mod:`random` stream,
+    ``date_of_index`` maps archive day indices to calendar dates (the
+    validity-window stamps), and ``organic_events`` are the generator's
+    ground-truth rows — covered prefixes running a valid-cause
+    multi-origin arrangement get their secondary origins authorized
+    from the day the arrangement started.
+    """
+    slack = config.max_length_slack
+    owners = {entry.prefix: entry for entry in registry}
+    roas: list[Roa] = []
+    shadowed: set[Prefix] = set()
+    perpetrator_registered: set[Prefix] = set()
+
+    # prefix -> {origin: first day a valid-cause event used it}.
+    legitimate: dict[Prefix, dict[int, int]] = {}
+    for event in organic_events:
+        if not event.get("valid"):
+            continue
+        prefix = Prefix.parse(event["prefix"])
+        starts = legitimate.setdefault(prefix, {})
+        for origin in event["origins"]:
+            start = event["start_index"]
+            if origin not in starts or start < starts[origin]:
+                starts[origin] = start
+
+    trie: PrefixTrie = PrefixTrie()
+    for entry in registry:
+        trie[entry.prefix] = entry
+
+    for label in labels:
+        prefix = label.prefix
+        kind = label.kind
+        if kind is IncidentKind.ANYCAST:
+            # A covering multi-origin ROA set: every legitimate origin
+            # authorized from the day the deployment went live.
+            start = date_of_index(label.start_index)
+            for origin in label.origins:
+                roas.append(
+                    Roa(prefix, _max_length(prefix, slack), origin,
+                        valid_from=start)
+                )
+            shadowed.add(prefix)
+        elif kind in (
+            IncidentKind.EXACT_HIJACK,
+            IncidentKind.FLAPPING_FAULT,
+            IncidentKind.PRIVATE_LEAK,
+        ):
+            # The victim holds a correct ROA, so the perpetrator's (or
+            # the leaked private ASN's) announcement validates invalid.
+            entry = owners[prefix]
+            roas.append(
+                Roa(
+                    prefix,
+                    _max_length(prefix, slack),
+                    entry.owner,
+                    valid_from=date_of_index(entry.created_day),
+                )
+            )
+            shadowed.add(prefix)
+        elif kind is IncidentKind.SUBPREFIX_HIJACK:
+            # The fragment is registered to the perpetrator and must
+            # never be authorized; the *victim's* covering registration
+            # gets the correct ROA, leaving the fragment covered but
+            # unauthorized (invalid).
+            perpetrator_registered.add(prefix)
+            victim = None
+            for covering, entry in trie.covering(prefix):
+                if covering != prefix and entry.prefix not in (
+                    perpetrator_registered
+                ):
+                    victim = entry  # keep the most specific cover
+            if victim is not None and victim.prefix not in shadowed:
+                roas.append(
+                    Roa(
+                        victim.prefix,
+                        _max_length(victim.prefix, slack),
+                        victim.owner,
+                        valid_from=date_of_index(victim.created_day),
+                    )
+                )
+                shadowed.add(victim.prefix)
+        elif kind is IncidentKind.FAULTY_AGGREGATION:
+            # The aggregate is the perpetrator's registration: no ROA
+            # (and nothing shorter covers it, so it validates
+            # not-found — registry structure is what flags it).
+            perpetrator_registered.add(prefix)
+        # IXP_CONFLICT: exchange-point fabric space is typically absent
+        # from the RPKI; not-found is the realistic shadow.
+
+    for entry in registry:
+        prefix = entry.prefix
+        if (
+            prefix in shadowed
+            or prefix in perpetrator_registered
+            or entry.as_set_tail
+            or entry.exchange_point
+        ):
+            continue
+        if rng.random() >= config.coverage:
+            continue
+        issued = date_of_index(entry.created_day)
+        max_length = _max_length(prefix, slack)
+        if rng.random() < config.stale_fraction:
+            # Stale after an ownership transfer: the authorization
+            # still names the previous holder, never the current owner.
+            previous = entry.owner
+            for _ in range(8):
+                candidate = rng.choice(asns)
+                if candidate != entry.owner:
+                    previous = candidate
+                    break
+            if previous != entry.owner:
+                roas.append(Roa(prefix, max_length, previous))
+                continue
+        roas.append(Roa(prefix, max_length, entry.owner, valid_from=issued))
+        for origin, start_index in sorted(
+            legitimate.get(prefix, {}).items()
+        ):
+            if origin != entry.owner:
+                roas.append(
+                    Roa(
+                        prefix,
+                        max_length,
+                        origin,
+                        # Arrangements born before the study window
+                        # (negative indices) have always been signed.
+                        valid_from=(
+                            date_of_index(start_index)
+                            if start_index >= 0
+                            else None
+                        ),
+                    )
+                )
+        if rng.random() < config.misissue_fraction:
+            for _ in range(8):
+                candidate = rng.choice(asns)
+                if candidate != entry.owner:
+                    roas.append(
+                        Roa(prefix, max_length, candidate, valid_from=issued)
+                    )
+                    break
+    return roas

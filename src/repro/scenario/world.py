@@ -30,6 +30,7 @@ from repro.scenario.events import ConflictEvent
 from repro.scenario.generator import EventGenerator
 from repro.scenario.incidents import IncidentInjector, IncidentScript
 from repro.scenario.routing import CollectorRouting
+from repro.scenario.rpki import RpkiConfig, issue_roas
 from repro.scenario.timeline import StudyTimeline
 from repro.topology.generator import TopologyConfig, build_initial_model
 from repro.topology.growth import GrowthModel
@@ -55,6 +56,11 @@ class ScenarioConfig:
     #: event processes (see :mod:`repro.scenario.incidents`); their
     #: ground truth is written beside the archive as ``incidents.json``.
     incidents: "IncidentScript | None" = None
+    #: ROA issuance over the generated world (see
+    #: :mod:`repro.scenario.rpki`); the resulting database is written
+    #: beside the archive as ``roas.json`` with day-stamped validity
+    #: windows.  ``None`` (the default) issues no ROAs.
+    rpki: "RpkiConfig | None" = None
     #: Day-store encoding written by the collector: ``"v1"`` (the
     #: original stream, default) or ``"v2"`` (indexed/framed; see
     #: :mod:`repro.scenario.archive`).  The decoded records — and
@@ -286,13 +292,51 @@ class ScenarioWorld:
             summary["incidents_unrealized"] = len(
                 self.incident_injector.unrealized
             )
+        roa_rows: list[dict] | None = None
+        if self.config.rpki is not None:
+            roa_rows = self._issue_roas(writer)
+            summary["rpki"] = self.config.rpki.to_dict()
+            summary["roas_issued"] = len(roa_rows)
         writer.finalize(summary)
         writer.write_ground_truth(self.event_log)
         if self.incident_injector is not None:
             writer.write_incidents(
                 [label.to_dict() for label in self.incident_injector.labels]
             )
+        if roa_rows is not None:
+            writer.write_roas(roa_rows)
         return summary
+
+    def _issue_roas(self, writer: ArchiveWriter) -> list[dict]:
+        """The world's ROA database as canonical ``roas.json`` rows.
+
+        Issued once the study has fully run, from the final registry
+        and incident ground truth (see :mod:`repro.scenario.rpki`);
+        draws come from the dedicated ``"rpki"`` RNG stream, so the
+        database is deterministic per (seed, config, script).
+        """
+        from repro.netbase.rpki import RoaTable
+
+        labels = (
+            self.incident_injector.labels
+            if self.incident_injector is not None
+            else []
+        )
+        table = RoaTable(
+            issue_roas(
+                [
+                    writer.registry_entry(prefix_id)
+                    for prefix_id in range(writer.num_registered)
+                ],
+                labels,
+                config=self.config.rpki,
+                asns=sorted(self.model.as_info),
+                rng=self.streams.python("rpki"),
+                date_of_index=self.calendar.date_of,
+                organic_events=self.event_log,
+            )
+        )
+        return [roa.to_dict() for roa in table]
 
     # -- internals --------------------------------------------------------
 

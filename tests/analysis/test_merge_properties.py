@@ -1,0 +1,220 @@
+"""Differential/property harness for the merge algebra.
+
+The PR 4 golden suite pins a handful of fixed workers x shards layouts
+over generated worlds; this module generalizes the invariant with
+hypothesis: for *arbitrary* detection streams, *any* shard partition of
+the prefix space — any shard count, either scheme, merged in any order
+— must reproduce the serial result exactly, for both
+:class:`~repro.analysis.pipeline.StudyState` and
+:class:`~repro.core.verdict.VerdictEngine`, and ``merge`` itself must
+be associative.
+
+Example counts come from the hypothesis profile (``dev`` for tier-1,
+``ci`` for the dedicated slow leg); the deepest sweeps are additionally
+marked ``slow``.
+"""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.pipeline import StudyPipeline, StudyState
+from repro.core.detector import DailyConflict, DayDetection
+from repro.core.verdict import VerdictEngine
+from repro.netbase.prefix import Prefix
+from repro.netbase.rpki import Roa, RoaTable
+from repro.netbase.sharding import ShardSpec
+
+START = datetime.date(1998, 1, 1)
+
+prefixes = st.builds(
+    lambda network, length: Prefix(network, length, strict=False),
+    st.integers(0, 2**32 - 1),
+    st.integers(8, 28),
+)
+
+origin_sets = st.frozensets(st.integers(1, 70000), min_size=2, max_size=5)
+
+
+@st.composite
+def detection_streams(draw):
+    """A chronological stream of synthetic daily detections."""
+    num_days = draw(st.integers(1, 12))
+    detections = []
+    for index in range(num_days):
+        by_prefix = draw(
+            st.dictionaries(prefixes, origin_sets, max_size=8)
+        )
+        conflicts = tuple(
+            DailyConflict(prefix=prefix, origins=origins)
+            for prefix, origins in sorted(
+                by_prefix.items(), key=lambda item: item[0].sort_key()
+            )
+        )
+        detections.append(
+            DayDetection(
+                day=START + datetime.timedelta(days=index),
+                conflicts=conflicts,
+                prefixes_scanned=len(conflicts) + 3,
+                as_set_excluded=draw(st.integers(0, 2)),
+            )
+        )
+    return detections
+
+
+@st.composite
+def roa_tables(draw):
+    """A small ROA database over the same prefix space."""
+    rows = draw(
+        st.lists(
+            st.builds(
+                lambda prefix, slack, origin: Roa(
+                    prefix, min(32, prefix.length + slack), origin
+                ),
+                prefixes,
+                st.integers(0, 4),
+                st.integers(1, 70000),
+            ),
+            max_size=6,
+        )
+    )
+    return RoaTable(rows)
+
+
+partitions = st.tuples(
+    st.integers(2, 5), st.sampled_from(["hash", "range"])
+)
+
+
+def feed_state(detections, shard=None, roa_table=None):
+    state = StudyPipeline().start(shard=shard, roa_table=roa_table)
+    for detection in detections:
+        state.feed_day(detection)
+    return state
+
+
+def feed_engine(detections, shard=None, roa_table=None):
+    engine = VerdictEngine(shard=shard, roa_table=roa_table)
+    for detection in detections:
+        engine.feed_day(detection)
+    return engine
+
+
+class TestStudyStatePartitions:
+    @given(detection_streams(), partitions, st.randoms(use_true_random=False))
+    def test_any_partition_reproduces_serial(
+        self, detections, partition, rng
+    ):
+        count, scheme = partition
+        serial = feed_state(detections).results()
+        shards = list(ShardSpec.partition(count, scheme))
+        rng.shuffle(shards)  # merge order must not matter
+        states = [
+            feed_state(detections, shard=shard) for shard in shards
+        ]
+        assert StudyState.merged(states).results() == serial
+
+    @given(detection_streams(), roa_tables())
+    def test_partition_with_roa_table_reproduces_serial(
+        self, detections, table
+    ):
+        serial = feed_state(detections, roa_table=table).results()
+        states = [
+            feed_state(detections, shard=shard, roa_table=table)
+            for shard in ShardSpec.partition(3)
+        ]
+        merged = StudyState.merged(states).results()
+        assert merged == serial
+        assert merged.rpki_episode_states == serial.rpki_episode_states
+
+    @given(detection_streams())
+    def test_merge_is_associative(self, detections):
+        a, b, c = (
+            feed_state(detections, shard=shard)
+            for shard in ShardSpec.partition(3)
+        )
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.results() == right.results()
+        assert left.shard == right.shard
+
+    @pytest.mark.slow
+    @given(
+        detection_streams(),
+        st.integers(2, 8),
+        st.sampled_from(["hash", "range"]),
+        st.randoms(use_true_random=False),
+    )
+    def test_deep_partition_sweep(self, detections, count, scheme, rng):
+        serial = feed_state(detections).results()
+        shards = list(ShardSpec.partition(count, scheme))
+        rng.shuffle(shards)
+        states = [
+            feed_state(detections, shard=shard) for shard in shards
+        ]
+        # Fold in pairs from a shuffled order: a different merge tree
+        # than the left fold StudyState.merged performs.
+        while len(states) > 1:
+            states = [
+                states[i].merge(states[i + 1])
+                if i + 1 < len(states)
+                else states[i]
+                for i in range(0, len(states), 2)
+            ]
+        assert states[0].results() == serial
+
+
+class TestVerdictEnginePartitions:
+    @given(detection_streams(), partitions, st.randoms(use_true_random=False))
+    def test_any_partition_reproduces_serial(
+        self, detections, partition, rng
+    ):
+        count, scheme = partition
+        serial = feed_engine(detections).finalize()
+        shards = list(ShardSpec.partition(count, scheme))
+        rng.shuffle(shards)
+        engines = [
+            feed_engine(detections, shard=shard) for shard in shards
+        ]
+        assert VerdictEngine.merged(engines).finalize() == serial
+
+    @given(detection_streams(), roa_tables())
+    def test_partition_with_roa_table_reproduces_serial(
+        self, detections, table
+    ):
+        serial = feed_engine(detections, roa_table=table).finalize()
+        engines = [
+            feed_engine(detections, shard=shard, roa_table=table)
+            for shard in ShardSpec.partition(4)
+        ]
+        merged = VerdictEngine.merged(engines)
+        assert merged.finalize() == serial
+        assert merged.roa_table == table
+
+    @given(detection_streams())
+    def test_merge_is_associative(self, detections):
+        a, b, c = (
+            feed_engine(detections, shard=shard)
+            for shard in ShardSpec.partition(3)
+        )
+        assert a.merge(b).merge(c).finalize() == a.merge(
+            b.merge(c)
+        ).finalize()
+
+    @pytest.mark.slow
+    @given(
+        detection_streams(),
+        st.integers(2, 8),
+        st.sampled_from(["hash", "range"]),
+        roa_tables(),
+    )
+    def test_deep_partition_sweep_with_rpki(
+        self, detections, count, scheme, table
+    ):
+        serial = feed_engine(detections, roa_table=table).finalize()
+        engines = [
+            feed_engine(detections, shard=shard, roa_table=table)
+            for shard in ShardSpec.partition(count, scheme)
+        ]
+        assert VerdictEngine.merged(engines).finalize() == serial

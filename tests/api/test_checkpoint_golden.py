@@ -1,0 +1,80 @@
+"""Golden checkpoint-compatibility fixtures.
+
+``tests/fixtures/`` commits one checkpoint file per payload version —
+``checkpoint_v1.json`` (the legacy single-state layout) and
+``checkpoint_v2/`` (the sharded directory layout) — built from a fixed
+hand-crafted detection stream by ``make_checkpoint_fixtures.py``.
+Loading each must keep producing byte-for-byte the same study results,
+pinned here as a digest, so checkpoint compatibility can never silently
+break: a load failure means old checkpoints stopped parsing, a digest
+mismatch means they parse into different science.
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.api.renderers import render
+from repro.api.service import MoasService
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+#: sha256 over the canonical renderings of the fixture study.  Only an
+#: intentional, documented checkpoint/statistics format change may
+#: update this constant (regenerate via make_checkpoint_fixtures.py).
+GOLDEN_DIGEST = (
+    "2fbe93545869ec6c0171c878fe4efce26128e087c2221373eb979193ea0d0267"
+)
+
+
+def results_digest(results) -> str:
+    """A stable digest over every figure the fixture study renders."""
+    blob = "\n".join(
+        render(results, figure, fmt)
+        for figure, fmt in (
+            ("summary", "json"),
+            ("episodes", "csv"),
+            ("figure1", "csv"),
+            ("figure3", "csv"),
+            ("figure4", "csv"),
+            ("figure5", "csv"),
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "fixture", ["checkpoint_v1.json", "checkpoint_v2"]
+)
+def test_fixture_checkpoints_load_to_pinned_results(fixture):
+    service = MoasService.load_checkpoint(FIXTURES / fixture)
+    assert service.days_fed == 5
+    assert results_digest(service.results()) == GOLDEN_DIGEST
+
+
+def test_fixture_layouts_differ_but_agree():
+    legacy = MoasService.load_checkpoint(FIXTURES / "checkpoint_v1.json")
+    sharded = MoasService.load_checkpoint(FIXTURES / "checkpoint_v2")
+    assert legacy.shards == 1
+    assert sharded.shards == 2
+    assert legacy.results() == sharded.results()
+
+
+def test_fixture_checkpoints_remain_feedable():
+    """A loaded golden checkpoint is a live session, not a museum piece."""
+    import datetime
+
+    from repro.core.detector import DayDetection
+
+    service = MoasService.load_checkpoint(FIXTURES / "checkpoint_v2")
+    service.feed_day(
+        DayDetection(
+            day=datetime.date(1998, 1, 6),
+            conflicts=(),
+            prefixes_scanned=40,
+            as_set_excluded=0,
+        )
+    )
+    assert service.days_fed == 6
+    assert results_digest(service.results()) != GOLDEN_DIGEST

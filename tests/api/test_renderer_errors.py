@@ -1,0 +1,81 @@
+"""Renderer-registry error paths: every failure is a typed ValueError."""
+
+import pytest
+
+from repro.api.renderers import available_renderings, render
+from repro.netbase.prefix import Prefix
+
+
+class TestDispatchErrors:
+    def test_unknown_figure_lists_available(self):
+        with pytest.raises(ValueError, match="unknown figure 'figure99'"):
+            render(object(), "figure99", "csv")
+        with pytest.raises(ValueError, match="figure1"):
+            render(object(), "nope", "csv")
+
+    def test_known_figure_unknown_format_lists_formats(self):
+        with pytest.raises(
+            ValueError, match="figure1.*no 'pdf' renderer"
+        ):
+            render(object(), "figure1", "pdf")
+        with pytest.raises(ValueError, match="csv"):
+            render(object(), "episodes", "yaml")
+
+    def test_registry_contains_rpki_figures(self):
+        available = available_renderings()
+        assert available["rpki"] == ("ascii", "csv", "json")
+        assert available["longevity"] == ("ascii", "csv", "json")
+
+
+class TestMalformedResults:
+    def test_plain_dict_raises_value_error_not_attribute_error(self):
+        with pytest.raises(ValueError, match="cannot render 'figure1'"):
+            render({"daily_series": []}, "figure1", "csv")
+
+    def test_evaluation_result_handed_to_study_figure(self):
+        from repro.analysis.evaluation import evaluate_verdicts
+
+        result = evaluate_verdicts({})
+        with pytest.raises(
+            ValueError, match="cannot render 'figure3'.*EvaluationResult"
+        ):
+            render(result, "figure3", "csv")
+
+    def test_study_results_handed_to_evaluation_figure(self, tmp_path):
+        from repro.api.service import MoasService
+
+        results = MoasService().results()
+        with pytest.raises(
+            ValueError, match="cannot render 'evaluation'"
+        ):
+            render(results, "evaluation", "csv")
+
+    def test_none_results(self):
+        with pytest.raises(ValueError, match="NoneType"):
+            render(None, "summary", "json")
+
+    def test_renderer_bug_chain_preserved(self):
+        # The original error stays attached for debugging.
+        try:
+            render({}, "rpki", "csv")
+        except ValueError as error:
+            assert isinstance(
+                error.__cause__, (AttributeError, KeyError, TypeError)
+            )
+        else:  # pragma: no cover
+            pytest.fail("malformed results did not raise")
+
+
+class TestVerdictRpkiDefaults:
+    def test_verdict_defaults_have_no_rpki_state(self):
+        from repro.core.verdict import Verdict
+
+        verdict = Verdict(
+            prefix=Prefix.parse("10.0.0.0/8"),
+            kind="organic",
+            tags=frozenset(),
+            suspicion=0.5,
+            days_observed=1,
+            origins=frozenset({1, 2}),
+        )
+        assert verdict.rpki_state is None

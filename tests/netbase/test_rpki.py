@@ -1,0 +1,199 @@
+"""Tests for ROAs and RFC 6811 origin validation."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.netbase.prefix import Prefix
+from repro.netbase.rpki import (
+    Roa,
+    RoaTable,
+    ValidationState,
+    worst_state,
+)
+
+
+def roa(text: str, origin: int, max_length: int | None = None, **windows):
+    prefix = Prefix.parse(text)
+    return Roa(
+        prefix=prefix,
+        max_length=max_length if max_length is not None else prefix.length,
+        origin=origin,
+        **windows,
+    )
+
+
+class TestRoa:
+    def test_max_length_must_cover_prefix_length(self):
+        with pytest.raises(ValueError, match="max_length"):
+            Roa(Prefix.parse("10.0.0.0/16"), 8, 65000)
+        with pytest.raises(ValueError, match="max_length"):
+            Roa(Prefix.parse("10.0.0.0/16"), 33, 65000)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="window"):
+            roa(
+                "10.0.0.0/16",
+                7,
+                valid_from=datetime.date(2000, 1, 2),
+                valid_until=datetime.date(2000, 1, 1),
+            )
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError, match="origin"):
+            roa("10.0.0.0/16", -1)
+
+    def test_active_on(self):
+        bounded = roa(
+            "10.0.0.0/16",
+            7,
+            valid_from=datetime.date(2000, 1, 1),
+            valid_until=datetime.date(2000, 1, 31),
+        )
+        assert bounded.active_on(None)
+        assert bounded.active_on(datetime.date(2000, 1, 1))
+        assert bounded.active_on(datetime.date(2000, 1, 31))
+        assert not bounded.active_on(datetime.date(1999, 12, 31))
+        assert not bounded.active_on(datetime.date(2000, 2, 1))
+        assert roa("10.0.0.0/16", 7).active_on(datetime.date(1970, 1, 1))
+
+    def test_dict_round_trip(self):
+        original = roa(
+            "10.0.0.0/16", 7, 18, valid_from=datetime.date(2000, 1, 1)
+        )
+        assert Roa.from_dict(original.to_dict()) == original
+
+    def test_from_dict_rejects_malformed_rows(self):
+        with pytest.raises(ValueError, match="missing"):
+            Roa.from_dict({"prefix": "10.0.0.0/16"})
+        with pytest.raises(ValueError, match="JSON object"):
+            Roa.from_dict(["10.0.0.0/16", 7])
+
+
+class TestValidation:
+    @pytest.fixture()
+    def table(self) -> RoaTable:
+        return RoaTable(
+            [
+                roa("10.0.0.0/16", 7, 18),
+                roa("10.0.0.0/16", 8),  # second authorized origin
+                roa("192.0.2.0/24", 9),
+            ]
+        )
+
+    def test_exact_match_is_valid(self, table):
+        state = table.validate(Prefix.parse("10.0.0.0/16"), 7)
+        assert state is ValidationState.VALID
+
+    def test_any_matching_roa_suffices(self, table):
+        assert (
+            table.validate(Prefix.parse("10.0.0.0/16"), 8)
+            is ValidationState.VALID
+        )
+
+    def test_wrong_origin_is_invalid(self, table):
+        assert (
+            table.validate(Prefix.parse("10.0.0.0/16"), 666)
+            is ValidationState.INVALID
+        )
+
+    def test_more_specific_within_max_length_is_valid(self, table):
+        assert (
+            table.validate(Prefix.parse("10.0.128.0/18"), 7)
+            is ValidationState.VALID
+        )
+
+    def test_more_specific_beyond_max_length_is_invalid(self, table):
+        # Covered by the /16 ROA but longer than max_length 18: the
+        # classic de-aggregation signature, invalid even for the
+        # authorized origin.
+        assert (
+            table.validate(Prefix.parse("10.0.0.0/24"), 7)
+            is ValidationState.INVALID
+        )
+
+    def test_uncovered_prefix_is_not_found(self, table):
+        assert (
+            table.validate(Prefix.parse("172.16.0.0/12"), 7)
+            is ValidationState.NOT_FOUND
+        )
+
+    def test_windows_gate_validation_by_day(self):
+        table = RoaTable(
+            [
+                roa(
+                    "10.0.0.0/16",
+                    7,
+                    valid_from=datetime.date(2000, 1, 10),
+                    valid_until=datetime.date(2000, 1, 20),
+                )
+            ]
+        )
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert (
+            table.validate(prefix, 7, day=datetime.date(2000, 1, 15))
+            is ValidationState.VALID
+        )
+        # Outside the window the ROA does not exist for that day.
+        assert (
+            table.validate(prefix, 7, day=datetime.date(2000, 1, 5))
+            is ValidationState.NOT_FOUND
+        )
+        # day=None ignores windows entirely.
+        assert table.validate(prefix, 7) is ValidationState.VALID
+
+    def test_covering_roas(self, table):
+        covering = table.covering_roas(Prefix.parse("10.0.0.0/24"))
+        assert {r.origin for r in covering} == {7, 8}
+
+    def test_worst_state_precedence(self):
+        assert (
+            worst_state(ValidationState.VALID, ValidationState.INVALID)
+            is ValidationState.INVALID
+        )
+        assert (
+            worst_state(ValidationState.NOT_FOUND, ValidationState.VALID)
+            is ValidationState.VALID
+        )
+        assert worst_state(None, ValidationState.NOT_FOUND) is (
+            ValidationState.NOT_FOUND
+        )
+
+
+class TestRoaTable:
+    def test_equality_and_canonical_order(self):
+        first = RoaTable([roa("10.0.0.0/16", 7), roa("192.0.2.0/24", 9)])
+        second = RoaTable([roa("192.0.2.0/24", 9), roa("10.0.0.0/16", 7)])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first.key == second.key
+        assert len(first) == 2
+
+    def test_json_round_trip(self):
+        table = RoaTable(
+            [
+                roa("10.0.0.0/16", 7, 18,
+                    valid_from=datetime.date(2000, 1, 1)),
+                roa("192.0.2.0/24", 9),
+            ]
+        )
+        assert RoaTable.from_json(table.to_json()) == table
+
+    def test_from_json_rejects_non_array(self):
+        with pytest.raises(ValueError, match="JSON array"):
+            RoaTable.from_json(json.dumps({"roas": []}))
+
+    def test_load_from_file_and_directory(self, tmp_path):
+        table = RoaTable([roa("10.0.0.0/16", 7)])
+        path = tmp_path / "roas.json"
+        path.write_text(table.to_json())
+        assert RoaTable.load(path) == table
+        assert RoaTable.load(tmp_path) == table
+        assert RoaTable.load(table) is table
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--rpki"):
+            RoaTable.load(tmp_path)  # directory without roas.json
+        with pytest.raises(FileNotFoundError, match="no ROA file"):
+            RoaTable.load(tmp_path / "missing.json")

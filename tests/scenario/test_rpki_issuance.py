@@ -1,0 +1,302 @@
+"""Tests for scenario-world ROA issuance (the RPKI shadow)."""
+
+import datetime
+import random
+
+import pytest
+
+from repro.netbase.prefix import Prefix
+from repro.netbase.rpki import RoaTable, ValidationState
+from repro.scenario.archive import (
+    ArchiveReader,
+    FLAG_AS_SET_TAIL,
+    FLAG_EXCHANGE_POINT,
+    RegistryEntry,
+    convert_archive,
+)
+from repro.scenario.incidents import IncidentKind, IncidentLabel, IncidentScript
+from repro.scenario.rpki import RpkiConfig, issue_roas
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import StudyCalendar
+
+START = datetime.date(2000, 1, 1)
+
+
+def date_of(index: int) -> datetime.date:
+    return START + datetime.timedelta(days=index)
+
+
+def entry(text: str, owner: int, created_day: int = 0, flags: int = 0):
+    return RegistryEntry(Prefix.parse(text), owner, created_day, flags)
+
+
+def label(kind, text, owner_or_perp, origins, start=10, end=20):
+    return IncidentLabel(
+        kind=kind,
+        prefix=Prefix.parse(text),
+        start_index=start,
+        end_index=end,
+        perpetrator=owner_or_perp,
+        origins=tuple(origins),
+    )
+
+
+ASNS = list(range(100, 140))
+
+
+def issue(registry, labels=(), config=None, seed=7, events=()):
+    return issue_roas(
+        registry,
+        labels,
+        config=config or RpkiConfig(),
+        asns=ASNS,
+        rng=random.Random(seed),
+        date_of_index=date_of,
+        organic_events=events,
+    )
+
+
+class TestConfig:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError, match="coverage"):
+            RpkiConfig(coverage=1.5)
+        with pytest.raises(ValueError, match="stale_fraction"):
+            RpkiConfig(stale_fraction=-0.1)
+        with pytest.raises(ValueError, match="max_length_slack"):
+            RpkiConfig(max_length_slack=-1)
+
+    def test_to_dict(self):
+        payload = RpkiConfig().to_dict()
+        assert payload["coverage"] == 0.9
+        assert payload["max_length_slack"] == 1
+
+
+class TestOrganicCoverage:
+    def test_full_coverage_authorizes_every_owner(self):
+        registry = [entry("10.0.0.0/16", 101, 3), entry("11.0.0.0/16", 102)]
+        table = RoaTable(
+            issue(registry, config=RpkiConfig(coverage=1.0,
+                                              stale_fraction=0.0,
+                                              misissue_fraction=0.0))
+        )
+        for row in registry:
+            assert (
+                table.validate(row.prefix, row.owner)
+                is ValidationState.VALID
+            )
+        # Day-stamped: the ROA starts the day the prefix registered.
+        assert (
+            table.validate(
+                Prefix.parse("10.0.0.0/16"), 101, day=date_of(0)
+            )
+            is ValidationState.NOT_FOUND
+        )
+        assert (
+            table.validate(
+                Prefix.parse("10.0.0.0/16"), 101, day=date_of(3)
+            )
+            is ValidationState.VALID
+        )
+
+    def test_zero_coverage_issues_nothing_organic(self):
+        registry = [entry("10.0.0.0/16", 101)]
+        assert issue(registry, config=RpkiConfig(coverage=0.0)) == []
+
+    def test_flagged_registrations_are_skipped(self):
+        registry = [
+            entry("10.0.0.0/14", 101, flags=FLAG_AS_SET_TAIL),
+            entry("198.32.0.0/24", 101, flags=FLAG_EXCHANGE_POINT),
+        ]
+        assert issue(registry, config=RpkiConfig(coverage=1.0)) == []
+
+    def test_stale_roa_never_names_the_current_owner(self):
+        registry = [entry("10.0.0.0/16", 101)]
+        config = RpkiConfig(
+            coverage=1.0, stale_fraction=1.0, misissue_fraction=0.0
+        )
+        table = RoaTable(issue(registry, config=config))
+        assert len(table) == 1
+        assert (
+            table.validate(Prefix.parse("10.0.0.0/16"), 101)
+            is ValidationState.INVALID
+        )
+
+    def test_misissue_adds_a_wrong_origin_beside_the_correct_one(self):
+        registry = [entry("10.0.0.0/16", 101)]
+        config = RpkiConfig(
+            coverage=1.0, stale_fraction=0.0, misissue_fraction=1.0
+        )
+        table = RoaTable(issue(registry, config=config))
+        assert len(table) == 2
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert table.validate(prefix, 101) is ValidationState.VALID
+        wrong = next(roa.origin for roa in table if roa.origin != 101)
+        # The misissued authorization would bless a hijack by that AS.
+        assert table.validate(prefix, wrong) is ValidationState.VALID
+
+    def test_valid_cause_events_authorize_secondary_origins(self):
+        registry = [entry("10.0.0.0/16", 101)]
+        config = RpkiConfig(
+            coverage=1.0, stale_fraction=0.0, misissue_fraction=0.0
+        )
+        events = [
+            {"prefix": "10.0.0.0/16", "origins": [101, 105],
+             "cause": "static_multihoming", "valid": True,
+             "start_index": 5},
+            # Invalid causes never earn an authorization.
+            {"prefix": "10.0.0.0/16", "origins": [101, 199],
+             "cause": "misconfig", "valid": False, "start_index": 9},
+        ]
+        table = RoaTable(issue(registry, config=config, events=events))
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert table.validate(prefix, 105) is ValidationState.VALID
+        assert table.validate(prefix, 199) is ValidationState.INVALID
+        # The secondary authorization starts with the arrangement.
+        assert (
+            table.validate(prefix, 105, day=date_of(2))
+            is ValidationState.INVALID
+        )
+
+
+class TestIncidentShadows:
+    def test_hijack_victim_gets_correct_roa(self):
+        registry = [entry("10.0.0.0/16", 101, 2)]
+        labels = [
+            label(
+                IncidentKind.EXACT_HIJACK, "10.0.0.0/16", 666, (101, 666)
+            )
+        ]
+        table = RoaTable(
+            issue(registry, labels, config=RpkiConfig(coverage=0.0))
+        )
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert table.validate(prefix, 101) is ValidationState.VALID
+        assert table.validate(prefix, 666) is ValidationState.INVALID
+
+    def test_anycast_gets_multi_origin_roa_set(self):
+        registry = [entry("10.0.0.0/16", 101)]
+        origins = (101, 110, 111, 112)
+        labels = [
+            label(IncidentKind.ANYCAST, "10.0.0.0/16", None, origins)
+        ]
+        table = RoaTable(
+            issue(registry, labels, config=RpkiConfig(coverage=0.0))
+        )
+        prefix = Prefix.parse("10.0.0.0/16")
+        for origin in origins:
+            assert table.validate(prefix, origin) is ValidationState.VALID
+        assert table.validate(prefix, 999) is ValidationState.INVALID
+
+    def test_subprefix_fragment_covered_but_never_authorized(self):
+        registry = [
+            entry("10.0.0.0/16", 101),
+            entry("10.0.0.0/18", 666, 10),  # the perpetrator's fragment
+        ]
+        labels = [
+            label(
+                IncidentKind.SUBPREFIX_HIJACK, "10.0.0.0/18", 666, (666,)
+            )
+        ]
+        table = RoaTable(
+            issue(registry, labels, config=RpkiConfig(coverage=0.0))
+        )
+        fragment = Prefix.parse("10.0.0.0/18")
+        # Covered by the victim's ROA, longer than its max_length, and
+        # originated by the wrong AS: invalid twice over.
+        assert table.validate(fragment, 666) is ValidationState.INVALID
+        assert (
+            table.validate(Prefix.parse("10.0.0.0/16"), 101)
+            is ValidationState.VALID
+        )
+
+    def test_aggregate_and_ixp_stay_uncovered(self):
+        registry = [
+            entry("10.0.0.0/14", 666, 10),
+            entry("198.32.255.0/24", 120, 10, FLAG_EXCHANGE_POINT),
+        ]
+        labels = [
+            label(
+                IncidentKind.FAULTY_AGGREGATION, "10.0.0.0/14", 666, (666,)
+            ),
+            label(
+                IncidentKind.IXP_CONFLICT,
+                "198.32.255.0/24",
+                None,
+                (120, 121),
+            ),
+        ]
+        table = RoaTable(
+            issue(registry, labels, config=RpkiConfig(coverage=1.0))
+        )
+        assert (
+            table.validate(Prefix.parse("10.0.0.0/14"), 666)
+            is ValidationState.NOT_FOUND
+        )
+        assert (
+            table.validate(Prefix.parse("198.32.255.0/24"), 120)
+            is ValidationState.NOT_FOUND
+        )
+
+
+CALENDAR = StudyCalendar(
+    datetime.date(1997, 11, 8), datetime.date(1997, 12, 17)
+)  # 40 days
+
+
+class TestWorldIntegration:
+    @pytest.fixture(scope="class")
+    def archive(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("rpki-world") / "archive"
+        config = ScenarioConfig(
+            scale=0.02,
+            calendar=CALENDAR,
+            paper_archive_gaps=False,
+            incidents=IncidentScript.canned(CALENDAR.num_days),
+            rpki=RpkiConfig(),
+        )
+        summary = simulate_study(directory, config)
+        return directory, summary
+
+    def test_roas_side_file_and_manifest(self, archive):
+        directory, summary = archive
+        reader = ArchiveReader(directory)
+        assert reader.has_roas()
+        rows = reader.roas()
+        assert summary["roas_issued"] == len(rows)
+        assert summary["rpki"] == RpkiConfig().to_dict()
+        table = RoaTable.from_rows(rows)
+        assert len(table) == len(rows)
+
+    def test_issuance_is_deterministic(self, archive, tmp_path):
+        directory, _summary = archive
+        config = ScenarioConfig(
+            scale=0.02,
+            calendar=CALENDAR,
+            paper_archive_gaps=False,
+            incidents=IncidentScript.canned(CALENDAR.num_days),
+            rpki=RpkiConfig(),
+        )
+        simulate_study(tmp_path / "again", config)
+        assert (tmp_path / "again" / "roas.json").read_bytes() == (
+            directory / "roas.json"
+        ).read_bytes()
+
+    def test_convert_carries_roas(self, archive, tmp_path):
+        directory, _summary = archive
+        convert_archive(directory, tmp_path / "converted", format="v2")
+        converted = ArchiveReader(tmp_path / "converted")
+        assert converted.has_roas()
+        assert converted.roas() == ArchiveReader(directory).roas()
+
+    def test_reader_without_side_files_returns_empty(self, tmp_path):
+        config = ScenarioConfig(
+            scale=0.02, calendar=CALENDAR, paper_archive_gaps=False
+        )
+        simulate_study(tmp_path / "plain", config)
+        reader = ArchiveReader(tmp_path / "plain")
+        assert not reader.has_roas()
+        assert reader.roas() == []
+        # Same contract for incident labels: an archive generated
+        # without incidents has an empty answer key, not an error.
+        assert not reader.has_incidents()
+        assert reader.incident_labels() == []
