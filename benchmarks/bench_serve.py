@@ -1,0 +1,186 @@
+"""SERVE — query latency and throughput of the live daemon.
+
+Boots the serve daemon over a canned-incident world, holds it in its
+ingestion phase (throttled fold loop), and drives N concurrent clients
+through the figure endpoints — the paper-repro equivalent of a
+monitoring dashboard fan-out hitting a feed that is still ingesting.
+
+Gates (env-tunable; generous defaults so CI variance never flakes,
+order-of-magnitude regressions always fail):
+
+- sustained request rate across all clients >= ``REPRO_BENCH_SERVE_MIN_RPS``
+  (default 50 req/s);
+- p99 latency <= ``REPRO_BENCH_SERVE_MAX_P99_MS`` (default 2000 ms);
+- zero failed requests.
+
+The measured latency distribution (p50/p90/p99, req/s, client count)
+is written to ``BENCH_serve.json`` (override with
+``REPRO_BENCH_SERVE_OUT``) so CI publishes the serving-performance
+trajectory run over run.
+"""
+
+import datetime
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.api.serve import BackgroundServer, ServeConfig
+from repro.scenario.incidents import IncidentScript
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import StudyCalendar
+
+SCALE = float(os.environ.get("REPRO_BENCH_SERVE_SCALE", "0.02"))
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "8"))
+DURATION = float(os.environ.get("REPRO_BENCH_SERVE_SECONDS", "6"))
+MIN_RPS = float(os.environ.get("REPRO_BENCH_SERVE_MIN_RPS", "50"))
+MAX_P99_MS = float(
+    os.environ.get("REPRO_BENCH_SERVE_MAX_P99_MS", "2000")
+)
+OUT_PATH = Path(
+    os.environ.get("REPRO_BENCH_SERVE_OUT", "BENCH_serve.json")
+)
+
+CALENDAR = StudyCalendar(
+    datetime.date(1997, 11, 8), datetime.date(1998, 2, 15)
+)  # 100 days
+
+#: The request mix: every response format, light and heavy figures.
+TARGETS = (
+    "/v1/figure/figure1?format=csv",
+    "/v1/figure/figure2?format=ascii",
+    "/v1/figure/summary?format=json",
+    "/v1/figure/episodes?format=json",
+    "/v1/status",
+)
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """The ``fraction`` percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1,
+        int(fraction * (len(sorted_values) - 1) + 0.5),
+    )
+    return sorted_values[index]
+
+
+def test_serve_latency_under_concurrent_load(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-serve") / "archive"
+    simulate_study(
+        directory,
+        ScenarioConfig(
+            scale=SCALE,
+            calendar=CALENDAR,
+            paper_archive_gaps=False,
+            incidents=IncidentScript.canned(CALENDAR.num_days),
+        ),
+    )
+
+    # Pace ingestion so the measurement window overlaps live folding:
+    # 100 days spread across the whole run keeps the daemon in its
+    # "readers racing the writer" regime the entire time.
+    config = ServeConfig(
+        archive=directory,
+        port=0,
+        ingest_delay=max(0.01, DURATION / CALENDAR.num_days),
+    )
+    latencies_ms: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def client(index: int, url: str) -> None:
+        count = 0
+        while not stop.is_set():
+            target = TARGETS[(index + count) % len(TARGETS)]
+            count += 1
+            started = time.perf_counter()
+            try:
+                with urllib.request.urlopen(
+                    url + target, timeout=30
+                ) as response:
+                    response.read()
+                    status = response.status
+            except urllib.error.HTTPError as error:
+                if error.code == 503:
+                    continue  # warm-up: nothing ingested yet
+                with lock:
+                    failures.append(f"{target}: HTTP {error.code}")
+                continue
+            except Exception as error:  # noqa: BLE001 — recorded below
+                with lock:
+                    failures.append(f"{target}: {error}")
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            with lock:
+                if status == 200:
+                    latencies_ms.append(elapsed_ms)
+                else:
+                    failures.append(f"{target}: HTTP {status}")
+
+    with BackgroundServer(config) as url:
+        threads = [
+            threading.Thread(target=client, args=(index, url))
+            for index in range(CLIENTS)
+        ]
+        window_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        time.sleep(DURATION)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        window_seconds = time.perf_counter() - window_started
+        status_payload = json.loads(
+            urllib.request.urlopen(url + "/v1/status", timeout=30).read()
+        )
+
+    ordered = sorted(latencies_ms)
+    requests_per_second = len(ordered) / window_seconds
+    payload = {
+        "scale": SCALE,
+        "days": CALENDAR.num_days,
+        "clients": CLIENTS,
+        "window_seconds": round(window_seconds, 3),
+        "requests": len(ordered),
+        "requests_per_second": round(requests_per_second, 1),
+        "latency_ms": {
+            "p50": round(percentile(ordered, 0.50), 2),
+            "p90": round(percentile(ordered, 0.90), 2),
+            "p99": round(percentile(ordered, 0.99), 2),
+            "max": round(ordered[-1], 2) if ordered else 0.0,
+        },
+        "days_fed_at_end": status_payload["days_fed"],
+        "alerts_emitted": status_payload["alerts"]["emitted"],
+        "failures": len(failures),
+        "floors": {
+            "min_requests_per_second": MIN_RPS,
+            "max_p99_ms": MAX_P99_MS,
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    print(
+        f"\n[serve] {CLIENTS} clients, {len(ordered)} requests in "
+        f"{window_seconds:.1f}s = {requests_per_second:.0f} req/s; "
+        f"p50 {payload['latency_ms']['p50']}ms, "
+        f"p99 {payload['latency_ms']['p99']}ms "
+        f"(floors: >={MIN_RPS} req/s, p99 <= {MAX_P99_MS}ms); "
+        f"payload -> {OUT_PATH}"
+    )
+
+    assert not failures, f"{len(failures)} failed requests: {failures[:5]}"
+    assert len(ordered) > 0, "no successful requests measured"
+    assert requests_per_second >= MIN_RPS, (
+        f"sustained rate {requests_per_second:.1f} req/s below the "
+        f"pinned floor {MIN_RPS}"
+    )
+    p99 = percentile(ordered, 0.99)
+    assert p99 <= MAX_P99_MS, (
+        f"p99 latency {p99:.1f} ms above the pinned ceiling "
+        f"{MAX_P99_MS} ms"
+    )

@@ -53,6 +53,53 @@ def episodes_csv(results: StudyResults) -> str:
     return out.getvalue()
 
 
+def episode_record(
+    results: StudyResults, prefix
+) -> dict:
+    """One prefix's episode as a JSON-serializable record.
+
+    The per-episode answer shape of the serve API's
+    ``/v1/episodes/{prefix}`` endpoint and of the ``episodes``/``json``
+    renderer: the full :class:`~repro.core.episodes.ConflictEpisode`
+    fields plus the episode's RFC 6811 rollup when the study ran with a
+    ROA table.  Raises :class:`KeyError` when ``results`` holds no
+    episode for ``prefix``.
+    """
+    episode = results.episodes[prefix]
+    record = {
+        "prefix": str(prefix),
+        "prefix_length": prefix.length,
+        "first_day": episode.first_day.isoformat(),
+        "last_day": episode.last_day.isoformat(),
+        "days_observed": episode.days_observed,
+        "origins": sorted(episode.origins_ever),
+        "max_origins_single_day": episode.max_origins_single_day,
+        "ongoing": episode.ongoing,
+        "one_time": episode.one_time,
+    }
+    rpki_state = results.rpki_episode_states.get(prefix)
+    if rpki_state is not None:
+        record["rpki_state"] = rpki_state
+    return record
+
+
+def episodes_json(results: StudyResults) -> str:
+    """The per-prefix conflict table as a JSON array.
+
+    Same rows and ordering as :func:`episodes_csv`, in the record shape
+    of :func:`episode_record`.
+    """
+    return json.dumps(
+        [
+            episode_record(results, prefix)
+            for prefix in sorted(
+                results.episodes, key=lambda p: p.sort_key()
+            )
+        ],
+        indent=2,
+    )
+
+
 def summary_json(results: StudyResults) -> str:
     """Headline aggregates as a JSON document."""
     payload = {

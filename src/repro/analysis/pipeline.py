@@ -320,6 +320,13 @@ class StudyState:
 
         Non-destructive: the state is still feedable afterwards, so a
         long-running service can report interim results mid-study.
+
+        The returned object is *detached*: every container it carries
+        (series lists, the episode table, histograms, rollup dicts) is
+        freshly assembled here, so later :meth:`feed_day` calls never
+        mutate a results object already handed out.  This is the
+        snapshot-isolation contract the serve daemon relies on —
+        assemble under the service lock, render outside it.
         """
         episodes = self._tracker.finalize()
         length_distribution = {
@@ -358,6 +365,23 @@ class StudyState:
                 for prefix, state in self._rpki_states.items()
             },
         )
+
+    def clone(self) -> "StudyState":
+        """An independent copy of the complete streaming state.
+
+        Feeding or merging the clone never touches the original (and
+        vice versa); the immutable ROA table is shared, not copied.
+        Built on the :meth:`state_dict` round-trip, so the clone is by
+        construction exactly what a checkpoint-restore would produce.
+        """
+        copied = StudyState.from_state(
+            self.state_dict(), pipeline=self.pipeline
+        )
+        if self.roa_table is not None:
+            # from_state rebuilds the table from rows; share the
+            # original instance instead so validation memos stay warm.
+            copied.roa_table = self.roa_table
+        return copied
 
     # -- shard combination ----------------------------------------------
 

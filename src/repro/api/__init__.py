@@ -9,9 +9,11 @@ Three pluggable layers over the analysis core:
   figure/table behind one ``render(results, figure, format)`` call;
 - :mod:`repro.api.service` — :class:`MoasService`, the
   incrementally-feedable, checkpointable study session;
+- :mod:`repro.api.serve` — the concurrent query + live-alert HTTP
+  daemon (:class:`ServeDaemon`) over a long-lived session;
 - :mod:`repro.api.cli` — the single ``repro`` command
-  (``simulate | analyze | convert | report | evaluate | watch``)
-  built on the facade.
+  (``simulate | analyze | convert | report | evaluate | watch |
+  serve``) built on the facade.
 """
 
 from repro.api.renderers import (
@@ -19,6 +21,11 @@ from repro.api.renderers import (
     available_renderings,
     register_renderer,
     render,
+)
+from repro.api.serve import (
+    BackgroundServer,
+    ServeConfig,
+    ServeDaemon,
 )
 from repro.api.service import CHECKPOINT_VERSION, MoasService
 from repro.api.sources import (
@@ -34,6 +41,7 @@ from repro.api.sources import (
 
 __all__ = [
     "ArchiveSource",
+    "BackgroundServer",
     "CHECKPOINT_VERSION",
     "DetectionSource",
     "MemorySource",
@@ -41,6 +49,8 @@ __all__ = [
     "MrtFilesSource",
     "NetworkSource",
     "Renderer",
+    "ServeConfig",
+    "ServeDaemon",
     "available_renderings",
     "open_source",
     "register_renderer",

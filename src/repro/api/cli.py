@@ -1,9 +1,6 @@
-"""The ``repro`` command: simulate/analyze/convert/report/evaluate/watch.
+"""The ``repro`` command: simulate/analyze/convert/report/evaluate/watch/serve.
 
-One CLI over the :mod:`repro.api` facade.  The legacy
-``repro-simulate`` / ``repro-analyze`` / ``repro-report`` entry points
-delegate here, so their behavior (including report bytes) is identical
-by construction.
+One CLI over the :mod:`repro.api` facade.
 
 - ``repro simulate ARCHIVE``: generate a synthetic Route Views archive
   (``--workers`` parallelizes the optional MRT day dumps;
@@ -20,7 +17,10 @@ by construction.
   and score its cause attribution against the archive's injected
   incident labels (see ``repro simulate --incidents``);
 - ``repro watch UPDATES.mrt``: stream BGP4MP updates through the
-  real-time alerter.
+  real-time alerter;
+- ``repro serve ARCHIVE``: run the concurrent query + live-alert HTTP
+  daemon over a long-lived study session (REST figures, SSE alerts,
+  drop-directory ingestion, crash-safe checkpoints).
 
 ``--workers`` accepts a worker count, ``auto``/``0`` for CPU
 auto-detection, or ``1`` (the default) for the serial path that never
@@ -73,9 +73,16 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the unified ``repro`` command."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the IMC 2001 MOAS conflict study.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
@@ -84,6 +91,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_report(sub)
     _add_evaluate(sub)
     _add_watch(sub)
+    _add_serve(sub)
     args = parser.parse_args(argv)
     return args.func(args)
 
@@ -439,7 +447,7 @@ def _run_report(args: argparse.Namespace) -> int:
     report_path = args.output_dir / "report.txt"
     if not report_path.exists():
         print(
-            f"no report at {report_path}; run repro-analyze first",
+            f"no report at {report_path}; run repro analyze first",
             file=sys.stderr,
         )
         return 1
@@ -581,6 +589,105 @@ def _run_watch(args: argparse.Namespace) -> int:
         f"at end of stream"
     )
     return 0
+
+
+# -- serve --------------------------------------------------------------------
+
+
+def _add_serve(sub) -> None:
+    parser = sub.add_parser(
+        "serve",
+        help="run the concurrent query + live-alert HTTP daemon",
+        description="Serve a long-lived MOAS study session over HTTP: "
+        "REST figure/episode/verdict queries rendered from consistent "
+        "day-boundary snapshots, a Server-Sent-Events alert stream, "
+        "background ingestion of the archive (and, with --watch, of "
+        "MRT day dumps dropped into a directory), and crash-safe "
+        "periodic checkpoints.",
+    )
+    parser.add_argument(
+        "archive_dir",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="archive to feed at startup (optional with --watch)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="listen port; 0 picks an ephemeral port (default 8731)",
+    )
+    parser.add_argument(
+        "--watch",
+        type=Path,
+        metavar="DIR",
+        help="poll this directory for new *.mrt day dumps and fold "
+        "them into the live session as they appear",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="drop-directory poll interval (default 2.0)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        metavar="CKPT",
+        help="persist the session here (resumed at next boot; written "
+        "after the initial feed, periodically during ingestion, and "
+        "on shutdown)",
+    )
+    parser.add_argument(
+        "--checkpoint-every-days",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally checkpoint every N newly ingested days "
+        "(default 0: only at feed boundaries and shutdown)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="M",
+        help="fold the study state into M prefix-space shards "
+        "(default 1)",
+    )
+    parser.add_argument(
+        "--rpki",
+        type=Path,
+        metavar="ROAS",
+        help="validate conflict origins against this ROA database "
+        "(default: the archive's own roas.json when present)",
+    )
+    parser.set_defaults(func=_run_serve)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.api.serve import ServeConfig, run_serve
+
+    try:
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
+        config = ServeConfig(
+            archive=args.archive_dir,
+            host=args.host,
+            port=args.port,
+            watch=args.watch,
+            poll_interval=args.poll_interval,
+            checkpoint=args.checkpoint,
+            checkpoint_every_days=args.checkpoint_every_days,
+            shards=args.shards,
+            rpki=args.rpki,
+        )
+        return run_serve(config)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError) as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

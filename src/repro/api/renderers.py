@@ -18,7 +18,7 @@ from repro.analysis.evaluation import (
     evaluation_csv,
     evaluation_json,
 )
-from repro.analysis.export import episodes_csv, summary_json
+from repro.analysis.export import episodes_csv, episodes_json, summary_json
 from repro.analysis.figures import (
     figure1_ascii,
     figure1_csv,
@@ -257,6 +257,7 @@ def _figure6_json(results: StudyResults) -> str:
 # -- episode table and study summary ------------------------------------------
 
 register_renderer("episodes", "csv")(episodes_csv)
+register_renderer("episodes", "json")(episodes_json)
 register_renderer("summary", "json")(summary_json)
 register_renderer("summary", "ascii")(summary_report)
 

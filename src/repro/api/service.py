@@ -29,6 +29,7 @@ formats (v1 and v2; the reader auto-detects, see
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 from repro.analysis.parallel import (
@@ -93,6 +94,14 @@ class MoasService:
         self._states = executor.make_states(
             self.pipeline, roa_table=roa_table
         )
+        # Snapshot isolation for concurrent readers (the serve daemon
+        # folds days on one thread while request handlers read).  Every
+        # mutation and every multi-structure read holds this lock, so
+        # readers always observe a day boundary — state as it stood
+        # after some prefix of the fed day stream, never a torn
+        # mid-fold mixture.  Single-threaded batch use pays one
+        # uncontended RLock acquire per day, which is noise.
+        self._lock = threading.RLock()
 
     # -- feeding -----------------------------------------------------------
 
@@ -114,9 +123,15 @@ class MoasService:
         a source that overlaps what this session already saw.  Every
         shard folds the full detection (day-level aggregates are shared,
         per-prefix state is shard-filtered).
+
+        The fold is atomic with respect to :meth:`results`,
+        :meth:`snapshot_state` and :meth:`save_checkpoint` running on
+        other threads: a concurrent reader sees the session either
+        before or after the whole day, never mid-fold.
         """
-        for state in self._states:
-            state.feed_day(detection)
+        with self._lock:
+            for state in self._states:
+                state.feed_day(detection)
 
     def feed(
         self,
@@ -167,8 +182,15 @@ class MoasService:
         Non-destructive: the session remains feedable, so interim
         results can be read mid-study.  Sharded sessions merge their
         shard states on the fly (the states themselves are untouched).
+
+        The returned :class:`StudyResults` is a detached copy-on-merge
+        snapshot: it shares no mutable state with the live session (see
+        :meth:`StudyState.results`), and assembly holds the session
+        lock, so a service thread can keep rendering it while
+        :meth:`feed_day` continues on another thread.
         """
-        return StudyState.merged(self._states).results()
+        with self._lock:
+            return StudyState.merged(self._states).results()
 
     def render(self, figure: str, format: str = "csv") -> str:
         """Render one figure/table from the current session state."""
@@ -263,12 +285,19 @@ class MoasService:
     # -- checkpointing -----------------------------------------------------
 
     def snapshot_state(self) -> dict:
-        """The session as a JSON-serializable checkpoint payload."""
-        return {
-            "version": CHECKPOINT_VERSION,
-            "pipeline": self.pipeline.config_dict(),
-            "shards": [state.state_dict() for state in self._states],
-        }
+        """The session as a JSON-serializable checkpoint payload.
+
+        Taken atomically at a day boundary even while :meth:`feed_day`
+        runs on another thread: the payload always equals the state
+        after some prefix of the fed day stream (and all shards agree
+        on which prefix), never a torn mid-fold mixture.
+        """
+        with self._lock:
+            return {
+                "version": CHECKPOINT_VERSION,
+                "pipeline": self.pipeline.config_dict(),
+                "shards": [state.state_dict() for state in self._states],
+            }
 
     @classmethod
     def resume(cls, snapshot: dict, *, workers: int = 1) -> "MoasService":
@@ -358,9 +387,13 @@ class MoasService:
             except (json.JSONDecodeError, TypeError, ValueError):
                 generation = 1
         shard_files = []
-        for index, state in enumerate(self._states):
+        # One lock hold across every shard: all files must describe
+        # the same day boundary even while another thread keeps feeding.
+        with self._lock:
+            shard_dicts = [state.state_dict() for state in self._states]
+        for index, payload in enumerate(shard_dicts):
             name = f"shard-{index:02d}.g{generation}.json"
-            atomic_write_text(path / name, json.dumps(state.state_dict()))
+            atomic_write_text(path / name, json.dumps(payload))
             shard_files.append(name)
         manifest = {
             "version": CHECKPOINT_VERSION,

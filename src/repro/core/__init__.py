@@ -20,7 +20,12 @@
 from repro.core.classifier import ConflictClass, classify_conflict, classify_pair
 from repro.core.detector import DailyConflict, detect_day, detect_snapshot
 from repro.core.episodes import ConflictEpisode, EpisodeTracker
-from repro.core.realtime import AlertKind, MoasAlert, StreamingMoasDetector
+from repro.core.realtime import (
+    AlertKind,
+    DaySnapshotAlerter,
+    MoasAlert,
+    StreamingMoasDetector,
+)
 from repro.core.stats import (
     duration_expectations,
     duration_histogram,
@@ -44,6 +49,7 @@ __all__ = [
     "prefix_length_distribution",
     "yearly_medians",
     "AlertKind",
+    "DaySnapshotAlerter",
     "MoasAlert",
     "StreamingMoasDetector",
     "ConflictValidator",

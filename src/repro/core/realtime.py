@@ -12,13 +12,26 @@ hint from Section VI-F.
 
 from __future__ import annotations
 
+import calendar
+import datetime
 import enum
 from collections.abc import Iterator
 from dataclasses import dataclass
 
+from repro.core.detector import DayDetection
 from repro.mrt.records import Bgp4mpMessage, Bgp4mpStateChange
 from repro.netbase.aspath import ASPath
 from repro.netbase.prefix import Prefix
+
+
+def day_timestamp(day: datetime.date) -> int:
+    """Seconds since the Unix epoch at UTC midnight of ``day``.
+
+    The timestamp stamped onto alerts derived from daily snapshots
+    (:class:`DaySnapshotAlerter`), where the finest time resolution the
+    data offers is the observation day itself.
+    """
+    return calendar.timegm(day.timetuple())
 
 
 class AlertKind(enum.Enum):
@@ -41,6 +54,53 @@ class MoasAlert:
     previous_origins: frozenset[int]
     #: ASN whose appearance/disappearance triggered the alert.
     changed_origin: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form — the wire contract of the serve
+        daemon's ``/v1/alerts`` SSE stream (see :mod:`repro.api.serve`).
+
+        Origin sets are rendered as sorted lists so equal alerts
+        serialize to equal documents; :meth:`from_dict` restores the
+        exact alert.
+        """
+        return {
+            "timestamp": self.timestamp,
+            "day": datetime.datetime.fromtimestamp(
+                self.timestamp, tz=datetime.timezone.utc
+            )
+            .date()
+            .isoformat(),
+            "prefix": str(self.prefix),
+            "kind": self.kind.value,
+            "origins": sorted(self.origins),
+            "previous_origins": sorted(self.previous_origins),
+            "changed_origin": self.changed_origin,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MoasAlert":
+        """Rebuild an alert from :meth:`to_dict` output.
+
+        Raises :class:`ValueError` (never a bare ``KeyError``) on
+        payloads that do not carry the alert contract.
+        """
+        try:
+            return cls(
+                timestamp=int(payload["timestamp"]),
+                prefix=Prefix.parse(payload["prefix"]),
+                kind=AlertKind(payload["kind"]),
+                origins=frozenset(
+                    int(asn) for asn in payload["origins"]
+                ),
+                previous_origins=frozenset(
+                    int(asn) for asn in payload["previous_origins"]
+                ),
+                changed_origin=int(payload["changed_origin"]),
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"alert payload is missing field {missing}"
+            ) from None
 
 
 class StreamingMoasDetector:
@@ -137,6 +197,27 @@ class StreamingMoasDetector:
             else:
                 yield from self.process_update(message, timestamp)
 
+    # -- direct route feeding ----------------------------------------------
+
+    def announce_route(
+        self, peer: int, prefix: Prefix, path: ASPath, timestamp: int = 0
+    ) -> list[MoasAlert]:
+        """Apply one announcement without wrapping it in a BGP4MP record.
+
+        The single-route equivalent of :meth:`process_update`, for
+        callers that already hold decoded routing state (the serve
+        daemon's day-snapshot bridge, tests, notebooks).  Semantics are
+        identical: AS_SET-terminated paths count as withdrawals, an
+        origin change swaps atomically.
+        """
+        return self._announce(peer, prefix, path, timestamp)
+
+    def withdraw_route(
+        self, peer: int, prefix: Prefix, timestamp: int = 0
+    ) -> list[MoasAlert]:
+        """Apply one withdrawal without wrapping it in a BGP4MP record."""
+        return self._withdraw(peer, prefix, timestamp)
+
     # -- internals ---------------------------------------------------------------
 
     def _announce(
@@ -225,3 +306,77 @@ class StreamingMoasDetector:
                 changed_origin=changed,
             )
         ]
+
+
+class DaySnapshotAlerter:
+    """Day-granularity :class:`MoasAlert` stream from daily detections.
+
+    The serve daemon's ingestion loop folds one
+    :class:`~repro.core.detector.DayDetection` at a time — a daily
+    origin-set snapshot, not an update stream.  This bridge turns
+    successive snapshots into the update-level alert vocabulary by
+    driving a real :class:`StreamingMoasDetector`: each conflict origin
+    is modeled as a peer announcing the prefix itself (path
+    ``[origin]``), origins that disappear withdraw, and a prefix that
+    leaves the day's conflict set withdraws every synthetic route.
+
+    The derived stream is deterministic (origins are applied in sorted
+    order, prefixes in detection order) and loss-free at day
+    granularity: every origin-set transition between consecutive days
+    surfaces as one or more alerts, covering all four
+    :class:`AlertKind` values.  Timestamps are UTC midnight of the
+    observation day (:func:`day_timestamp`).
+    """
+
+    def __init__(self) -> None:
+        self._detector = StreamingMoasDetector()
+        #: prefix -> origin set announced into the detector.
+        self._current: dict[Prefix, frozenset[int]] = {}
+        self._alerts_emitted = 0
+
+    @property
+    def alerts_emitted(self) -> int:
+        """Total alerts derived so far."""
+        return self._alerts_emitted
+
+    def current_conflicts(self) -> list[Prefix]:
+        """Prefixes in MOAS as of the last fed day, sorted."""
+        return self._detector.current_conflicts()
+
+    def feed_day(self, detection: DayDetection) -> list[MoasAlert]:
+        """Fold one day's detection; returns the alerts it triggered."""
+        timestamp = day_timestamp(detection.day)
+        detector = self._detector
+        alerts: list[MoasAlert] = []
+        seen: set[Prefix] = set()
+        for conflict in detection.conflicts:
+            prefix = conflict.prefix
+            seen.add(prefix)
+            new = frozenset(conflict.origins)
+            old = self._current.get(prefix, frozenset())
+            if new == old:
+                continue
+            for origin in sorted(new - old):
+                alerts.extend(
+                    detector.announce_route(
+                        origin,
+                        prefix,
+                        ASPath.from_sequence((origin,)),
+                        timestamp,
+                    )
+                )
+            for origin in sorted(old - new):
+                alerts.extend(
+                    detector.withdraw_route(origin, prefix, timestamp)
+                )
+            self._current[prefix] = new
+        departed = [
+            prefix for prefix in self._current if prefix not in seen
+        ]
+        for prefix in departed:
+            for origin in sorted(self._current.pop(prefix)):
+                alerts.extend(
+                    detector.withdraw_route(origin, prefix, timestamp)
+                )
+        self._alerts_emitted += len(alerts)
+        return alerts

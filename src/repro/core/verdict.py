@@ -145,6 +145,27 @@ class Verdict:
     def benign(self) -> bool:
         return self.suspicion < 0.5
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the serve API's ``/v1/verdicts`` rows).
+
+        Origin sets serialize as sorted lists and ``rpki_state``
+        appears only when the engine ran with a ROA table, so equal
+        verdicts always produce equal documents.
+        """
+        payload = {
+            "prefix": str(self.prefix),
+            "kind": self.kind,
+            "tags": sorted(self.tags),
+            "suspicion": self.suspicion,
+            "benign": self.benign,
+            "days_observed": self.days_observed,
+            "origins": sorted(self.origins),
+            "perpetrators": sorted(self.perpetrators),
+        }
+        if self.rpki_state is not None:
+            payload["rpki_state"] = self.rpki_state
+        return payload
+
 
 @dataclass
 class _Evidence:

@@ -1,13 +1,11 @@
-"""The unified ``repro`` CLI and its legacy shims."""
+"""The unified ``repro`` CLI."""
 
 import datetime
 import json
-import warnings
 
 import pytest
 
 from repro.api.cli import main
-from repro.cli import analyze_main, report_main, simulate_main
 
 ANALYSIS_FILES = (
     "figure1.csv",
@@ -76,24 +74,6 @@ class TestAnalyze:
         printed = capsys.readouterr().out
         assert "MOAS study summary" in printed
         assert "Fig. 2." in printed
-
-    def test_byte_identical_to_legacy_entry_point(
-        self, cli_archive, tmp_path, capsys
-    ):
-        """Acceptance: `repro analyze` == legacy `repro-analyze`."""
-        new_dir = tmp_path / "new"
-        legacy_dir = tmp_path / "legacy"
-        assert main(["analyze", str(cli_archive), str(new_dir)]) == 0
-        new_stdout = capsys.readouterr().out
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", FutureWarning)
-            assert analyze_main([str(cli_archive), str(legacy_dir)]) == 0
-        legacy_stdout = capsys.readouterr().out
-        assert new_stdout == legacy_stdout
-        for name in ANALYSIS_FILES:
-            assert (new_dir / name).read_bytes() == (
-                legacy_dir / name
-            ).read_bytes(), f"{name} differs"
 
     def test_analyze_accepts_mrt_directory(self, tmp_path, capsys):
         """Analyze runs over a directory of MRT dumps (no manifest)."""
@@ -241,44 +221,35 @@ class TestWatch:
         assert "UNEXPECTED-ORIGIN" in capsys.readouterr().out
 
 
-class TestLegacyShims:
-    """One warns-and-works test per deprecated entry point.
+class TestVersion:
+    """`repro --version` (the string `/v1/status` also surfaces)."""
 
-    Everything else drives the unified ``repro`` CLI, so these are the
-    only places the shims run — and the FutureWarning is asserted (not
-    leaked into the tier-1 warning summary).  FutureWarning, not
-    DeprecationWarning, so console-script users see the notice under
-    the default warning filters.
-    """
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro import __version__
 
-    def test_simulate_shim_warns_and_works(self, tmp_path, capsys):
-        with pytest.warns(FutureWarning, match="repro-simulate"):
-            code = simulate_main(
-                [str(tmp_path / "arch"), "--scale", "0.01"]
-            )
-        assert code == 0
-        assert "observed_days: 1279" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
-    def test_analyze_shim_warns_and_works(
-        self, cli_archive, tmp_path, capsys
-    ):
-        out_dir = tmp_path / "legacy-analysis"
-        with pytest.warns(FutureWarning, match="repro-analyze"):
-            code = analyze_main([str(cli_archive), str(out_dir)])
-        assert code == 0
-        assert (out_dir / "report.txt").exists()
-        capsys.readouterr()
+    def test_legacy_entry_points_are_gone(self):
+        """The 1.1.0-deprecated shim module no longer imports."""
+        with pytest.raises(ModuleNotFoundError):
+            import repro.cli  # noqa: F401
 
-    def test_report_shim_warns_and_works(
-        self, cli_archive, tmp_path, capsys
-    ):
-        out_dir = tmp_path / "legacy-report"
-        assert main(["analyze", str(cli_archive), str(out_dir)]) == 0
-        capsys.readouterr()
-        with pytest.warns(FutureWarning, match="repro-report"):
-            code = report_main([str(out_dir)])
-        assert code == 0
-        assert "MOAS study summary" in capsys.readouterr().out
+
+class TestServeCli:
+    """Argument handling of `repro serve` (the daemon itself is
+    exercised end to end in test_serve.py)."""
+
+    def test_serve_requires_some_day_source(self, capsys):
+        assert main(["serve"]) == 1
+        assert "day source" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_shards(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path), "--shards", "0"])
+        assert code == 1
+        assert "--shards must be >= 1" in capsys.readouterr().err
 
 
 class TestParallelFlags:

@@ -1,0 +1,409 @@
+"""The serve daemon: concurrent queries, SSE alerts, ingestion.
+
+Acceptance for the serving subsystem: with ingestion still folding
+days, at least 8 concurrent clients query figures and every response
+body is byte-identical to a fresh ``render()`` over an equivalent
+batch analyze stopped at the day count the response's ``X-Repro-Days``
+header names.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import shutil
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.renderers import render
+from repro.api.serve import (
+    AlertHub,
+    BackgroundServer,
+    Response,
+    ServeConfig,
+)
+from repro.api.service import MoasService
+from repro.api.sources import open_source
+from repro.core.realtime import MoasAlert
+from repro.scenario.world import ScenarioConfig, simulate_study
+from repro.util.dates import StudyCalendar
+
+CALENDAR = StudyCalendar(
+    datetime.date(1997, 11, 8), datetime.date(1997, 12, 17)
+)
+MRT_DAYS = {datetime.date(1997, 12, 16), datetime.date(1997, 12, 17)}
+
+
+@pytest.fixture(scope="module")
+def serve_archive(tmp_path_factory):
+    """A 40-day archive (with two MRT day dumps) for the serve tests."""
+    directory = tmp_path_factory.mktemp("serve") / "archive"
+    simulate_study(
+        directory,
+        ScenarioConfig(
+            scale=0.02, calendar=CALENDAR, paper_archive_gaps=False
+        ),
+        mrt_export_days=MRT_DAYS,
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def serve_detections(serve_archive):
+    """The archive's daily detections, materialized once."""
+    return list(open_source(serve_archive).detections())
+
+
+def http_get(url: str, timeout: float = 30):
+    """GET returning (status, headers dict, body bytes)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def wait_for_ingest(url: str, timeout: float = 120) -> dict:
+    """Poll ``/v1/status`` until the initial feed completes."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = http_get(url + "/v1/status")
+        payload = json.loads(body)
+        if status == 200 and payload["ingest"]["initial_complete"]:
+            return payload
+        time.sleep(0.1)
+    raise AssertionError("initial ingestion did not complete in time")
+
+
+class TestServeIntegration:
+    FIGURES = (
+        ("figure1", "csv"),
+        ("figure2", "ascii"),
+        ("summary", "json"),
+        ("episodes", "json"),
+    )
+
+    def test_concurrent_clients_byte_identical_during_ingestion(
+        self, serve_archive, serve_detections
+    ):
+        """8 clients query mid-ingestion; every body = batch render."""
+        config = ServeConfig(
+            archive=serve_archive, port=0, ingest_delay=0.03
+        )
+        observed: list[tuple[str, str, int, bytes]] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def client(index: int, url: str) -> None:
+            combos = self.FIGURES
+            attempt = 0
+            successes = 0
+            while not stop.is_set() or successes < 3:
+                figure, format = combos[(index + attempt) % len(combos)]
+                status, headers, body = http_get(
+                    f"{url}/v1/figure/{figure}?format={format}"
+                )
+                attempt += 1
+                if status == 503:
+                    continue  # nothing ingested yet
+                if status != 200:
+                    errors.append(f"{figure}/{format} -> {status}")
+                    return
+                successes += 1
+                days = int(headers["X-Repro-Days"])
+                with lock:
+                    observed.append((figure, format, days, body))
+
+        with BackgroundServer(config) as url:
+            threads = [
+                threading.Thread(target=client, args=(index, url))
+                for index in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            wait_for_ingest(url)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            # Cover the final state explicitly: with ingestion done,
+            # every figure must render at the full day count too.
+            for figure, format in self.FIGURES:
+                status, headers, body = http_get(
+                    f"{url}/v1/figure/{figure}?format={format}"
+                )
+                assert status == 200
+                observed.append(
+                    (figure, format, int(headers["X-Repro-Days"]), body)
+                )
+        assert not errors, errors
+        assert len(observed) >= 24  # every client got responses
+
+        # Clients must have raced ingestion, not just the final state.
+        day_counts = sorted({days for _, _, days, _ in observed})
+        assert len(day_counts) > 1, (
+            "every response saw the same day count; ingestion was "
+            "not concurrent with the clients"
+        )
+        assert day_counts[-1] == len(serve_detections)
+
+        # Reference: a batch analyze stopped at each observed day
+        # count, rendered fresh — the serve bodies must match bytewise.
+        needed = {days for _, _, days, _ in observed}
+        reference: dict[int, dict] = {}
+        service = MoasService()
+        for fed, detection in enumerate(serve_detections, start=1):
+            service.feed_day(detection)
+            if fed in needed:
+                results = service.results()
+                reference[fed] = {
+                    (figure, format): render(results, figure, format)
+                    for figure, format in self.FIGURES
+                }
+        for figure, format, days, body in observed:
+            expected = reference[days][(figure, format)].encode()
+            assert body == expected, (
+                f"{figure}/{format} at {days} days diverged from "
+                f"batch analyze"
+            )
+
+    def test_status_health_and_version(self, serve_archive):
+        from repro import __version__
+
+        config = ServeConfig(archive=serve_archive, port=0)
+        with BackgroundServer(config) as url:
+            payload = wait_for_ingest(url)
+            assert payload["service"] == "repro-moas"
+            assert payload["version"] == __version__
+            assert payload["days_fed"] == CALENDAR.num_days
+            assert payload["last_day"] == CALENDAR.end.isoformat()
+            assert payload["alerts"]["emitted"] > 0
+            assert "figure1" in payload["figures"]
+            assert "evaluation" not in payload["figures"]
+            status, _, body = http_get(url + "/healthz")
+            assert (status, body) == (200, b"ok\n")
+
+    def test_episode_verdict_and_evaluation_endpoints(
+        self, serve_archive
+    ):
+        config = ServeConfig(archive=serve_archive, port=0)
+        with BackgroundServer(config) as url:
+            wait_for_ingest(url)
+            _, _, body = http_get(url + "/v1/figure/episodes?format=json")
+            episodes = json.loads(body)
+            assert episodes
+            prefix = episodes[0]["prefix"]
+            status, headers, body = http_get(
+                f"{url}/v1/episodes/{prefix}"
+            )
+            assert status == 200
+            assert json.loads(body) == episodes[0]
+            assert int(headers["X-Repro-Days"]) == CALENDAR.num_days
+
+            status, _, body = http_get(url + "/v1/verdicts")
+            assert status == 200
+            verdicts = json.loads(body)
+            assert verdicts["count"] == len(verdicts["verdicts"])
+            assert verdicts["count"] > 0
+            suspicions = [
+                row["suspicion"] for row in verdicts["verdicts"]
+            ]
+            status, _, body = http_get(
+                url + "/v1/verdicts?min_suspicion=0.5"
+            )
+            filtered = json.loads(body)
+            assert filtered["count"] == sum(
+                1 for value in suspicions if value >= 0.5
+            )
+
+            status, _, body = http_get(url + "/v1/evaluation?format=json")
+            assert status == 200
+            scored = json.loads(body)
+            assert "per_kind" in scored or scored  # a JSON document
+
+    def test_error_paths(self, serve_archive):
+        config = ServeConfig(archive=serve_archive, port=0)
+        with BackgroundServer(config) as url:
+            wait_for_ingest(url)
+            for path, expected in (
+                ("/v1/figure/nope", 404),
+                ("/v1/figure/summary?format=xml", 400),
+                ("/v1/figure/evaluation", 400),
+                ("/v1/episodes/banana", 400),
+                ("/v1/episodes/203.0.113.0/24", 404),
+                ("/v1/verdicts?min_suspicion=lots", 400),
+                ("/v1/evaluation?format=xml", 400),
+                ("/nope", 404),
+            ):
+                status, _, body = http_get(url + path)
+                assert status == expected, (path, status)
+                assert "error" in json.loads(body)
+            # Non-GET methods are rejected.
+            request = urllib.request.Request(
+                url + "/v1/status", data=b"{}", method="POST"
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30):
+                    raise AssertionError("POST was accepted")
+            except urllib.error.HTTPError as error:
+                assert error.code == 405
+
+    def test_sse_stream_delivers_alerts(self, serve_archive):
+        config = ServeConfig(
+            archive=serve_archive, port=0, ingest_delay=0.03
+        )
+        with BackgroundServer(config) as url:
+            host, port = url.replace("http://", "").split(":")
+            connection = socket.create_connection(
+                (host, int(port)), timeout=30
+            )
+            connection.sendall(
+                b"GET /v1/alerts?replay=100 HTTP/1.1\r\n"
+                b"Host: test\r\n\r\n"
+            )
+            wait_for_ingest(url)
+            # Drain whatever the stream has pushed by now.
+            connection.settimeout(2)
+            chunks = []
+            try:
+                while True:
+                    chunk = connection.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            except socket.timeout:
+                pass
+            connection.close()
+            text = b"".join(chunks).decode()
+        assert "text/event-stream" in text
+        events = [
+            json.loads(line[len("data: "):])
+            for line in text.splitlines()
+            if line.startswith("data: ")
+        ]
+        assert events, "no alerts arrived on the SSE stream"
+        for payload in events:
+            # Every event is a valid alert document.
+            alert = MoasAlert.from_dict(payload)
+            assert str(alert.prefix) == payload["prefix"]
+
+    def test_checkpoint_resume_skips_seen_days(
+        self, serve_archive, tmp_path
+    ):
+        checkpoint = tmp_path / "serve.ckpt"
+        config = ServeConfig(
+            archive=serve_archive, port=0, checkpoint=checkpoint
+        )
+        with BackgroundServer(config) as url:
+            first = wait_for_ingest(url)
+            _, _, summary_first = http_get(
+                url + "/v1/figure/summary?format=json"
+            )
+        assert checkpoint.exists()
+        with BackgroundServer(config) as url:
+            resumed = wait_for_ingest(url)
+            assert resumed["days_fed"] == first["days_fed"]
+            assert resumed["ingest"]["days_ingested"] == 0
+            _, _, summary_resumed = http_get(
+                url + "/v1/figure/summary?format=json"
+            )
+        assert summary_resumed == summary_first
+
+    def test_watch_directory_folds_dropped_days(
+        self, serve_archive, tmp_path
+    ):
+        """A watch-only daemon ingests MRT day dumps as they appear."""
+        drop = tmp_path / "drop"
+        drop.mkdir()
+        config = ServeConfig(
+            watch=drop, port=0, poll_interval=0.1
+        )
+        with BackgroundServer(config) as url:
+            payload = json.loads(http_get(url + "/v1/status")[2])
+            assert payload["days_fed"] == 0
+            status, _, _ = http_get(
+                url + "/v1/figure/summary?format=json"
+            )
+            assert status == 503  # nothing ingested yet
+            for day in sorted(MRT_DAYS):
+                name = f"rib.{day.isoformat()}.mrt"
+                shutil.copy(
+                    serve_archive / "mrt" / name, drop / name
+                )
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                payload = json.loads(http_get(url + "/v1/status")[2])
+                if payload["days_fed"] == len(MRT_DAYS):
+                    break
+                time.sleep(0.1)
+            assert payload["days_fed"] == len(MRT_DAYS)
+            assert payload["last_day"] == max(MRT_DAYS).isoformat()
+            status, _, _ = http_get(
+                url + "/v1/figure/summary?format=json"
+            )
+            assert status == 200
+
+
+class TestServeConfig:
+    def test_requires_a_day_source(self):
+        with pytest.raises(ValueError, match="day source"):
+            ServeConfig()
+
+    def test_string_paths_are_normalized(self, tmp_path):
+        config = ServeConfig(archive=str(tmp_path))
+        assert config.archive == tmp_path
+
+
+class TestAlertHub:
+    def test_publish_reaches_every_subscriber(self):
+        import asyncio
+
+        async def scenario():
+            hub = AlertHub()
+            queues = [hub.subscribe() for _ in range(3)]
+            hub.publish({"kind": "moas_started"})
+            for queue in queues:
+                event_id, payload = queue.get_nowait()
+                assert event_id == 1
+                assert payload == {"kind": "moas_started"}
+            hub.unsubscribe(queues[0])
+            hub.publish({"kind": "moas_ended"})
+            assert queues[0].empty()
+            assert hub.subscriber_count == 2
+            assert hub.published == 2
+
+        asyncio.run(scenario())
+
+    def test_replay_returns_most_recent(self):
+        import asyncio
+
+        async def scenario():
+            hub = AlertHub(history=4)
+            for index in range(10):
+                hub.publish({"index": index})
+            recent = hub.replay(2)
+            assert [payload["index"] for _, payload in recent] == [8, 9]
+            # The ring buffer bounds history.
+            assert len(hub.replay(100)) == 4
+            assert hub.replay(0) == []
+
+        asyncio.run(scenario())
+
+
+class TestResponseEncoding:
+    def test_wire_form_has_content_length(self):
+        response = Response.json({"ok": True})
+        wire = response.encode()
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_close_header_appended(self):
+        wire = Response.text("x").encode(close=True)
+        assert b"Connection: close" in wire

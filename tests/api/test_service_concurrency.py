@@ -1,0 +1,161 @@
+"""Snapshot isolation of MoasService under concurrent feeding.
+
+The serve daemon folds days on one thread while request handlers read
+on others.  The service's contract: every concurrent
+``snapshot_state()`` / ``results()`` equals the state after some
+*prefix* of the fed day stream — a day boundary — never a torn
+mid-fold mixture.  These tests hammer that contract from real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.service import MoasService
+
+
+@pytest.fixture(scope="module")
+def day_stream(api_detections):
+    """A bounded slice of the shared archive's detections."""
+    return api_detections[:60]
+
+
+@pytest.fixture(scope="module")
+def reference_states(day_stream):
+    """``snapshot_state()`` after each day-count prefix of the stream.
+
+    reference_states[k] is the canonical state after exactly k days —
+    the full set of states a concurrent reader is allowed to observe.
+    """
+    service = MoasService()
+    states = [service.snapshot_state()]
+    for detection in day_stream:
+        service.feed_day(detection)
+        states.append(service.snapshot_state())
+    return states
+
+
+class TestSnapshotConsistency:
+    def test_concurrent_snapshots_are_day_boundaries(
+        self, day_stream, reference_states
+    ):
+        """Every snapshot taken mid-feed equals some stream prefix."""
+        service = MoasService()
+        observed: list[dict] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                observed.append(service.snapshot_state())
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for detection in day_stream:
+                service.feed_day(detection)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        observed.append(service.snapshot_state())  # the final state
+
+        total_days = [
+            state["shards"][0]["total_days"] for state in observed
+        ]
+        assert total_days[-1] == len(day_stream)
+        for state, days in zip(observed, total_days):
+            assert state == reference_states[days], (
+                f"snapshot at {days} days is not the day-{days} "
+                f"prefix state"
+            )
+
+    def test_concurrent_results_match_prefix_results(
+        self, day_stream
+    ):
+        """results() under concurrent feeding = results at some prefix."""
+        reference = MoasService()
+        prefix_results = [reference.results()]
+        for detection in day_stream:
+            reference.feed_day(detection)
+            prefix_results.append(reference.results())
+
+        service = MoasService()
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                observed.append(service.results())
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for detection in day_stream:
+                service.feed_day(detection)
+        finally:
+            stop.set()
+            thread.join()
+
+        assert observed, "reader thread never completed a results()"
+        for results in observed:
+            assert results == prefix_results[results.total_days]
+
+    def test_results_snapshot_detached_from_live_session(
+        self, day_stream
+    ):
+        """A results() snapshot never mutates as feeding continues."""
+        service = MoasService()
+        service.feed_day(day_stream[0])
+        snapshot = service.results()
+        frozen_days = snapshot.total_days
+        frozen_episodes = dict(snapshot.episodes)
+        for detection in day_stream[1:10]:
+            service.feed_day(detection)
+        assert snapshot.total_days == frozen_days
+        assert snapshot.episodes == frozen_episodes
+
+    def test_sharded_checkpoint_under_feed_is_consistent(
+        self, day_stream, tmp_path
+    ):
+        """save_checkpoint during feeding loads as one day boundary."""
+        service = MoasService(shards=3)
+        errors: list[BaseException] = []
+        loaded_days: list[int] = []
+        stop = threading.Event()
+
+        def checkpointer():
+            index = 0
+            while not stop.is_set():
+                path = tmp_path / f"ckpt-{index}"
+                index += 1
+                try:
+                    service.save_checkpoint(path)
+                    resumed = MoasService.load_checkpoint(path)
+                    loaded_days.append(resumed.days_fed)
+                    # All shards agree on the day boundary.
+                    days = {
+                        state["shards"][0]["total_days"]
+                        for state in [resumed.snapshot_state()]
+                    }
+                    assert len(days) == 1
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+
+        thread = threading.Thread(target=checkpointer)
+        thread.start()
+        try:
+            for detection in day_stream[:30]:
+                service.feed_day(detection)
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors, errors
+        assert loaded_days
+        assert all(0 <= days <= 30 for days in loaded_days)
+        assert loaded_days == sorted(loaded_days)
