@@ -35,7 +35,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.pipeline import StudyPipeline, StudyState
-from repro.core.detector import DayDetection, detect_day
+from repro.core.detector import (
+    DayDetection,
+    columnar_scan_enabled,
+    detect_day,
+    detect_day_columns,
+)
 from repro.netbase.sharding import ShardSpec
 from repro.util.workers import resolve_workers
 
@@ -75,8 +80,18 @@ def _cached_reader(directory: str):
 def _detect_archive_range(
     directory: str, start: int, stop: int
 ) -> list[DayDetection]:
-    """Detect over observed days ``[start, stop)`` of a CDS archive."""
+    """Detect over observed days ``[start, stop)`` of a CDS archive.
+
+    Uses the columnar batch scan (each day decoded as flat arrays,
+    scanned run-wise) unless ``REPRO_OBJECT_SCAN`` forces the object
+    path; both produce identical detections.
+    """
     reader = _cached_reader(directory)
+    if columnar_scan_enabled():
+        return [
+            detect_day_columns(columns, reader)
+            for columns in reader.iter_day_columns(start, stop)
+        ]
     return [
         detect_day(record, reader)
         for record in reader.iter_days(start, stop)
@@ -91,9 +106,17 @@ def _detect_archive_byte_range(
     The offset-range work unit for indexed (v2) day stores: the
     coordinator reads the footer index once and hands each worker a
     byte span, so no worker ever scans — or even considers — another
-    worker's chunk.
+    worker's chunk.  Columnar by default, like
+    :func:`_detect_archive_range`.
     """
     reader = _cached_reader(directory)
+    if columnar_scan_enabled():
+        return [
+            detect_day_columns(columns, reader)
+            for columns in reader.iter_day_columns_at(
+                start_offset, stop_offset
+            )
+        ]
     return [
         detect_day(record, reader)
         for record in reader.iter_days_at(start_offset, stop_offset)

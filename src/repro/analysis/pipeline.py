@@ -267,7 +267,7 @@ class StudyState:
         """
         pipeline = self.pipeline
         day = detection.day
-        conflicts = list(detection.conflicts)
+        conflicts = detection.conflicts
         count = len(conflicts)
         if self.shard is None:
             sharded = conflicts

@@ -259,12 +259,20 @@ def _add_analyze(sub) -> None:
         "one); adds the rpki.csv / longevity.csv figures and report "
         "sections",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a per-stage wall-clock and cProfile summary of "
+        "the feed (decode vs detect vs fold); forces the serial "
+        "in-process path, results are unchanged",
+    )
     parser.set_defaults(func=_run_analyze)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
     from repro.mrt.errors import MrtError
 
+    profile = None
     try:
         if args.shards is not None and args.shards < 1:
             raise ValueError(f"--shards must be >= 1, got {args.shards}")
@@ -292,14 +300,26 @@ def _run_analyze(args: argparse.Namespace) -> int:
                         f"against; a study cannot switch databases "
                         f"mid-stream"
                     )
-            service.feed(args.archive_dir, skip_seen=True)
+            if args.profile:
+                from repro.analysis.profiling import profile_feed
+
+                profile = profile_feed(
+                    service, args.archive_dir, skip_seen=True
+                )
+            else:
+                service.feed(args.archive_dir, skip_seen=True)
         else:
             service = MoasService(
                 workers=args.workers,
                 shards=args.shards or 1,
                 roa_table=args.rpki,
             )
-            service.feed(args.archive_dir)
+            if args.profile:
+                from repro.analysis.profiling import profile_feed
+
+                profile = profile_feed(service, args.archive_dir)
+            else:
+                service.feed(args.archive_dir)
     except (
         FileNotFoundError,
         ValueError,
@@ -326,6 +346,9 @@ def _run_analyze(args: argparse.Namespace) -> int:
         scale = float(recorded) if recorded else None
     report = write_analysis(results, args.output_dir, scale=scale)
     print(report)
+    if profile is not None:
+        print()
+        print(profile.report())
     return 0
 
 

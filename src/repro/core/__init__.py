@@ -18,7 +18,13 @@
 """
 
 from repro.core.classifier import ConflictClass, classify_conflict, classify_pair
-from repro.core.detector import DailyConflict, detect_day, detect_snapshot
+from repro.core.detector import (
+    DailyConflict,
+    columnar_scan_enabled,
+    detect_day,
+    detect_day_columns,
+    detect_snapshot,
+)
 from repro.core.episodes import ConflictEpisode, EpisodeTracker
 from repro.core.realtime import (
     AlertKind,
@@ -40,7 +46,9 @@ __all__ = [
     "classify_conflict",
     "classify_pair",
     "DailyConflict",
+    "columnar_scan_enabled",
     "detect_day",
+    "detect_day_columns",
     "detect_snapshot",
     "ConflictEpisode",
     "EpisodeTracker",

@@ -19,6 +19,7 @@ specific relationship found (OrigTranAS ≻ SplitView ≻ DistinctPaths).
 from __future__ import annotations
 
 import enum
+import weakref
 from collections import Counter
 from collections.abc import Sequence
 
@@ -114,11 +115,34 @@ def classify_conflict(conflict: DailyConflict) -> ConflictClass:
     )
 
 
+#: id(conflict) -> (weakref to it, its class).  DailyConflict is frozen
+#: and classification is a pure function of it, so when the columnar
+#: detector hands back the same cached object day after day its class
+#: is looked up, not recomputed.  The weakref guards against id reuse
+#: (the referent must still *be* the conflict) and its callback evicts
+#: the entry when the conflict dies, so nothing is pinned.
+_CLASS_MEMO: dict[int, tuple] = {}
+
+
 def classify_day(
     conflicts: Sequence[DailyConflict],
 ) -> dict[ConflictClass, int]:
     """Per-class conflict counts for one day (the figure-6 series)."""
+    memo = _CLASS_MEMO
     counts = {conflict_class: 0 for conflict_class in ConflictClass}
     for conflict in conflicts:
-        counts[classify_conflict(conflict)] += 1
+        key = id(conflict)
+        entry = memo.get(key)
+        if entry is not None and entry[0]() is conflict:
+            conflict_class = entry[1]
+        else:
+            conflict_class = classify_conflict(conflict)
+            memo[key] = (
+                weakref.ref(
+                    conflict,
+                    lambda _ref, _memo=memo, _key=key: _memo.pop(_key, None),
+                ),
+                conflict_class,
+            )
+        counts[conflict_class] += 1
     return counts

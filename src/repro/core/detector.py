@@ -12,7 +12,16 @@ tables (e.g. parsed from MRT archives) and the sparse CDS day records,
 which carry per-peer origins for event-touched prefixes and imply the
 registry owner for the rest.
 
-Both detectors take an optional :class:`~repro.netbase.sharding.ShardSpec`
+CDS days scan in one of two equivalent forms: :func:`detect_day` over
+object :class:`~repro.scenario.archive.DayRecord` rows (the reference
+implementation) and :func:`detect_day_columns` over flat
+:class:`~repro.scenario.archive.DayColumns` batches — the production
+hot path, which works run-wise on whole-day arrays and only
+materializes per-row structures for prefixes that actually conflict.
+The two are differentially tested to produce identical output;
+``REPRO_OBJECT_SCAN=1`` forces the object path everywhere.
+
+All detectors take an optional :class:`~repro.netbase.sharding.ShardSpec`
 that restricts the scan to one slice of the prefix space.  Per-shard
 detections from one partition recombine with :func:`merge_detections`
 into exactly the detection a full scan would have produced — the
@@ -22,12 +31,20 @@ foundation of the parallel study engine.
 from __future__ import annotations
 
 import datetime
+import operator
+import os
+import weakref
 from dataclasses import dataclass
 
 from repro.netbase.prefix import Prefix
 from repro.netbase.rib import RibSnapshot
 from repro.netbase.sharding import ShardSpec
-from repro.scenario.archive import ArchiveReader, DayRecord, PeerRow
+from repro.scenario.archive import (
+    ArchiveReader,
+    DayColumns,
+    DayRecord,
+    PeerRow,
+)
 
 
 @dataclass(frozen=True)
@@ -193,6 +210,255 @@ def detect_day(
         prefixes_scanned=scanned_profile[alive],
         as_set_excluded=as_set_profile[alive],
     )
+
+
+def columnar_scan_enabled() -> bool:
+    """Whether the analysis layers should scan columnar day batches.
+
+    On by default; set ``REPRO_OBJECT_SCAN=1`` to force the object-row
+    path everywhere (the escape hatch the differential suites use to
+    time and cross-check the two implementations).
+    """
+    return os.environ.get("REPRO_OBJECT_SCAN", "").lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+#: Per-reader caches of run key -> (prefix sort key, DailyConflict),
+#: used by the flat-columns scan.  On a v2 store a conflicting run is
+#: one interned row group that recurs day after day while its event is
+#: live; its conflict record is identical every such day, so it is
+#: built once — sort key and all — and reused (conflict-heavy days
+#: cost O(runs), not O(rows)).  Keyed weakly so dropping a reader
+#: drops its cache.
+_CONFLICT_TEMPLATES: "weakref.WeakKeyDictionary[ArchiveReader, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Per-reader caches of whole-group scan outcomes, used by the segment
+#: scan.  An interned row group's conflicts are a pure function of its
+#: rows and the reader's registry masks, independent of which day
+#: references it — except for the ``pid >= alive`` liveness filter, so
+#: each entry records the minimum alive count it is valid for:
+#: ``group_id`` (or ``(group_id, shard)``) -> ``(min_alive, pairs)``.
+#: In the steady state a day scan is one dict hit per group.
+_GROUP_OUTCOMES: "weakref.WeakKeyDictionary[ArchiveReader, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def detect_day_columns(
+    columns: DayColumns,
+    reader: ArchiveReader,
+    shard: ShardSpec | None = None,
+) -> DayDetection:
+    """Scan one columnar day batch; equivalent to :func:`detect_day`.
+
+    The whole-day array formulation of the same methodology: run
+    boundaries over the prefix-id column partition the rows per prefix,
+    ``run_single`` (a run-wise min==max over origins, computed at
+    decode time) discards the single-origin majority without touching
+    rows, AS_SET exclusion and shard membership are O(1) indexes into
+    precomputed registry masks, and only runs that actually conflict
+    materialize origin->path sets — with each interned row group's
+    scan outcome (usually "no conflicts") cached per reader, so a
+    group that recurs across days is scanned exactly once.  On a v2
+    store the scan walks the decoder's zero-copy per-group segments
+    directly, so the flat concatenated columns are never even built.
+
+    Output is identical to ``detect_day(columns.to_record(), ...)`` for
+    every input; the rare day whose rows are not grouped by prefix
+    (duplicate prefix ids across non-adjacent runs — legal in the
+    format, never produced by our writer) falls back to the object path
+    wholesale to keep that guarantee.
+    """
+    alive = columns.alive_count
+    scanned_profile, as_set_profile = reader.shard_profile(shard)
+    segments = columns.segments
+    if segments is not None:
+        pairs = _scan_segments(segments, reader, shard, alive)
+    else:
+        pairs = _scan_flat(columns, reader, shard, alive)
+    if pairs is None:
+        # A prefix's rows span non-adjacent runs; the run-wise scan
+        # would see partial origin sets (two individually single-origin
+        # runs of one prefix can still conflict jointly).  Take the
+        # object path.
+        return detect_day(columns.to_record(), reader, shard)
+    pairs.sort(key=_PAIR_KEY)
+    return DayDetection(
+        day=columns.day,
+        conflicts=tuple(entry[1] for entry in pairs),
+        prefixes_scanned=scanned_profile[alive],
+        as_set_excluded=as_set_profile[alive],
+    )
+
+
+#: Sort key of a (prefix sort key, conflict) scan pair.
+_PAIR_KEY = operator.itemgetter(0)
+
+
+def _scan_segments(
+    segments: list[tuple],
+    reader: ArchiveReader,
+    shard: ShardSpec | None,
+    alive: int,
+) -> list[tuple] | None:
+    """Run-wise scan over zero-copy v2 segments; ``None`` -> fallback.
+
+    Each segment is one interned row group scanned in place with local
+    indices, so no per-day concatenation or rebasing happens at all —
+    and each group's scan outcome is cached on the reader (see
+    :data:`_GROUP_OUTCOMES`), so a group that recurs across days is
+    scanned once and thereafter costs one dict hit.  Returns
+    ``(prefix sort key, conflict)`` pairs, unsorted.
+    """
+    total_runs = 0
+    pids: set[int] = set()
+    for segment in segments:
+        g_pids = segment[2][1]
+        pids.update(g_pids)
+        total_runs += len(g_pids)
+    if len(pids) != total_runs:
+        return None
+    outcomes = _GROUP_OUTCOMES.get(reader)
+    if outcomes is None:
+        outcomes = _GROUP_OUTCOMES[reader] = {}
+    pairs: list[tuple] = []
+    get_outcome = outcomes.get
+    # Mask/registry handles resolve lazily: a steady-state day is all
+    # cache hits and never needs them.
+    as_set = None
+    in_shard = None
+    registry = None
+    path_of = None
+    for segment in segments:
+        group_id = segment[0]
+        key = group_id if shard is None else (group_id, shard)
+        entry = get_outcome(key)
+        if entry is not None and alive >= entry[0]:
+            pairs.extend(entry[1])
+            continue
+        g_starts, g_pids, g_single = segment[2]
+        if 0 not in g_single:
+            # Every run is single-origin: conflict-free at any alive
+            # count, since the liveness filter can only remove runs.
+            outcomes[key] = (0, ())
+            continue
+        g_origin = segment[1][2]
+        g_path = segment[1][3]
+        if as_set is None:
+            as_set = reader.as_set_mask()
+            in_shard = reader.shard_mask(shard)
+            registry = reader.registry
+            path_of = reader.path
+        num_runs = len(g_pids)
+        num_rows = len(g_origin)
+        group_pairs: list[tuple] = []
+        max_pid = -1
+        filtered = False
+        for run in range(num_runs):
+            pid = g_pids[run]
+            if pid > max_pid:
+                max_pid = pid
+            if g_single[run]:
+                continue
+            if pid >= alive:
+                # This run is invisible today, so the outcome below is
+                # partial — usable for this day, not cacheable.
+                filtered = True
+                continue
+            if as_set[pid]:
+                continue  # already counted via the cumulative profile
+            if in_shard is not None and not in_shard[pid]:
+                continue
+            start = g_starts[run]
+            stop = (
+                g_starts[run + 1] if run + 1 < num_runs else num_rows
+            )
+            origin_paths: dict[int, set[tuple[int, ...]]] = {}
+            for index in range(start, stop):
+                origin = g_origin[index]
+                bucket = origin_paths.get(origin)
+                if bucket is None:
+                    origin_paths[origin] = bucket = set()
+                bucket.add(path_of(g_path[index]))
+            prefix = registry[pid].prefix
+            group_pairs.append(
+                (prefix.sort_key(), _conflict(prefix, origin_paths))
+            )
+        if not filtered:
+            outcomes[key] = (max_pid + 1, tuple(group_pairs))
+        pairs.extend(group_pairs)
+    return pairs
+
+
+def _scan_flat(
+    columns: DayColumns,
+    reader: ArchiveReader,
+    shard: ShardSpec | None,
+    alive: int,
+) -> list[tuple] | None:
+    """Run-wise scan over flat columns; ``None`` -> object fallback.
+
+    The materialized-columns twin of :func:`_scan_segments`, used for
+    v1 stores and eagerly built :class:`DayColumns`.
+    """
+    run_pids = columns.run_pids
+    num_runs = len(run_pids)
+    pairs: list[tuple] = []
+    if not num_runs:
+        return pairs
+    if len(set(run_pids)) != num_runs:
+        return None
+    if 0 not in columns.run_single:
+        return pairs
+    as_set = reader.as_set_mask()
+    in_shard = reader.shard_mask(shard)
+    registry = reader.registry
+    path_of = reader.path
+    run_starts = columns.run_starts
+    run_single = columns.run_single
+    run_keys = columns.run_keys
+    origins = columns.origins
+    path_ids = columns.path_ids
+    num_rows = len(origins)
+    templates = _CONFLICT_TEMPLATES.get(reader)
+    if templates is None:
+        templates = _CONFLICT_TEMPLATES[reader] = {}
+    for run in range(num_runs):
+        if run_single[run]:
+            continue
+        pid = run_pids[run]
+        if pid >= alive:
+            continue
+        if as_set[pid]:
+            continue  # already counted via the cumulative profile
+        if in_shard is not None and not in_shard[pid]:
+            continue
+        key = run_keys[run] if run_keys is not None else -1
+        if key >= 0:
+            cached = templates.get(key)
+            if cached is not None:
+                pairs.append(cached)
+                continue
+        start = run_starts[run]
+        stop = run_starts[run + 1] if run + 1 < num_runs else num_rows
+        origin_paths: dict[int, set[tuple[int, ...]]] = {}
+        for index in range(start, stop):
+            origin = origins[index]
+            bucket = origin_paths.get(origin)
+            if bucket is None:
+                origin_paths[origin] = bucket = set()
+            bucket.add(path_of(path_ids[index]))
+        prefix = registry[pid].prefix
+        entry = (prefix.sort_key(), _conflict(prefix, origin_paths))
+        if key >= 0:
+            templates[key] = entry
+        pairs.append(entry)
+    return pairs
 
 
 def merge_detections(parts: list[DayDetection]) -> DayDetection:

@@ -16,10 +16,14 @@ one-time conflicts — which we encode as duration 1 (days observed).
 from __future__ import annotations
 
 import datetime
+import weakref
 from dataclasses import dataclass
 
 from repro.core.detector import DailyConflict
 from repro.netbase.prefix import Prefix
+
+#: Mutable per-prefix episode record: [first, last, days, origins, width].
+_FIRST, _LAST, _DAYS, _ORIGINS, _WIDTH = range(5)
 
 
 @dataclass(frozen=True)
@@ -41,14 +45,29 @@ class ConflictEpisode:
 
 
 class EpisodeTracker:
-    """Accumulates daily detections into per-prefix episodes."""
+    """Accumulates daily detections into per-prefix episodes.
+
+    The fold is the per-day cost every study pays after detection, so
+    it is built around two constant-factor facts of the conflict
+    stream: one mutable record per prefix (single dict lookup per
+    conflict instead of one per field), and an *identity* fast path —
+    the columnar detector hands back the same cached
+    :class:`DailyConflict` object for a conflict that persists across
+    days, so a recurring conflict costs two list writes, not a
+    prefix-keyed lookup plus origin-set union.  The fast path is pure
+    memoization: a conflict object only ever hits it after the slow
+    path absorbed that exact object's origins once, so fed state is
+    identical whichever path runs.
+    """
 
     def __init__(self) -> None:
-        self._first: dict[Prefix, datetime.date] = {}
-        self._last: dict[Prefix, datetime.date] = {}
-        self._days: dict[Prefix, int] = {}
-        self._origins: dict[Prefix, set[int]] = {}
-        self._max_width: dict[Prefix, int] = {}
+        #: prefix -> [first, last, days, origins, max_width]
+        self._records: dict[Prefix, list] = {}
+        #: id(conflict) -> (weakref to it, its prefix's record).  The
+        #: weakref both guards against id reuse (the stored referent
+        #: must still *be* the conflict) and evicts the entry when the
+        #: conflict object dies, so nothing is pinned.
+        self._seen: dict[int, tuple] = {}
         self._last_fed_day: datetime.date | None = None
 
     def observe_day(
@@ -61,18 +80,35 @@ class EpisodeTracker:
                 f"{self._last_fed_day}"
             )
         self._last_fed_day = day
+        records = self._records
+        seen = self._seen
         for conflict in conflicts:
+            key = id(conflict)
+            entry = seen.get(key)
+            if entry is not None and entry[0]() is conflict:
+                record = entry[1]
+                record[_LAST] = day
+                record[_DAYS] += 1
+                continue
             prefix = conflict.prefix
-            if prefix not in self._first:
-                self._first[prefix] = day
-                self._days[prefix] = 0
-                self._origins[prefix] = set()
-                self._max_width[prefix] = 0
-            self._last[prefix] = day
-            self._days[prefix] += 1
-            self._origins[prefix].update(conflict.origins)
-            self._max_width[prefix] = max(
-                self._max_width[prefix], len(conflict.origins)
+            record = records.get(prefix)
+            width = len(conflict.origins)
+            if record is None:
+                records[prefix] = record = [
+                    day, day, 1, set(conflict.origins), width,
+                ]
+            else:
+                record[_LAST] = day
+                record[_DAYS] += 1
+                record[_ORIGINS].update(conflict.origins)
+                if width > record[_WIDTH]:
+                    record[_WIDTH] = width
+            seen[key] = (
+                weakref.ref(
+                    conflict,
+                    lambda _ref, _seen=seen, _key=key: _seen.pop(_key, None),
+                ),
+                record,
             )
 
     def merge(self, other: "EpisodeTracker") -> "EpisodeTracker":
@@ -91,24 +127,27 @@ class EpisodeTracker:
             )
         merged = EpisodeTracker()
         merged._last_fed_day = self._last_fed_day
-        merged._first = {**self._first, **other._first}
-        if len(merged._first) != len(self._first) + len(other._first):
+        combined = {
+            prefix: [
+                record[_FIRST],
+                record[_LAST],
+                record[_DAYS],
+                set(record[_ORIGINS]),
+                record[_WIDTH],
+            ]
+            for tracker in (self, other)
+            for prefix, record in tracker._records.items()
+        }
+        if len(combined) != len(self._records) + len(other._records):
             overlap = sorted(
                 str(prefix)
-                for prefix in set(self._first) & set(other._first)
+                for prefix in set(self._records) & set(other._records)
             )
             raise ValueError(
                 "cannot merge trackers with overlapping prefixes: "
                 + ", ".join(overlap[:5])
             )
-        merged._last = {**self._last, **other._last}
-        merged._days = {**self._days, **other._days}
-        merged._origins = {
-            prefix: set(origins)
-            for tracker in (self, other)
-            for prefix, origins in tracker._origins.items()
-        }
-        merged._max_width = {**self._max_width, **other._max_width}
+        merged._records = combined
         return merged
 
     def state_dict(self) -> dict:
@@ -129,13 +168,13 @@ class EpisodeTracker:
                 [
                     prefix.network,
                     prefix.length,
-                    self._first[prefix].isoformat(),
-                    self._last[prefix].isoformat(),
-                    self._days[prefix],
-                    sorted(self._origins[prefix]),
-                    self._max_width[prefix],
+                    record[_FIRST].isoformat(),
+                    record[_LAST].isoformat(),
+                    record[_DAYS],
+                    sorted(record[_ORIGINS]),
+                    record[_WIDTH],
                 ]
-                for prefix in self._first
+                for prefix, record in self._records.items()
             ],
         }
 
@@ -153,11 +192,13 @@ class EpisodeTracker:
             "prefixes"
         ]:
             prefix = Prefix(network, length, strict=False)
-            tracker._first[prefix] = datetime.date.fromisoformat(first)
-            tracker._last[prefix] = datetime.date.fromisoformat(last)
-            tracker._days[prefix] = days
-            tracker._origins[prefix] = set(origins)
-            tracker._max_width[prefix] = width
+            tracker._records[prefix] = [
+                datetime.date.fromisoformat(first),
+                datetime.date.fromisoformat(last),
+                days,
+                set(origins),
+                width,
+            ]
         return tracker
 
     def finalize(
@@ -172,18 +213,18 @@ class EpisodeTracker:
         if last_observed_day is None:
             last_observed_day = self._last_fed_day
         episodes: dict[Prefix, ConflictEpisode] = {}
-        for prefix, first_day in self._first.items():
-            last_day = self._last[prefix]
+        for prefix, record in self._records.items():
+            last_day = record[_LAST]
             episodes[prefix] = ConflictEpisode(
                 prefix=prefix,
-                first_day=first_day,
+                first_day=record[_FIRST],
                 last_day=last_day,
-                days_observed=self._days[prefix],
-                origins_ever=frozenset(self._origins[prefix]),
-                max_origins_single_day=self._max_width[prefix],
+                days_observed=record[_DAYS],
+                origins_ever=frozenset(record[_ORIGINS]),
+                max_origins_single_day=record[_WIDTH],
                 ongoing=(last_day == last_observed_day),
             )
         return episodes
 
     def __len__(self) -> int:
-        return len(self._first)
+        return len(self._records)

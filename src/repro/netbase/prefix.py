@@ -38,7 +38,7 @@ class Prefix:
     BGP data).
     """
 
-    __slots__ = ("_network", "_length")
+    __slots__ = ("_network", "_length", "_hash")
 
     def __init__(self, network: int, length: int, *, strict: bool = True) -> None:
         if not 0 <= length <= _MAX_LENGTH:
@@ -52,6 +52,7 @@ class Prefix:
             )
         self._network = masked
         self._length = length
+        self._hash = None
 
     # -- constructors -------------------------------------------------
 
@@ -183,7 +184,13 @@ class Prefix:
         return (self._network, self._length) < (other._network, other._length)
 
     def __hash__(self) -> int:
-        return hash((self._network, self._length))
+        # Prefixes spend their lives as dict keys in the study fold, so
+        # the tuple hash is computed once and cached (hash() never
+        # returns -1, leaving None as a safe sentinel).
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash((self._network, self._length))
+        return cached
 
     def __str__(self) -> str:
         return f"{_format_address(self._network)}/{self._length}"

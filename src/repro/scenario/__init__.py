@@ -14,6 +14,7 @@ from repro.scenario.archive import (
     ArchiveError,
     ArchiveReader,
     ArchiveWriter,
+    DayColumns,
     DayRecord,
     PeerRow,
     convert_archive,
@@ -37,6 +38,7 @@ __all__ = [
     "ArchiveError",
     "ArchiveReader",
     "ArchiveWriter",
+    "DayColumns",
     "DayRecord",
     "PeerRow",
     "convert_archive",

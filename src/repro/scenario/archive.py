@@ -51,8 +51,10 @@ import mmap
 import os
 import shutil
 import struct
+import sys
 import zlib
-from collections.abc import Iterator
+from array import array
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from pathlib import Path as FsPath
 
@@ -98,7 +100,7 @@ class ArchiveError(ValueError):
     """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PeerRow:
     """One peer's table entry for an event-touched prefix on one day."""
 
@@ -108,18 +110,368 @@ class PeerRow:
     path_id: int
 
 
-@dataclass(frozen=True)
 class DayRecord:
-    """Everything the collector archived for one observed day."""
+    """Everything the collector archived for one observed day.
 
-    day: datetime.date
-    day_index: int
-    alive_count: int  # prefixes with id < alive_count are announced
-    active_peers: tuple[int, ...]
-    rows: tuple[PeerRow, ...]
+    Behaves like the frozen dataclass it used to be (keyword
+    construction, value equality, hashing, repr), but ``rows`` can be
+    supplied lazily via ``rows_factory``: the reader passes a thunk and
+    the per-row :class:`PeerRow` tuple only materializes if someone
+    actually touches ``.rows`` — columnar consumers never pay for it.
+    """
+
+    __slots__ = (
+        "day",
+        "day_index",
+        "alive_count",
+        "active_peers",
+        "_rows",
+        "_rows_factory",
+    )
+
+    def __init__(
+        self,
+        *,
+        day: datetime.date,
+        day_index: int,
+        alive_count: int,  # prefixes with id < alive_count are announced
+        active_peers: tuple[int, ...],
+        rows: tuple[PeerRow, ...] | None = None,
+        rows_factory: Callable[[], tuple[PeerRow, ...]] | None = None,
+    ) -> None:
+        if rows is None and rows_factory is None:
+            rows = ()
+        self.day = day
+        self.day_index = day_index
+        self.alive_count = alive_count
+        self.active_peers = active_peers
+        self._rows = rows
+        self._rows_factory = rows_factory
+
+    @property
+    def rows(self) -> tuple[PeerRow, ...]:
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = tuple(self._rows_factory())
+            self._rows_factory = None
+        return rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DayRecord):
+            return NotImplemented
+        return (
+            self.day == other.day
+            and self.day_index == other.day_index
+            and self.alive_count == other.alive_count
+            and self.active_peers == other.active_peers
+            and self.rows == other.rows
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.day,
+                self.day_index,
+                self.alive_count,
+                self.active_peers,
+                self.rows,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DayRecord(day={self.day!r}, day_index={self.day_index!r}, "
+            f"alive_count={self.alive_count!r}, "
+            f"active_peers={self.active_peers!r}, rows={self.rows!r})"
+        )
+
+    def __getstate__(self) -> tuple:
+        # Materialize before pickling: a lazy factory closes over the
+        # reader's mmap state, which must not cross process boundaries.
+        return (
+            self.day,
+            self.day_index,
+            self.alive_count,
+            self.active_peers,
+            self.rows,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.day,
+            self.day_index,
+            self.alive_count,
+            self.active_peers,
+            self._rows,
+        ) = state
+        self._rows_factory = None
 
 
-@dataclass(frozen=True)
+class DayColumns:
+    """One observed day as flat parallel columns (the batch decode API).
+
+    The row-oriented twin of :class:`DayRecord`: the same day payload,
+    but held as four parallel ``array('I')`` columns plus a run index
+    instead of per-row Python objects.  Row ``i`` is
+    ``(prefix_ids[i], peer_asns[i], origins[i], path_ids[i])``; rows
+    arrive in archive order, so rows of one event-touched prefix form
+    contiguous *runs* described by ``run_starts`` / ``run_pids``.
+
+    ``run_single[r]`` is 1 when run ``r`` provably carries a single
+    distinct origin (the detector's fast path skips it without looking
+    at the rows).  ``run_keys[r]`` is a reader-stable cache key for the
+    run (the v2 interned group id when the run is exactly one group) or
+    ``-1`` when the run has no stable identity; v1 stores carry no
+    interning, so their ``run_keys`` is ``None``.
+
+    On a v2 store the flat columns are *lazy*: the decoder hands over
+    zero-copy references to the per-group columns it already holds
+    (``segments``), and the concatenated arrays materialize only if
+    something actually reads them — the detector scans the segments in
+    place, so on the hot path nothing does.
+    """
+
+    __slots__ = (
+        "day",
+        "day_index",
+        "alive_count",
+        "active_peers",
+        "_prefix_ids",
+        "_peer_asns",
+        "_origins",
+        "_path_ids",
+        "_run_starts",
+        "_run_pids",
+        "_run_single",
+        "_run_keys",
+        "_segments",
+    )
+
+    def __init__(
+        self,
+        *,
+        day: datetime.date,
+        day_index: int,
+        alive_count: int,
+        active_peers: tuple[int, ...],
+        prefix_ids: array | None = None,
+        peer_asns: array | None = None,
+        origins: array | None = None,
+        path_ids: array | None = None,
+        run_starts: array | None = None,
+        run_pids: array | None = None,
+        run_single: bytearray | None = None,
+        run_keys: list[int] | None = None,
+        segments: list[tuple] | None = None,
+    ) -> None:
+        self.day = day
+        self.day_index = day_index
+        self.alive_count = alive_count
+        self.active_peers = active_peers
+        self._segments = segments
+        if segments is None:
+            self._prefix_ids = prefix_ids
+            self._peer_asns = peer_asns
+            self._origins = origins
+            self._path_ids = path_ids
+            self._run_starts = run_starts
+            self._run_pids = run_pids
+            self._run_single = run_single
+            self._run_keys = run_keys
+
+    def _materialize(self) -> None:
+        """Flatten pending per-group segments into the flat columns."""
+        segments = self._segments
+        if len(segments) == 1:
+            # Zero-copy: a one-group day *is* its group's columns.
+            group_id, (g_prefix, g_peer, g_origin, g_path), (
+                g_starts,
+                g_pids,
+                g_single,
+            ) = segments[0]
+            self._prefix_ids = g_prefix
+            self._peer_asns = g_peer
+            self._origins = g_origin
+            self._path_ids = g_path
+            self._run_starts = g_starts
+            self._run_pids = g_pids
+            self._run_single = g_single
+            self._run_keys = (
+                [group_id] if len(g_pids) == 1 else [-1] * len(g_pids)
+            )
+            self._segments = None
+            return
+        prefix_ids = array("I")
+        peer_asns = array("I")
+        origins = array("I")
+        path_ids = array("I")
+        run_starts = array("I")
+        run_pids = array("I")
+        run_single = bytearray()
+        run_keys: list[int] = []
+        base = 0
+        for group_id, (g_prefix, g_peer, g_origin, g_path), (
+            g_starts,
+            g_pids,
+            g_single,
+        ) in segments:
+            if base:
+                for start in g_starts:
+                    run_starts.append(base + start)
+            else:
+                run_starts.extend(g_starts)
+            run_pids.extend(g_pids)
+            run_single.extend(g_single)
+            if len(g_pids) == 1:
+                # The common case: one interned group == one prefix run,
+                # so the group id is a stable identity for the run's
+                # row content across days (and readers of this store).
+                run_keys.append(group_id)
+            else:
+                run_keys.extend([-1] * len(g_pids))
+            prefix_ids.extend(g_prefix)
+            peer_asns.extend(g_peer)
+            origins.extend(g_origin)
+            path_ids.extend(g_path)
+            base += len(g_prefix)
+        self._prefix_ids = prefix_ids
+        self._peer_asns = peer_asns
+        self._origins = origins
+        self._path_ids = path_ids
+        self._run_starts = run_starts
+        self._run_pids = run_pids
+        self._run_single = run_single
+        self._run_keys = run_keys
+        self._segments = None
+
+    @property
+    def prefix_ids(self) -> array:
+        if self._segments is not None:
+            self._materialize()
+        return self._prefix_ids
+
+    @property
+    def peer_asns(self) -> array:
+        if self._segments is not None:
+            self._materialize()
+        return self._peer_asns
+
+    @property
+    def origins(self) -> array:
+        if self._segments is not None:
+            self._materialize()
+        return self._origins
+
+    @property
+    def path_ids(self) -> array:
+        if self._segments is not None:
+            self._materialize()
+        return self._path_ids
+
+    @property
+    def run_starts(self) -> array:
+        if self._segments is not None:
+            self._materialize()
+        return self._run_starts
+
+    @property
+    def run_pids(self) -> array:
+        if self._segments is not None:
+            self._materialize()
+        return self._run_pids
+
+    @property
+    def run_single(self) -> bytearray:
+        if self._segments is not None:
+            self._materialize()
+        return self._run_single
+
+    @property
+    def run_keys(self) -> list[int] | None:
+        if self._segments is not None:
+            self._materialize()
+        return self._run_keys
+
+    @property
+    def segments(self) -> list[tuple] | None:
+        """Pending zero-copy ``(group_id, columns, runs)`` segments.
+
+        ``columns`` is the group's ``(prefix_ids, peer_asns, origins,
+        path_ids)`` arrays and ``runs`` its ``(run_starts, run_pids,
+        run_single)`` index.  ``None`` once the flat columns exist (v1
+        and eager construction, or after any flat accessor materialized
+        them).  The detector scans segments in place when they are
+        available, which is what keeps the common day
+        concatenation-free.
+        """
+        return self._segments
+
+    @property
+    def num_rows(self) -> int:
+        if self._segments is not None:
+            return sum(
+                len(segment[1][0]) for segment in self._segments
+            )
+        return len(self._prefix_ids)
+
+    @property
+    def num_runs(self) -> int:
+        if self._segments is not None:
+            return sum(
+                len(segment[2][1]) for segment in self._segments
+            )
+        return len(self._run_pids)
+
+    def to_record(self) -> DayRecord:
+        """Materialize the equivalent object-API :class:`DayRecord`."""
+        return DayRecord(
+            day=self.day,
+            day_index=self.day_index,
+            alive_count=self.alive_count,
+            active_peers=self.active_peers,
+            rows=tuple(
+                PeerRow(*fields)
+                for fields in zip(
+                    self.prefix_ids,
+                    self.peer_asns,
+                    self.origins,
+                    self.path_ids,
+                )
+            ),
+        )
+
+
+def _run_index(
+    prefix_ids: array, origins: array
+) -> tuple[array, array, bytearray]:
+    """Run boundaries over a prefix-id column.
+
+    Returns ``(run_starts, run_pids, run_single)`` — one entry per
+    maximal contiguous stretch of equal prefix ids, with ``run_single``
+    set from a min==max sweep over each run's origins (C-level over
+    array slices, no per-row Python objects).
+    """
+    run_starts = array("I")
+    run_pids = array("I")
+    previous = -1
+    for index, pid in enumerate(prefix_ids):
+        if pid != previous:
+            run_starts.append(index)
+            run_pids.append(pid)
+            previous = pid
+    run_single = bytearray(len(run_pids))
+    total = len(prefix_ids)
+    for run, start in enumerate(run_starts):
+        stop = run_starts[run + 1] if run + 1 < len(run_starts) else total
+        if stop - start == 1:
+            run_single[run] = 1
+        else:
+            segment = origins[start:stop]
+            run_single[run] = min(segment) == max(segment)
+    return run_starts, run_pids, run_single
+
+
+@dataclass(frozen=True, slots=True)
 class RegistryEntry:
     """One prefix's registry row."""
 
@@ -531,7 +883,7 @@ class _V2DayStore:
             self._decode_tables(
                 memoryview(buf)[footer_start:index_start]
             )
-        except (ValueError, IndexError) as error:
+        except (ValueError, IndexError, OverflowError) as error:
             if isinstance(error, ArchiveError):
                 raise
             raise ArchiveError(
@@ -580,10 +932,18 @@ class _V2DayStore:
                 asn_id, pos = decode_uvarint(data, pos)
                 peers.append(asns[asn_id])
             self._peersets.append(tuple(peers))
-        self._groups: list[tuple[PeerRow, ...]] = []
+        # Groups decode straight into parallel array('I') columns — the
+        # batch-decode representation — exactly once per reader.  The
+        # object-API PeerRow tuples are derived lazily per group (see
+        # _group_rows_of), so columnar consumers never build them.
+        group_columns: list[tuple[array, array, array, array]] = []
+        group_runs: list[tuple[array, array, bytearray]] = []
         for _ in range(read_count()):
             width = read_count()
-            rows = []
+            prefix_ids = array("I")
+            peer_asns = array("I")
+            origin_col = array("I")
+            path_ids = array("I")
             fields = [0, 0, 0, 0]
             for _ in range(width):
                 for slot in range(4):
@@ -604,20 +964,44 @@ class _V2DayStore:
                         if shift > 63:  # decode_uvarint's overlong cap
                             raise ValueError("overlong varint")
                     fields[slot] = value
-                rows.append(
-                    PeerRow(
-                        fields[0], asns[fields[1]], asns[fields[2]], fields[3]
-                    )
-                )
-            self._groups.append(tuple(rows))
+                prefix_ids.append(fields[0])
+                peer_asns.append(asns[fields[1]])
+                origin_col.append(asns[fields[2]])
+                path_ids.append(fields[3])
+            group_columns.append(
+                (prefix_ids, peer_asns, origin_col, path_ids)
+            )
+            group_runs.append(_run_index(prefix_ids, origin_col))
+        self._group_columns = group_columns
+        self._group_runs = group_runs
+        self._group_rows: list[tuple[PeerRow, ...] | None] = (
+            [None] * len(group_columns)
+        )
         if pos != len(data):
             raise ArchiveError(
                 f"v2 footer has {len(data) - pos} trailing bytes"
             )
 
+    def _group_rows_of(self, group_id: int) -> tuple[PeerRow, ...]:
+        """The object-API rows of one interned group (decoded once)."""
+        rows = self._group_rows[group_id]
+        if rows is None:
+            rows = self._group_rows[group_id] = tuple(
+                PeerRow(*fields)
+                for fields in zip(*self._group_columns[group_id])
+            )
+        return rows
+
     # -- frames -----------------------------------------------------------
 
-    def decode_frame(self, ordinal: int) -> DayRecord:
+    def _parse_frame(
+        self, ordinal: int
+    ) -> tuple[int, int, int, list[int]]:
+        """Validate frame ``ordinal``; returns its decoded references.
+
+        The CRC check and body parse shared by the object and columnar
+        decoders: ``(day_index, alive_count, peerset_id, group_ids)``.
+        """
         offset = self.offsets[ordinal]
         buf = self._map
         if offset < 4 or offset + _FRAME_HEADER.size > self.frames_end:
@@ -643,37 +1027,33 @@ class _V2DayStore:
             alive, pos = decode_uvarint(body, pos)
             peerset_id, pos = decode_uvarint(body, pos)
             n_groups, pos = decode_uvarint(body, pos)
-            groups = self._groups
-            if n_groups == 0:
-                rows: tuple[PeerRow, ...] = ()
-            elif n_groups == 1:
-                group_id, pos = decode_uvarint(body, pos)
-                rows = groups[group_id]
-            else:
-                # Group ids are the bulk of every frame; decode them
-                # with the varint loop inlined (the same hot-loop
-                # treatment as the footer tables).
-                parts = []
-                for _ in range(n_groups):
-                    byte = body[pos]
-                    pos += 1
-                    if byte < 0x80:
-                        group_id = byte
-                    else:
-                        group_id = byte & 0x7F
-                        shift = 7
-                        while True:
-                            byte = body[pos]
-                            pos += 1
-                            group_id |= (byte & 0x7F) << shift
-                            if byte < 0x80:
-                                break
-                            shift += 7
-                            if shift > 63:  # decode_uvarint's cap
-                                raise ValueError("overlong varint")
-                    parts.append(groups[group_id])
-                rows = tuple(itertools.chain.from_iterable(parts))
-            peers = self._peersets[peerset_id]
+            num_known = len(self._group_columns)
+            group_ids: list[int] = []
+            # Group ids are the bulk of every frame; decode them with
+            # the varint loop inlined (the same hot-loop treatment as
+            # the footer tables).
+            for _ in range(n_groups):
+                byte = body[pos]
+                pos += 1
+                if byte < 0x80:
+                    group_id = byte
+                else:
+                    group_id = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = body[pos]
+                        pos += 1
+                        group_id |= (byte & 0x7F) << shift
+                        if byte < 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:  # decode_uvarint's cap
+                            raise ValueError("overlong varint")
+                if group_id >= num_known:
+                    raise ValueError(f"unknown row group {group_id}")
+                group_ids.append(group_id)
+            if peerset_id >= len(self._peersets):
+                raise ValueError(f"unknown peer set {peerset_id}")
         except (ValueError, IndexError) as error:
             raise ArchiveError(
                 f"day {ordinal}: frame body is corrupt: {error}"
@@ -683,12 +1063,54 @@ class _V2DayStore:
                 f"day {ordinal}: frame body has {body_len - pos} "
                 f"trailing bytes"
             )
+        return day_index, alive, peerset_id, group_ids
+
+    def decode_frame(self, ordinal: int) -> DayRecord:
+        day_index, alive, peerset_id, group_ids = self._parse_frame(ordinal)
+        if not group_ids:
+            rows_factory = None
+            rows: tuple[PeerRow, ...] | None = ()
+        elif len(group_ids) == 1:
+            rows = None
+            group_id = group_ids[0]
+            rows_factory = lambda: self._group_rows_of(group_id)  # noqa: E731
+        else:
+            rows = None
+            rows_factory = lambda: tuple(  # noqa: E731
+                itertools.chain.from_iterable(
+                    self._group_rows_of(group_id) for group_id in group_ids
+                )
+            )
         return DayRecord(
             day=self._reader.date_of_index(day_index),
             day_index=day_index,
             alive_count=alive,
-            active_peers=peers,
+            active_peers=self._peersets[peerset_id],
             rows=rows,
+            rows_factory=rows_factory,
+        )
+
+    def decode_frame_columns(self, ordinal: int) -> DayColumns:
+        """Decode frame ``ordinal`` into :class:`DayColumns`.
+
+        Per-group columns and run indexes are decoded once per reader
+        (in :meth:`_decode_tables`); assembling a day is a list of
+        zero-copy references to them — the flat concatenated columns
+        materialize lazily, and only if something reads them (the
+        detector scans the segments in place, so usually nothing does).
+        """
+        day_index, alive, peerset_id, group_ids = self._parse_frame(ordinal)
+        columns = self._group_columns
+        runs = self._group_runs
+        return DayColumns(
+            day=self._reader.date_of_index(day_index),
+            day_index=day_index,
+            alive_count=alive,
+            active_peers=self._peersets[peerset_id],
+            segments=[
+                (group_id, columns[group_id], runs[group_id])
+                for group_id in group_ids
+            ],
         )
 
     def iter_days(
@@ -707,6 +1129,23 @@ class _V2DayStore:
             if self.offsets[ordinal] >= stop_offset:
                 return
             yield self.decode_frame(ordinal)
+
+    def iter_day_columns(
+        self, start: int, stop: int | None
+    ) -> Iterator[DayColumns]:
+        stop = self.num_days if stop is None else min(stop, self.num_days)
+        for ordinal in range(start, stop):
+            yield self.decode_frame_columns(ordinal)
+
+    def iter_day_columns_at(
+        self, start_offset: int, stop_offset: int
+    ) -> Iterator[DayColumns]:
+        """Columnar twin of :meth:`iter_days_at`."""
+        first = bisect.bisect_left(self.offsets, start_offset)
+        for ordinal in range(first, self.num_days):
+            if self.offsets[ordinal] >= stop_offset:
+                return
+            yield self.decode_frame_columns(ordinal)
 
 
 class ArchiveReader:
@@ -731,6 +1170,10 @@ class ArchiveReader:
         #: Cached per-shard cumulative registry profiles (see
         #: :meth:`shard_profile`), keyed by the shard spec (None = all).
         self._shard_profiles: dict[object, tuple[list[int], list[int]]] = {}
+        #: Cached per-registry-id flag/membership masks (see
+        #: :meth:`as_set_mask` / :meth:`shard_mask`).
+        self._as_set_mask: bytes | None = None
+        self._shard_masks: dict[object, bytes] = {}
         self._days_path = self.directory / "days.bin"
         with open(self._days_path, "rb") as handle:
             self._days_magic = handle.read(len(MAGIC))
@@ -835,9 +1278,59 @@ class ArchiveReader:
             return
         yield from self._iter_days_v1(start, stop)
 
+    def iter_day_columns(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[DayColumns]:
+        """Stream days as flat :class:`DayColumns` batches, in order.
+
+        The columnar twin of :meth:`iter_days`: same range semantics,
+        same days, but each one arrives as parallel ``array`` columns
+        plus a run index instead of :class:`PeerRow` objects — the
+        representation :func:`~repro.core.detector.detect_day_columns`
+        scans without per-row Python work.  On a v2 store each interned
+        row group's columns are decoded once per reader and days are
+        assembled by array concatenation; on v1 the fixed-width row
+        block is split into columns with strided array slices.
+        """
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if self._v2 is not None:
+            yield from self._v2.iter_day_columns(start, stop)
+            return
+        yield from self._iter_days_v1(start, stop, columnar=True)
+
+    def _columns_from_v1(
+        self,
+        day_index: int,
+        alive: int,
+        peers: tuple[int, ...],
+        rows_raw: bytes,
+    ) -> DayColumns:
+        flat = array("I")
+        flat.frombytes(rows_raw)
+        if sys.byteorder != "little":
+            flat.byteswap()  # rows are stored little-endian
+        prefix_ids = flat[0::4]
+        origins = flat[2::4]
+        run_starts, run_pids, run_single = _run_index(prefix_ids, origins)
+        return DayColumns(
+            day=self.date_of_index(day_index),
+            day_index=day_index,
+            alive_count=alive,
+            active_peers=peers,
+            prefix_ids=prefix_ids,
+            peer_asns=flat[1::4],
+            origins=origins,
+            path_ids=flat[3::4],
+            run_starts=run_starts,
+            run_pids=run_pids,
+            run_single=run_single,
+            run_keys=None,  # v1 has no interned groups to key on
+        )
+
     def _iter_days_v1(
-        self, start: int, stop: int | None
-    ) -> Iterator[DayRecord]:
+        self, start: int, stop: int | None, *, columnar: bool = False
+    ) -> Iterator[DayRecord | DayColumns]:
         expected_days = self.num_days
         with open(self._days_path, "rb") as handle:
             if handle.read(4) != MAGIC:
@@ -876,16 +1369,21 @@ class ArchiveReader:
                     raise ArchiveError(
                         f"day {ordinal}: truncated row block"
                     )
-                rows = tuple(
-                    PeerRow(*fields) for fields in _ROW.iter_unpack(rows_raw)
-                )
                 ordinal += 1
+                if columnar:
+                    yield self._columns_from_v1(
+                        day_index, alive, peers, rows_raw
+                    )
+                    continue
                 yield DayRecord(
                     day=self.date_of_index(day_index),
                     day_index=day_index,
                     alive_count=alive,
                     active_peers=peers,
-                    rows=rows,
+                    rows_factory=lambda raw=rows_raw: tuple(
+                        PeerRow(*fields)
+                        for fields in _ROW.iter_unpack(raw)
+                    ),
                 )
 
     def iter_days_at(
@@ -903,6 +1401,16 @@ class ArchiveReader:
                 "byte-offset iteration requires a v2 day store"
             )
         return self._v2.iter_days_at(start_offset, stop_offset)
+
+    def iter_day_columns_at(
+        self, start_offset: int, stop_offset: int
+    ) -> Iterator[DayColumns]:
+        """Columnar twin of :meth:`iter_days_at` (v2 stores only)."""
+        if self._v2 is None:
+            raise ArchiveError(
+                "byte-offset iteration requires a v2 day store"
+            )
+        return self._v2.iter_day_columns_at(start_offset, stop_offset)
 
     def day_offsets(self) -> tuple[int, ...]:
         """Byte offset of every day frame in a v2 store (index order)."""
@@ -941,6 +1449,41 @@ class ArchiveReader:
         profile = (scanned, as_set)
         self._shard_profiles[shard] = profile
         return profile
+
+    def as_set_mask(self) -> bytes:
+        """Per-registry-id AS_SET flag mask (1 = excluded prefix).
+
+        ``mask[prefix_id]`` is 1 exactly when that registry entry is
+        AS_SET-terminated — the columnar detector's O(1) replacement
+        for an attribute lookup on :class:`RegistryEntry`.  Computed
+        once per reader.
+        """
+        mask = self._as_set_mask
+        if mask is None:
+            mask = self._as_set_mask = bytes(
+                1 if entry.flags & FLAG_AS_SET_TAIL else 0
+                for entry in self.registry
+            )
+        return mask
+
+    def shard_mask(self, shard) -> bytes | None:
+        """Per-registry-id shard membership mask (None = whole space).
+
+        ``mask[prefix_id]`` is 1 exactly when the prefix belongs to
+        ``shard`` — precomputed once per ``(reader, shard)`` so the
+        columnar scan filters by indexing instead of re-hashing every
+        conflicting prefix's network bits.
+        """
+        if shard is None:
+            return None
+        mask = self._shard_masks.get(shard)
+        if mask is None:
+            contains = shard.contains
+            mask = self._shard_masks[shard] = bytes(
+                1 if contains(entry.prefix) else 0
+                for entry in self.registry
+            )
+        return mask
 
     def ground_truth(self) -> list[dict]:
         """Generator bookkeeping (benchmark validation only)."""

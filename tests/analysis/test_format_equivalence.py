@@ -118,6 +118,29 @@ class TestStudyResultsEquivalence:
             )
 
 
+class TestScanPathEquivalence:
+    """The object-row reference scan is interchangeable with columnar.
+
+    ``golden_results`` comes from the default (columnar) path; forcing
+    the ``REPRO_OBJECT_SCAN`` escape hatch must reproduce it exactly on
+    both formats at every layout — workers inherit the environment, so
+    the toggle reaches the parallel scan paths too.
+    """
+
+    @pytest.mark.parametrize("workers,shards", LAYOUTS)
+    def test_object_path_matches_columnar_golden(
+        self, pipeline, archives, golden_results, workers, shards, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_SCAN", "1")
+        for name in ("v1", "v2"):
+            results = pipeline.run(
+                ArchiveSource(archives[name]),
+                workers=workers,
+                shards=shards,
+            )
+            assert results == golden_results
+
+
 class TestVerdictAndEvaluationEquivalence:
     @pytest.fixture(scope="class")
     def golden_report(self, archives):

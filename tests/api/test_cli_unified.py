@@ -98,6 +98,63 @@ class TestAnalyze:
         assert (out_dir / "report.txt").exists()
         assert "MOAS study summary" in capsys.readouterr().out
 
+    def test_analyze_profile_prints_stage_breakdown(
+        self, cli_archive, tmp_path, capsys
+    ):
+        """--profile appends the decode/detect/fold wall-clock table."""
+        out_dir = tmp_path / "profiled"
+        code = main(
+            ["analyze", str(cli_archive), str(out_dir), "--profile"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        # The normal report still comes out in full...
+        assert "MOAS study summary" in printed
+        for name in ANALYSIS_FILES:
+            assert (out_dir / name).exists(), f"{name} missing"
+        # ...followed by the per-stage summary and cProfile hotspots.
+        assert "profile: serial feed, columnar scan" in printed
+        for stage in ("decode", "detect", "fold"):
+            assert stage in printed
+        assert "throughput:" in printed
+        assert "cumulative" in printed  # the cProfile hotspot listing
+
+    def test_analyze_profile_object_scan_results_identical(
+        self, cli_archive, tmp_path, capsys, monkeypatch
+    ):
+        """The escape hatch profiles the object path, same figures."""
+        columnar_dir = tmp_path / "columnar"
+        assert (
+            main(["analyze", str(cli_archive), str(columnar_dir)]) == 0
+        )
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_OBJECT_SCAN", "1")
+        object_dir = tmp_path / "object"
+        code = main(
+            ["analyze", str(cli_archive), str(object_dir), "--profile"]
+        )
+        assert code == 0
+        assert "profile: serial feed, object scan" in capsys.readouterr().out
+        for name in ANALYSIS_FILES:
+            assert (object_dir / name).read_bytes() == (
+                columnar_dir / name
+            ).read_bytes(), f"{name} differs"
+
+    def test_analyze_profile_requires_cds_archive(self, tmp_path, capsys):
+        """--profile over an MRT directory fails with a clean message."""
+        mrt_dir = tmp_path / "mrt"
+        mrt_dir.mkdir()
+        code = main(
+            [
+                "analyze",
+                str(mrt_dir),
+                str(tmp_path / "out"),
+                "--profile",
+            ]
+        )
+        assert code == 1
+        assert "requires a CDS archive" in capsys.readouterr().err
+
     def test_analyze_missing_archive_fails_cleanly(self, tmp_path, capsys):
         code = main(
             ["analyze", str(tmp_path / "nowhere"), str(tmp_path / "out")]
