@@ -20,7 +20,10 @@ One CLI over the :mod:`repro.api` facade.
   real-time alerter;
 - ``repro serve ARCHIVE``: run the concurrent query + live-alert HTTP
   daemon over a long-lived study session (REST figures, SSE alerts,
-  drop-directory ingestion, crash-safe checkpoints).
+  drop-directory ingestion, crash-safe checkpoints);
+- ``repro check [PATHS]``: statically check the source tree against
+  the project invariants (determinism, lock discipline, merge
+  algebra, hot-path hygiene, wire/checkpoint symmetry).
 
 ``--workers`` accepts a worker count, ``auto``/``0`` for CPU
 auto-detection, or ``1`` (the default) for the serial path that never
@@ -92,6 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_evaluate(sub)
     _add_watch(sub)
     _add_serve(sub)
+    _add_check(sub)
     args = parser.parse_args(argv)
     return args.func(args)
 
@@ -711,6 +715,59 @@ def _run_serve(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError, json.JSONDecodeError) as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 1
+
+
+# -- check --------------------------------------------------------------------
+
+
+def _add_check(sub) -> None:
+    parser = sub.add_parser(
+        "check",
+        help="statically check the source against project invariants",
+        description="Static analysis of the source tree against the "
+        "project invariants: determinism, lock discipline, merge "
+        "algebra, hot-path hygiene, and wire/checkpoint schema "
+        "symmetry.  Configured via [tool.repro-check] in "
+        "pyproject.toml; findings suppress with "
+        "'# repro: ignore[rule-id]' line comments.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: configured paths)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE_ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("ascii", "json"),
+        default="ascii",
+        dest="output_format",
+        help="report format (default: ascii)",
+    )
+    parser.add_argument(
+        "--write-schema",
+        action="store_true",
+        help="regenerate the checkpoint schema snapshot and exit",
+    )
+    parser.set_defaults(func=_run_check)
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    from repro.tools import check as checker
+
+    argv = list(args.paths)
+    for rule in args.rules or ():
+        argv += ["--rule", rule]
+    argv += ["--format", args.output_format]
+    if args.write_schema:
+        argv.append("--write-schema")
+    return checker.main(argv)
 
 
 if __name__ == "__main__":

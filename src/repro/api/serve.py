@@ -61,6 +61,7 @@ from repro.api.sources import open_source
 from repro.core.detector import DayDetection
 from repro.core.realtime import DaySnapshotAlerter, MoasAlert
 from repro.core.verdict import VerdictEngine
+from repro.util.concurrency import guarded_by
 
 #: Content types per renderer format.
 _CONTENT_TYPES = {
@@ -259,6 +260,7 @@ class _Snapshot:
     results: object
 
 
+@guarded_by("_lock", "_snapshot_cache", "_verdict_cache")
 class ServeApp:
     """The daemon's synchronous core: shared state + request routing.
 

@@ -41,6 +41,7 @@ from repro.analysis.pipeline import StudyPipeline, StudyResults, StudyState
 from repro.api.renderers import render
 from repro.api.sources import open_source
 from repro.core.detector import DayDetection
+from repro.util.concurrency import guarded_by
 from repro.util.io import atomic_write_text
 
 #: Checkpoint payload version; bump on incompatible layout changes.
@@ -51,6 +52,7 @@ CHECKPOINT_VERSION = 2
 CHECKPOINT_MANIFEST = "manifest.json"
 
 
+@guarded_by("_lock", "_states")
 class MoasService:
     """An incrementally-feedable, checkpointable MOAS study session.
 
@@ -108,12 +110,14 @@ class MoasService:
     @property
     def days_fed(self) -> int:
         """Observed days folded into the session so far."""
-        return self._states[0].total_days
+        with self._lock:
+            return self._states[0].total_days
 
     @property
     def last_day(self):
         """The most recent day fed, or None for a fresh session."""
-        return self._states[0].last_day
+        with self._lock:
+            return self._states[0].last_day
 
     def feed_day(self, detection: DayDetection) -> None:
         """Fold one day's detection into the session.
@@ -259,9 +263,11 @@ class MoasService:
             if roa_table is None and reader.has_roas():
                 roa_table = RoaTable.from_rows(reader.roas())
 
+        with self._lock:
+            shard_specs = [state.shard for state in self._states]
         engines = [
-            VerdictEngine(config, shard=state.shard, roa_table=roa_table)
-            for state in self._states
+            VerdictEngine(config, shard=shard, roa_table=roa_table)
+            for shard in shard_specs
         ]
         effective = resolve_workers(
             self.workers if workers is None else workers
@@ -359,7 +365,9 @@ class MoasService:
         fully loadable.
         """
         path = Path(path)
-        if len(self._states) == 1:
+        with self._lock:
+            num_shards = len(self._states)
+        if num_shards == 1:
             if path.is_dir():
                 raise ValueError(
                     f"checkpoint path {path} is an existing directory "

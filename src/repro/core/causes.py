@@ -97,7 +97,7 @@ def anycast_like_episodes(
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpikeReport:
     """One detected fault day and its dominant culprit."""
 
@@ -173,7 +173,7 @@ def duration_heuristic(
     return episode.days_observed > threshold_days
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeuristicScore:
     """Confusion counts of the duration heuristic at one threshold."""
 

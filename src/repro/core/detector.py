@@ -47,9 +47,14 @@ from repro.scenario.archive import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class DailyConflict:
-    """One prefix observed with multiple origins on one day."""
+    """One prefix observed with multiple origins on one day.
+
+    Slotted for the hot path; ``weakref_slot`` stays because the
+    episode tracker and classifier memoize per-conflict results behind
+    ``weakref.ref`` guards.
+    """
 
     prefix: Prefix
     origins: frozenset[int]
@@ -72,7 +77,7 @@ class DailyConflict:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DayDetection:
     """Detector output for one observed day."""
 

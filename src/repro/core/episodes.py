@@ -26,7 +26,7 @@ from repro.netbase.prefix import Prefix
 _FIRST, _LAST, _DAYS, _ORIGINS, _WIDTH = range(5)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConflictEpisode:
     """The merged, study-wide conflict record of one prefix."""
 
@@ -59,6 +59,8 @@ class EpisodeTracker:
     path absorbed that exact object's origins once, so fed state is
     identical whichever path runs.
     """
+
+    __slots__ = ("_records", "_seen", "_last_fed_day")
 
     def __init__(self) -> None:
         #: prefix -> [first, last, days, origins, max_width]

@@ -43,7 +43,7 @@ class AlertKind(enum.Enum):
     MOAS_ENDED = "moas_ended"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MoasAlert:
     """One origin-set transition observed on the update stream."""
 
@@ -111,6 +111,8 @@ class StreamingMoasDetector:
     distinct single-AS origin; AS_SET-terminated announcements are
     ignored.  Withdrawals shrink the origin set and can end a conflict.
     """
+
+    __slots__ = ("_announced", "_origin_counts", "_expected")
 
     def __init__(self, *, expected_origins: dict[Prefix, int] | None = None):
         #: Last announced origin per (peer ASN, prefix).
@@ -327,6 +329,8 @@ class DaySnapshotAlerter:
     :class:`AlertKind` values.  Timestamps are UTC midnight of the
     observation day (:func:`day_timestamp`).
     """
+
+    __slots__ = ("_detector", "_current", "_alerts_emitted")
 
     def __init__(self) -> None:
         self._detector = StreamingMoasDetector()

@@ -27,7 +27,7 @@ from repro.netbase.rib import RibSnapshot
 from repro.netbase.trie import PrefixTrie
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubPrefixAnomaly:
     """A more-specific announcement with origins foreign to its cover."""
 
@@ -42,7 +42,7 @@ class SubPrefixAnomaly:
         return not (self.origins & self.covering_origins)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubPrefixReport:
     """All sub-prefix anomalies of one day's table."""
 

@@ -38,7 +38,7 @@ from repro.netbase.asn import is_private_asn
 from repro.topology.ixp import IXP_BLOCK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Verdict:
     """One conflict's validity assessment."""
 
@@ -47,7 +47,7 @@ class Verdict:
     reasons: tuple[str, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class ValidatorConfig:
     """Scoring weights; positive pushes toward *valid*."""
 
@@ -62,7 +62,7 @@ class ValidatorConfig:
     weight_recurrent: float = 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ConflictValidator:
     """Combines the paper's Section VI signals into a verdict."""
 

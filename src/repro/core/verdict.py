@@ -93,7 +93,7 @@ _SUSPICION_SHIFTS: dict[str, float] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VerdictConfig:
     """Thresholds for the tagging heuristics."""
 
@@ -120,8 +120,20 @@ class VerdictConfig:
             "flapping_min_days": self.flapping_min_days,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerdictConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            short_days=payload["short_days"],
+            long_days=payload["long_days"],
+            anycast_min_origins=payload["anycast_min_origins"],
+            anycast_min_share=payload["anycast_min_share"],
+            flapping_min_gap=payload["flapping_min_gap"],
+            flapping_min_days=payload["flapping_min_days"],
+        )
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Verdict:
     """One prefix's unified assessment: tags, kind, suspicion."""
 
@@ -167,7 +179,7 @@ class Verdict:
         return payload
 
 
-@dataclass
+@dataclass(slots=True)
 class _Evidence:
     """Streaming per-prefix accumulator (one conflicted prefix)."""
 
@@ -190,8 +202,12 @@ class VerdictEngine:
     feed every day's full detection in order; with ``shard`` only
     conflicts inside the shard accumulate evidence, and disjoint-shard
     engines recombine with :meth:`merge` into exactly the serial
-    engine.  Verdicts come from :meth:`finalize`.
+    engine.  Verdicts come from :meth:`finalize`, and
+    :meth:`state_dict` / :meth:`from_state` round-trip the streaming
+    evidence so checkpointed sessions can resume mid-study.
     """
+
+    __slots__ = ("config", "shard", "roa_table", "_evidence", "_total_days")
 
     def __init__(
         self,
@@ -308,6 +324,121 @@ class VerdictEngine:
         for engine in engines[1:]:
             combined = combined.merge(engine)
         return combined
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the streaming evidence.
+
+        Prefixes serialize as ``[network, length]`` integer pairs and
+        class votes by their :class:`ConflictClass` value, so the
+        payload survives a JSON round trip exactly and equal engines
+        always produce equal documents.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "shard": (
+                self.shard.to_dict() if self.shard is not None else None
+            ),
+            "total_days": self._total_days,
+            "roas": (
+                [roa.to_dict() for roa in self.roa_table]
+                if self.roa_table is not None
+                else None
+            ),
+            "evidence": [
+                [
+                    prefix.network,
+                    prefix.length,
+                    {
+                        "first_ordinal": evidence.first_ordinal,
+                        "last_ordinal": evidence.last_ordinal,
+                        "days": evidence.days,
+                        "origins": sorted(evidence.origins),
+                        "max_width": evidence.max_width,
+                        "class_votes": {
+                            conflict_class.value: votes
+                            for conflict_class, votes in sorted(
+                                evidence.class_votes.items(),
+                                key=lambda item: item[0].value,
+                            )
+                        },
+                        "private_asn": evidence.private_asn,
+                        "first_day": (
+                            evidence.first_day.isoformat()
+                            if evidence.first_day is not None
+                            else None
+                        ),
+                        "last_day": (
+                            evidence.last_day.isoformat()
+                            if evidence.last_day is not None
+                            else None
+                        ),
+                        "rpki_state": (
+                            evidence.rpki_state.value
+                            if evidence.rpki_state is not None
+                            else None
+                        ),
+                    },
+                ]
+                for prefix, evidence in self._evidence.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VerdictEngine":
+        """Rebuild an engine from a :meth:`state_dict` payload."""
+        shard_payload = state["shard"]
+        roa_payload = state["roas"]
+        engine = cls(
+            VerdictConfig.from_dict(state["config"]),
+            shard=(
+                ShardSpec.from_dict(shard_payload)
+                if shard_payload is not None
+                else None
+            ),
+            roa_table=(
+                RoaTable.from_rows(roa_payload)
+                if roa_payload is not None
+                else None
+            ),
+        )
+        engine._total_days = state["total_days"]
+        for network, length, payload in state["evidence"]:
+            prefix = Prefix(network, length, strict=False)
+            first_day = payload["first_day"]
+            last_day = payload["last_day"]
+            rpki_state = payload["rpki_state"]
+            engine._evidence[prefix] = _Evidence(
+                first_ordinal=payload["first_ordinal"],
+                last_ordinal=payload["last_ordinal"],
+                days=payload["days"],
+                origins=set(payload["origins"]),
+                max_width=payload["max_width"],
+                class_votes=Counter(
+                    {
+                        ConflictClass(value): votes
+                        for value, votes in payload["class_votes"].items()
+                    }
+                ),
+                private_asn=payload["private_asn"],
+                first_day=(
+                    datetime.date.fromisoformat(first_day)
+                    if first_day is not None
+                    else None
+                ),
+                last_day=(
+                    datetime.date.fromisoformat(last_day)
+                    if last_day is not None
+                    else None
+                ),
+                rpki_state=(
+                    ValidationState(rpki_state)
+                    if rpki_state is not None
+                    else None
+                ),
+            )
+        return engine
 
     # -- verdicts -------------------------------------------------------------
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import datetime
 import gzip
-import io
 from collections.abc import Iterator
 from pathlib import Path
 from typing import BinaryIO

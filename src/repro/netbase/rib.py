@@ -16,7 +16,7 @@ from repro.netbase.aspath import ASPath
 from repro.netbase.prefix import Prefix
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PeerId:
     """Identity of one collector peer (a BGP router exporting its table)."""
 
@@ -24,7 +24,7 @@ class PeerId:
     name: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """One table entry: ``prefix`` reachable via ``path``, seen at ``peer``."""
 
@@ -37,7 +37,7 @@ class Route:
         return self.path.origin()
 
 
-@dataclass
+@dataclass(slots=True)
 class RibSnapshot:
     """All routes visible at the collector on one observation day."""
 

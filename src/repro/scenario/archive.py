@@ -499,6 +499,23 @@ class ArchiveWriter:
     either way.
     """
 
+    __slots__ = (
+        "directory",
+        "format",
+        "_registry",
+        "_prefix_ids",
+        "_paths",
+        "_path_ids",
+        "_days_file",
+        "_num_days",
+        "_finalized",
+        "_day_offsets",
+        "_peersets",
+        "_peerset_ids",
+        "_groups",
+        "_group_ids",
+    )
+
     def __init__(self, directory: FsPath | str, *, format: str = "v1") -> None:
         if format not in _FORMAT_NAMES:
             raise ValueError(
@@ -831,6 +848,19 @@ class _V2DayStore:
     decode total.
     """
 
+    __slots__ = (
+        "_reader",
+        "_file",
+        "_map",
+        "frames_end",
+        "num_days",
+        "offsets",
+        "_peersets",
+        "_group_columns",
+        "_group_runs",
+        "_group_rows",
+    )
+
     def __init__(self, path: FsPath, reader: "ArchiveReader") -> None:
         self._reader = reader
         self._file = open(path, "rb")
@@ -1156,6 +1186,23 @@ class ArchiveReader:
     detection, parallel workers, checkpoints — behaves identically on
     both.
     """
+
+    # "__weakref__" stays in the slot list: the detector's per-reader
+    # template/outcome caches key WeakKeyDictionaries by reader.
+    __slots__ = (
+        "directory",
+        "manifest",
+        "registry",
+        "paths",
+        "_calendar_start",
+        "_shard_profiles",
+        "_as_set_mask",
+        "_shard_masks",
+        "_days_path",
+        "_days_magic",
+        "_v2",
+        "__weakref__",
+    )
 
     def __init__(self, directory: FsPath | str) -> None:
         self.directory = FsPath(directory)

@@ -10,7 +10,6 @@ mirroring the paper's caveat that even Route Views undercounts.
 from __future__ import annotations
 
 import math
-import random
 from collections.abc import Callable
 
 from repro.netbase.asn import PRIVATE_AS_MIN

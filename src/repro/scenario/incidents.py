@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path as FsPath
 
 from repro.netbase.asn import PRIVATE_AS_MIN

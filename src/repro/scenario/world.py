@@ -28,9 +28,9 @@ from repro.scenario.calibration import (
 from repro.scenario.collector import CollectorConfig
 from repro.scenario.events import ConflictEvent
 from repro.scenario.generator import EventGenerator
-from repro.scenario.incidents import IncidentInjector, IncidentScript
+from repro.scenario.incidents import IncidentInjector
 from repro.scenario.routing import CollectorRouting
-from repro.scenario.rpki import RpkiConfig, issue_roas
+from repro.scenario.rpki import issue_roas
 from repro.scenario.timeline import StudyTimeline
 from repro.topology.generator import TopologyConfig, build_initial_model
 from repro.topology.growth import GrowthModel

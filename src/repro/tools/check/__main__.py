@@ -1,0 +1,8 @@
+"""``python -m repro.tools.check`` — same CLI as ``repro check``."""
+
+import sys
+
+from repro.tools.check import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Concurrency annotations the static checker can enforce.
+
+:func:`guarded_by` declares, on the class, which instance attributes a
+lock protects.  The declaration is enforced two ways:
+
+- statically by ``repro check``'s ``lock-discipline`` rule, which
+  requires every ``self.<attr>`` access to a guarded attribute to sit
+  lexically inside ``with self.<lock>:`` (``__init__`` excepted, since
+  it runs before the instance is shared);
+- at runtime only as metadata: the decorator records the mapping in
+  ``__guarded_attrs__`` and changes no behavior, so annotating a class
+  costs nothing on any hot path.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+_ClassT = TypeVar("_ClassT", bound=type)
+
+
+def guarded_by(lock: str, *attributes: str):
+    """Class decorator: ``attributes`` may only be touched under ``lock``.
+
+    ``lock`` names the instance attribute holding the lock (e.g.
+    ``"_lock"``).  Stacked or repeated decorations merge; later
+    declarations win for an attribute named twice.
+
+    Usage::
+
+        @guarded_by("_lock", "_states", "_cache")
+        class Service:
+            ...
+    """
+    if not attributes:
+        raise ValueError("guarded_by needs at least one attribute name")
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        # Copy so subclasses never mutate a parent's declaration.
+        guarded = dict(getattr(cls, "__guarded_attrs__", {}))
+        for name in attributes:
+            guarded[name] = lock
+        cls.__guarded_attrs__ = guarded
+        return cls
+
+    return decorate

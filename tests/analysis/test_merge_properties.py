@@ -15,6 +15,8 @@ marked ``slow``.
 """
 
 import datetime
+import importlib
+import json
 
 import pytest
 from hypothesis import given, strategies as st
@@ -25,6 +27,17 @@ from repro.core.verdict import VerdictEngine
 from repro.netbase.prefix import Prefix
 from repro.netbase.rpki import Roa, RoaTable
 from repro.netbase.sharding import ShardSpec
+
+#: Every shard-combinable state class in the project.  `repro check`'s
+#: merge-algebra rule reads this tuple statically: a class that defines
+#: ``merge`` anywhere under ``src/`` must be listed here, which forces
+#: it through the differential tests below (and through the checkpoint
+#: schema snapshot in ``tests/fixtures/checkpoint_schema.json``).
+MERGE_ALGEBRA_REGISTRY = (
+    "repro.analysis.pipeline.StudyState",
+    "repro.core.episodes.EpisodeTracker",
+    "repro.core.verdict.VerdictEngine",
+)
 
 START = datetime.date(1998, 1, 1)
 
@@ -215,6 +228,43 @@ class TestVerdictEnginePartitions:
         serial = feed_engine(detections, roa_table=table).finalize()
         engines = [
             feed_engine(detections, shard=shard, roa_table=table)
+            for shard in ShardSpec.partition(count, scheme)
+        ]
+        assert VerdictEngine.merged(engines).finalize() == serial
+
+
+class TestMergeAlgebraRegistry:
+    """The registry contract `repro check` enforces statically."""
+
+    @pytest.mark.parametrize("dotted", MERGE_ALGEBRA_REGISTRY)
+    def test_registered_class_has_full_algebra(self, dotted):
+        module_name, _, class_name = dotted.rpartition(".")
+        cls = getattr(importlib.import_module(module_name), class_name)
+        assert callable(cls.merge)
+        assert callable(cls.state_dict)
+        assert callable(cls.from_state)
+
+    @given(detection_streams(), roa_tables())
+    def test_engine_state_survives_json_roundtrip(self, detections, table):
+        engine = feed_engine(detections, roa_table=table)
+        payload = json.loads(json.dumps(engine.state_dict()))
+        clone = VerdictEngine.from_state(payload)
+        assert clone.finalize() == engine.finalize()
+        assert clone.state_dict() == engine.state_dict()
+
+    @given(detection_streams(), partitions)
+    def test_restored_engines_still_merge(self, detections, partition):
+        """from_state output is a full citizen of the merge algebra."""
+        count, scheme = partition
+        serial = feed_engine(detections).finalize()
+        engines = [
+            VerdictEngine.from_state(
+                json.loads(
+                    json.dumps(
+                        feed_engine(detections, shard=shard).state_dict()
+                    )
+                )
+            )
             for shard in ShardSpec.partition(count, scheme)
         ]
         assert VerdictEngine.merged(engines).finalize() == serial

@@ -2,6 +2,7 @@
 
 import datetime
 import json
+import pathlib
 
 import pytest
 
@@ -276,6 +277,46 @@ class TestWatch:
             ]
         ) == 0
         assert "UNEXPECTED-ORIGIN" in capsys.readouterr().out
+
+
+class TestHelpText:
+    """Every subcommand is discoverable from `repro --help`."""
+
+    SUBCOMMANDS = (
+        "simulate",
+        "analyze",
+        "convert",
+        "report",
+        "evaluate",
+        "watch",
+        "serve",
+        "check",
+    )
+
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        for subcommand in self.SUBCOMMANDS:
+            assert subcommand in help_text
+
+    def test_check_help_names_the_rule_machinery(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--rule" in help_text
+        assert "--format" in help_text
+        assert "--write-schema" in help_text
+        assert "repro: ignore[rule-id]" in help_text
+
+    def test_check_subcommand_runs_the_checker(self, capsys):
+        import repro
+
+        package_dir = str(pathlib.Path(repro.__file__).parent / "util")
+        assert main(["check", package_dir]) == 0
+        assert "finding(s)" in capsys.readouterr().out
 
 
 class TestVersion:
@@ -638,8 +679,6 @@ class TestConvertCommand:
 
     def test_simulate_cli_flag_parses(self, tmp_path):
         """--archive-format reaches ScenarioConfig via the parser."""
-        import argparse
-
         from repro.api.cli import main as cli_main
 
         parser_error = None

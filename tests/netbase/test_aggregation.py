@@ -1,5 +1,6 @@
 """Tests for route aggregation mechanics (paper Section VI-D/E)."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -11,8 +12,6 @@ from repro.netbase.aggregation import (
 )
 from repro.netbase.aspath import ASPath
 from repro.netbase.prefix import Prefix
-
-import pytest
 
 
 def path(*ases: int) -> ASPath:

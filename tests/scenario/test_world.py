@@ -1,7 +1,6 @@
 """Integration tests for the scenario world and study simulation."""
 
 import datetime
-import json
 
 import pytest
 

@@ -3,7 +3,6 @@
 import datetime
 import json
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,0 +1,42 @@
+"""Determinism violations: every flagged line is pinned by the tests."""
+
+import datetime
+import os
+import random
+import secrets
+import time
+from random import random as rnd
+
+
+def stamp():
+    started = time.time()  # line 12: wall clock
+    today = datetime.date.today()  # line 13: wall clock
+    now = datetime.datetime.now()  # line 14: wall clock
+    return started, today, now
+
+
+def entropy():
+    token = os.urandom(8)  # line 19: OS entropy
+    secret = secrets.token_hex(4)  # line 20: OS entropy
+    return token, secret
+
+
+def draws():
+    a = random.random()  # line 25: global RNG
+    b = rnd()  # line 26: global RNG via from-import
+    unseeded = random.Random()  # line 27: unseeded Random
+    seeded = random.Random(42)  # fine: seeded
+    return a, b, unseeded, seeded
+
+
+def leak_order(values):
+    out = []
+    for value in {3, 1, 2}:  # line 34: set display iteration
+        out.append(value)
+    out.extend(v for v in set(values))  # line 36: bare set() iteration
+    ordered = [v for v in sorted(set(values))]  # fine: sorted
+    return out, ordered
+
+
+def suppressed():
+    return time.time()  # repro: ignore[determinism]

@@ -1,0 +1,42 @@
+"""Hot-path hygiene violations: slots, slot integrity, loop allocation."""
+
+import enum
+
+
+class UnslottedRow:  # line 6: no __slots__
+    def __init__(self, prefix, origin):
+        self.prefix = prefix
+        self.origin = origin
+
+
+class LeakyRow:
+    __slots__ = ("prefix", "origin")
+
+    def __init__(self, prefix, origin):
+        self.prefix = prefix
+        self.origin = origin
+
+    def annotate(self, note):
+        self.note = note  # line 20: not a declared slot
+
+
+class RowKind(enum.Enum):  # fine: Enum manages its own storage
+    PLAIN = "plain"
+
+
+class ScanError(ValueError):  # fine: exception types are exempt
+    pass
+
+
+def _scan_segments(rows):
+    pairs = []
+    for row in rows:
+        entry = UnslottedRow(row, 0)  # line 34: constructed per row
+        keys = [r for r in rows]  # line 35: comprehension in loop
+        pairs.append((entry, keys))
+    return pairs
+
+
+def cold_helper(rows):
+    # fine: not a designated hot function
+    return [UnslottedRow(row, 0) for row in rows]

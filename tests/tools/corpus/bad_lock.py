@@ -1,0 +1,32 @@
+"""Lock-discipline violations against @guarded_by declarations."""
+
+import threading
+
+from repro.util.concurrency import guarded_by
+
+
+@guarded_by("_lock", "_table", "_count")
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}  # fine: __init__ is exempt
+        self._count = 0
+
+    def read_unlocked(self):
+        return len(self._table)  # line 16: read outside the lock
+
+    def write_unlocked(self, key, value):
+        self._table[key] = value  # line 19: write outside the lock
+        self._count += 1  # line 20: write outside the lock
+
+    def read_locked(self):
+        with self._lock:
+            return dict(self._table)  # fine: under the lock
+
+    def partially_locked(self):
+        with self._lock:
+            snapshot = dict(self._table)  # fine
+        return snapshot, self._count  # line 29: read after release
+
+    def suppressed(self):
+        return self._count  # repro: ignore[lock-discipline]

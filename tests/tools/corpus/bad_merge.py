@@ -1,0 +1,30 @@
+"""Merge-algebra violations: merge() without the rest of the contract."""
+
+
+class MergeWithoutCheckpoint:  # line 4: no state_dict/from_state
+    def __init__(self):
+        self.items = []
+
+    def merge(self, other):
+        merged = MergeWithoutCheckpoint()
+        merged.items = self.items + other.items
+        return merged
+
+
+class UnregisteredState:  # line 14: complete but not in the registry
+    def __init__(self):
+        self.items = []
+
+    def merge(self, other):
+        merged = UnregisteredState()
+        merged.items = self.items + other.items
+        return merged
+
+    def state_dict(self):
+        return {"items": list(self.items)}
+
+    @classmethod
+    def from_state(cls, state):
+        instance = cls()
+        instance.items = list(state["items"])
+        return instance

@@ -1,0 +1,16 @@
+"""Wire-symmetry violation: from_dict reads keys to_dict never writes."""
+
+
+class LopsidedRecord:
+    __slots__ = ("name", "value")
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+    def to_dict(self):
+        return {"name": self.name, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload):  # line 15: reads 'label' and 'weight'
+        return cls(payload["label"], payload.get("weight"))

@@ -1,0 +1,22 @@
+"""A fully conforming mergeable state: the corpus control group."""
+
+
+class RegisteredState:
+    __slots__ = ("items",)
+
+    def __init__(self):
+        self.items = []
+
+    def merge(self, other):
+        merged = RegisteredState()
+        merged.items = self.items + other.items
+        return merged
+
+    def state_dict(self):
+        return {"items": list(self.items)}
+
+    @classmethod
+    def from_state(cls, state):
+        instance = cls()
+        instance.items = list(state["items"])
+        return instance

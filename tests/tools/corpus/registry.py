@@ -1,0 +1,5 @@
+"""Stand-in merge harness registry for the corpus runs."""
+
+MERGE_ALGEBRA_REGISTRY = (
+    "tests.tools.corpus.good_state.RegisteredState",
+)

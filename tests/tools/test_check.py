@@ -1,0 +1,357 @@
+"""Tests for ``repro check`` — framework, rule families, CLI.
+
+The corpus assertions pin *exact* ``(rule, line, col)`` triples against
+the known-bad files in ``tests/tools/corpus/``; editing a corpus file
+must update the expectations here in the same commit.
+"""
+
+import json
+from pathlib import Path
+
+from repro.tools.check import (
+    JSON_SCHEMA_VERSION,
+    RULE_UNKNOWN_RULE,
+    RULE_UNUSED_SUPPRESSION,
+    Finding,
+    main,
+    render_json,
+    run_check,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "tests" / "tools" / "corpus"
+
+
+def check_corpus(filename, rule, extra_options=None):
+    """Run one rule over one corpus file, scoped to the corpus."""
+    options = {"paths": ["tests/tools/corpus"]}
+    options.update(extra_options or {})
+    findings, _summary = run_check(
+        [CORPUS / filename],
+        root=REPO_ROOT,
+        config={rule: options},
+        rules=[rule],
+    )
+    return findings
+
+
+def locations(findings):
+    return [(f.rule, f.line, f.col) for f in findings]
+
+
+class TestDeterminismCorpus:
+    def test_every_violation_fires_at_its_pinned_location(self):
+        findings = check_corpus("bad_determinism.py", "determinism")
+        assert locations(findings) == [
+            ("determinism", 12, 15),  # time.time()
+            ("determinism", 13, 13),  # datetime.date.today()
+            ("determinism", 14, 11),  # datetime.datetime.now()
+            ("determinism", 19, 13),  # os.urandom()
+            ("determinism", 20, 14),  # secrets.token_hex()
+            ("determinism", 25, 9),  # random.random()
+            ("determinism", 26, 9),  # from random import random
+            ("determinism", 27, 16),  # unseeded random.Random()
+            ("determinism", 34, 18),  # for over a set display
+            ("determinism", 36, 27),  # genexp over set()
+        ]
+
+    def test_seeded_and_sorted_uses_pass(self):
+        lines = {f.line for f in check_corpus("bad_determinism.py", "determinism")}
+        assert 28 not in lines  # random.Random(42)
+        assert 37 not in lines  # sorted(set(...))
+
+    def test_suppression_comment_silences_the_finding(self):
+        lines = {f.line for f in check_corpus("bad_determinism.py", "determinism")}
+        assert 41 not in lines  # repro: ignore[determinism] on that line
+
+
+class TestLockDisciplineCorpus:
+    def test_every_violation_fires_at_its_pinned_location(self):
+        findings = check_corpus("bad_lock.py", "lock-discipline")
+        assert locations(findings) == [
+            ("lock-discipline", 16, 20),  # read outside lock
+            ("lock-discipline", 19, 9),  # write outside lock
+            ("lock-discipline", 20, 9),  # second attr, same method
+            ("lock-discipline", 29, 26),  # read after lock released
+        ]
+        assert "_table" in findings[0].message
+        assert "_count" in findings[3].message
+
+    def test_locked_access_and_init_pass(self):
+        lines = {f.line for f in check_corpus("bad_lock.py", "lock-discipline")}
+        assert not lines & {12, 13, 24, 28}
+
+
+class TestMergeAlgebraCorpus:
+    OPTIONS = {"registry": "tests/tools/corpus/registry.py"}
+
+    def test_merge_without_checkpoint_and_unregistered_fire(self):
+        findings = check_corpus("bad_merge.py", "merge-algebra", self.OPTIONS)
+        assert locations(findings) == [
+            ("merge-algebra", 4, 1),  # missing state_dict/from_state
+            ("merge-algebra", 4, 1),  # and not registered
+            ("merge-algebra", 14, 1),  # complete but unregistered
+        ]
+        assert "state_dict" in findings[0].message
+        assert "MERGE_ALGEBRA_REGISTRY" in findings[2].message
+
+    def test_registered_complete_class_passes(self):
+        assert check_corpus("good_state.py", "merge-algebra", self.OPTIONS) == []
+
+
+class TestHotPathCorpus:
+    def test_every_violation_fires_at_its_pinned_location(self):
+        findings = check_corpus("bad_hotpath.py", "hot-path")
+        assert locations(findings) == [
+            ("hot-path", 6, 1),  # class without __slots__
+            ("hot-path", 20, 9),  # assignment outside declared slots
+            ("hot-path", 34, 17),  # constructor call in hot loop
+            ("hot-path", 35, 16),  # comprehension in hot loop
+        ]
+
+    def test_enum_exception_and_cold_functions_pass(self):
+        lines = {f.line for f in check_corpus("bad_hotpath.py", "hot-path")}
+        assert not lines & {24, 28, 42}
+
+
+class TestWireSymmetryCorpus:
+    def test_orphaned_read_keys_fire(self):
+        findings = check_corpus("bad_wire.py", "wire-symmetry")
+        assert locations(findings) == [("wire-symmetry", 15, 5)]
+        assert "'label'" in findings[0].message
+        assert "'weight'" in findings[0].message
+
+
+class TestCheckpointSchemaSnapshot:
+    """The cross-file CHECKPOINT_VERSION / snapshot contract."""
+
+    STATE = (
+        "class St:\n"
+        "    __slots__ = ('a', 'b')\n"
+        "    def merge(self, other):\n"
+        "        return self\n"
+        "    def state_dict(self):\n"
+        "        return {'a': self.a, 'b': self.b}\n"
+        "    @classmethod\n"
+        "    def from_state(cls, state):\n"
+        "        return cls()\n"
+    )
+
+    def project(self, tmp_path, *, keys=("a", "b"), version=1, snapshot=True):
+        (tmp_path / "src" / "mypkg").mkdir(parents=True)
+        (tmp_path / "src" / "mypkg" / "state.py").write_text(self.STATE)
+        (tmp_path / "registry.py").write_text(
+            "MERGE_ALGEBRA_REGISTRY = ('mypkg.state.St',)\n"
+        )
+        (tmp_path / "version.py").write_text("CHECKPOINT_VERSION = 1\n")
+        if snapshot:
+            (tmp_path / "schema.json").write_text(
+                json.dumps(
+                    {
+                        "checkpoint_version": version,
+                        "classes": {"mypkg.state.St": sorted(keys)},
+                    }
+                )
+            )
+        return tmp_path
+
+    def run(self, root):
+        findings, _ = run_check(
+            [root / "src"],
+            root=root,
+            config={
+                "wire-symmetry": {
+                    "paths": [],
+                    "registry": "registry.py",
+                    "schema": "schema.json",
+                    "version-source": "version.py",
+                },
+                "merge-algebra": {"paths": []},
+            },
+            rules=["wire-symmetry"],
+        )
+        return findings
+
+    def test_matching_snapshot_passes(self, tmp_path):
+        assert self.run(self.project(tmp_path)) == []
+
+    def test_schema_change_without_version_bump_fires(self, tmp_path):
+        root = self.project(tmp_path, keys=("a",), version=1)
+        findings = self.run(root)
+        assert [f.rule for f in findings] == ["wire-symmetry"]
+        assert "CHECKPOINT_VERSION" in findings[0].message
+
+    def test_stale_snapshot_after_version_bump_fires(self, tmp_path):
+        root = self.project(tmp_path, keys=("a",), version=7)
+        findings = self.run(root)
+        assert [f.rule for f in findings] == ["wire-symmetry"]
+        assert "--write-schema" in findings[0].message
+
+    def test_missing_snapshot_fires(self, tmp_path):
+        root = self.project(tmp_path, snapshot=False)
+        findings = self.run(root)
+        assert [f.rule for f in findings] == ["wire-symmetry"]
+        assert "missing" in findings[0].message
+
+
+class TestSuppressions:
+    def run(self, tmp_path, source):
+        (tmp_path / "mod.py").write_text(source)
+        findings, _ = run_check(
+            [tmp_path / "mod.py"],
+            root=tmp_path,
+            config={"determinism": {"paths": []}},
+            rules=["determinism"],
+        )
+        return findings
+
+    def test_used_suppression_produces_nothing(self, tmp_path):
+        findings = self.run(
+            tmp_path,
+            "import time\n\nNOW = time.time()  # repro: ignore[determinism]\n",
+        )
+        assert findings == []
+
+    def test_unused_suppression_is_itself_a_finding(self, tmp_path):
+        findings = self.run(
+            tmp_path, "VALUE = 1  # repro: ignore[determinism]\n"
+        )
+        assert locations(findings) == [(RULE_UNUSED_SUPPRESSION, 1, 1)]
+
+    def test_unknown_rule_in_suppression_is_a_finding(self, tmp_path):
+        findings = self.run(
+            tmp_path, "VALUE = 1  # repro: ignore[made-up-rule]\n"
+        )
+        assert locations(findings) == [(RULE_UNKNOWN_RULE, 1, 1)]
+        assert "made-up-rule" in findings[0].message
+
+    def test_marker_inside_a_docstring_is_not_a_suppression(self, tmp_path):
+        findings = self.run(
+            tmp_path,
+            '"""Docs quoting # repro: ignore[determinism] syntax."""\n'
+            "import time\n\nNOW = time.time()\n",
+        )
+        assert locations(findings) == [("determinism", 4, 7)]
+
+    def test_one_comment_can_name_several_rules(self, tmp_path):
+        findings = self.run(
+            tmp_path,
+            "import time\n\n"
+            "NOW = time.time()  # repro: ignore[determinism, hot-path]\n",
+        )
+        # determinism is consumed; hot-path did not run, so it is not
+        # reported unused either.
+        assert findings == []
+
+
+class TestJsonOutput:
+    def test_document_round_trips_through_finding_from_dict(self):
+        findings, summary = run_check(
+            [CORPUS / "bad_wire.py"],
+            root=REPO_ROOT,
+            config={"wire-symmetry": {"paths": ["tests/tools/corpus"]}},
+            rules=["wire-symmetry"],
+        )
+        document = json.loads(render_json(findings, summary))
+        assert document["schema_version"] == JSON_SCHEMA_VERSION
+        assert document["tool"] == "repro-check"
+        assert document["summary"]["findings"] == len(findings)
+        restored = [Finding.from_dict(row) for row in document["findings"]]
+        assert restored == findings
+
+    def test_findings_are_sorted_and_fully_typed(self):
+        findings, _ = run_check(
+            [CORPUS],
+            root=REPO_ROOT,
+            config={
+                "determinism": {"paths": ["tests/tools/corpus"]},
+                "hot-path": {"paths": ["tests/tools/corpus"]},
+            },
+            rules=["determinism", "hot-path"],
+        )
+        rows = [f.to_dict() for f in findings]
+        assert rows == sorted(
+            rows, key=lambda r: (r["path"], r["line"], r["col"], r["rule"])
+        )
+        for row in rows:
+            assert set(row) == {
+                "rule", "severity", "path", "line", "col", "message",
+            }
+
+
+class TestCli:
+    def test_src_tree_is_clean(self, capsys):
+        """The acceptance gate: `repro check src` exits 0 on this tree."""
+        assert main([str(REPO_ROOT / "src")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-check.determinism]\npaths = []\n"
+        )
+        (tmp_path / "bad.py").write_text("import time\nNOW = time.time()\n")
+        assert main(["bad.py", "--rule", "determinism"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2:7: error[determinism]" in out
+
+    def test_unknown_rule_id_exits_2(self, capsys):
+        assert main(["--rule", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_format_emits_the_documented_schema(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-check.determinism]\npaths = []\n"
+        )
+        (tmp_path / "bad.py").write_text("import time\nNOW = time.time()\n")
+        assert main(["bad.py", "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == JSON_SCHEMA_VERSION
+        assert [f["rule"] for f in document["findings"]] == ["determinism"]
+
+    def test_severity_override_downgrades_exit_code(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-check.determinism]\n"
+            "paths = []\n"
+            'severity = "warning"\n'
+        )
+        (tmp_path / "bad.py").write_text("import time\nNOW = time.time()\n")
+        assert main(["bad.py", "--rule", "determinism"]) == 0
+
+
+class TestMutationsAreCaught:
+    """Deleting the invariants from real sources must fail the check."""
+
+    def run_mutated(self, tmp_path, source_rel, old, new, config):
+        source = (REPO_ROOT / source_rel).read_text()
+        assert old in source
+        target = tmp_path / Path(source_rel).name
+        target.write_text(source.replace(old, new, 1))
+        findings, _ = run_check(
+            [target], root=REPO_ROOT, config=config, rules=list(config)
+        )
+        return findings
+
+    def test_removing_a_service_lock_fails(self, tmp_path):
+        findings = self.run_mutated(
+            tmp_path,
+            "src/repro/api/service.py",
+            "with self._lock:",
+            "if True:",
+            {"lock-discipline": {"paths": []}},
+        )
+        assert any(f.rule == "lock-discipline" for f in findings)
+
+    def test_removing_detector_slots_fails(self, tmp_path):
+        findings = self.run_mutated(
+            tmp_path,
+            "src/repro/core/detector.py",
+            "@dataclass(frozen=True, slots=True, weakref_slot=True)",
+            "@dataclass(frozen=True)",
+            {"hot-path": {"paths": []}},
+        )
+        assert any(f.rule == "hot-path" for f in findings)

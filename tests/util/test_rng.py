@@ -58,3 +58,58 @@ class TestRngStreams:
         streams = RngStreams(42)
         values = {streams.python(name).random() for name in "abcdef"}
         assert len(values) == 6
+
+
+class TestStreamIndependence:
+    """Draw-count isolation: the property the determinism rule exists
+    to protect.  Consuming one stream must never perturb another."""
+
+    def test_extra_python_draws_do_not_shift_sibling_streams(self):
+        control = RngStreams(42)
+        baseline = [control.python("events").random() for _ in range(5)]
+
+        noisy = RngStreams(42)
+        for _ in range(1000):  # a component grew new draws
+            noisy.python("topology").random()
+        assert [
+            noisy.python("events").random() for _ in range(5)
+        ] == baseline
+
+    def test_extra_numpy_draws_do_not_shift_sibling_streams(self):
+        control = RngStreams(7)
+        baseline = control.numpy("faults").integers(0, 1 << 30, size=8)
+
+        noisy = RngStreams(7)
+        noisy.numpy("growth").random(size=4096)
+        assert list(
+            noisy.numpy("faults").integers(0, 1 << 30, size=8)
+        ) == list(baseline)
+
+    def test_python_and_numpy_streams_of_one_name_are_independent(self):
+        control = RngStreams(7)
+        baseline = [control.python("mix").random() for _ in range(5)]
+
+        noisy = RngStreams(7)
+        noisy.numpy("mix").random(size=1024)
+        assert [
+            noisy.python("mix").random() for _ in range(5)
+        ] == baseline
+
+    def test_child_factories_do_not_share_state_with_parent(self):
+        parent = RngStreams(42)
+        parent_child = parent.child("sub")
+        baseline = [parent_child.python("x").random() for _ in range(3)]
+
+        perturbed = RngStreams(42)
+        for _ in range(100):
+            perturbed.python("x").random()  # parent-level stream
+        child = perturbed.child("sub")
+        assert [child.python("x").random() for _ in range(3)] == baseline
+
+    def test_sibling_children_are_independent(self):
+        first = RngStreams(42)
+        baseline = first.child("a").python("x").random()
+
+        second = RngStreams(42)
+        second.child("b").python("x").random()  # consume a sibling
+        assert second.child("a").python("x").random() == baseline
