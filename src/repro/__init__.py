@@ -28,7 +28,7 @@ See README.md for install and quickstart, and CHANGES.md for the
 release history.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro.netbase import (
     ASPath,

@@ -13,6 +13,10 @@ One CLI over the :mod:`repro.api` facade.
 - ``repro convert SRC DST``: re-encode an archive between day-store
   formats (v1 <-> v2), atomically;
 - ``repro report OUT``: print a previously generated report;
+- ``repro query ARCHIVE PREFIX``: answer one prefix's episode history
+  (optionally against a ``--day``/``--range`` window) from the O(log n)
+  episode index written by ``repro analyze --index`` — typed errors
+  (bad CIDR, missing/empty index, unindexed prefix) exit 2;
 - ``repro evaluate ARCHIVE``: run the verdict engine over an archive
   and score its cause attribution against the archive's injected
   incident labels (see ``repro simulate --incidents``);
@@ -92,6 +96,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_analyze(sub)
     _add_convert(sub)
     _add_report(sub)
+    _add_query(sub)
     _add_evaluate(sub)
     _add_watch(sub)
     _add_serve(sub)
@@ -270,6 +275,18 @@ def _add_analyze(sub) -> None:
         "the feed (decode vs detect vs fold); forces the serial "
         "in-process path, results are unchanged",
     )
+    parser.add_argument(
+        "--index",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="additionally write the episode query index (default "
+        "<archive>/episodes.idx): the O(log n) prefix->history store "
+        "'repro query' and the serve daemon answer from without "
+        "re-folding the study; CDS archives enrich each record with "
+        "the verdict engine's tag/suspicion view",
+    )
     parser.set_defaults(func=_run_analyze)
 
 
@@ -350,6 +367,35 @@ def _run_analyze(args: argparse.Namespace) -> int:
         scale = float(recorded) if recorded else None
     report = write_analysis(results, args.output_dir, scale=scale)
     print(report)
+    if args.index is not None:
+        from repro.analysis.index import INDEX_FILENAME
+
+        index_path = (
+            Path(args.index)
+            if args.index
+            else args.archive_dir / INDEX_FILENAME
+        )
+        try:
+            # Verdict enrichment re-streams the source through the
+            # verdict engine (exactly `repro evaluate`); a source
+            # without a CDS manifest indexes episodes and RPKI only.
+            verdicts = None
+            if (args.archive_dir / "manifest.json").is_file():
+                verdicts = service.evaluate(args.archive_dir).verdicts
+            service.build_index(index_path, verdicts=verdicts)
+        except (
+            FileNotFoundError,
+            ValueError,
+            MrtError,
+            OSError,
+            json.JSONDecodeError,
+        ) as error:
+            print(f"repro analyze: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"episode index written to {index_path} "
+            f"({len(results.episodes)} episodes)"
+        )
     if profile is not None:
         print()
         print(profile.report())
@@ -479,6 +525,108 @@ def _run_report(args: argparse.Namespace) -> int:
         )
         return 1
     print(report_path.read_text(), end="")
+    return 0
+
+
+# -- query --------------------------------------------------------------------
+
+
+def _add_query(sub) -> None:
+    parser = sub.add_parser(
+        "query",
+        help="answer a prefix's episode history from the index",
+        description="Answer one prefix's MOAS episode history — origin "
+        "sets, start/end days, verdict tag + suspicion, RPKI state — "
+        "from the episode index (episodes.idx) in O(log n), without "
+        "re-folding the study.  Build the index with 'repro analyze "
+        "--index'.  Typed errors (malformed CIDR, missing or empty "
+        "index, prefix absent from the index) exit with status 2.",
+    )
+    parser.add_argument(
+        "archive_dir",
+        type=Path,
+        metavar="ARCHIVE",
+        help="archive directory holding episodes.idx, or a direct "
+        "path to an index file",
+    )
+    parser.add_argument(
+        "prefix", metavar="PREFIX", help="the CIDR prefix to look up"
+    )
+    window = parser.add_mutually_exclusive_group()
+    window.add_argument(
+        "--day",
+        metavar="YYYY-MM-DD",
+        help="point query: resolve the history against this one day",
+    )
+    window.add_argument(
+        "--range",
+        dest="day_range",
+        metavar="A:B",
+        help="range query: resolve against the inclusive day window "
+        "A:B (two ISO dates)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("csv", "ascii", "json"),
+        default="ascii",
+        help="answer format (default ascii)",
+    )
+    parser.set_defaults(func=_run_query)
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.analysis.index import INDEX_FILENAME, EpisodeIndex
+    from repro.api.renderers import render_query
+    from repro.netbase.prefix import Prefix
+    from repro.scenario.archive import ArchiveError
+
+    def fail(error) -> int:
+        # Typed query errors exit 2 (argparse's own convention), so
+        # scripts can tell "no such episode" from a crashed run.
+        print(f"repro query: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        prefix = Prefix.parse(args.prefix)
+    except ValueError as error:
+        return fail(error)
+    day = window = None
+    try:
+        if args.day is not None:
+            day = parse_date(args.day)
+        if args.day_range is not None:
+            start_text, sep, end_text = args.day_range.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"--range wants A:B (two ISO dates), got "
+                    f"{args.day_range!r}"
+                )
+            window = (parse_date(start_text), parse_date(end_text))
+    except ValueError as error:
+        return fail(error)
+    path = args.archive_dir
+    if path.is_dir():
+        path = path / INDEX_FILENAME
+    if not path.is_file():
+        return fail(
+            f"no episode index at {path}; build one with "
+            f"'repro analyze --index'"
+        )
+    try:
+        index = EpisodeIndex.load(path)
+    except ArchiveError as error:
+        return fail(error)
+    if len(index) == 0:
+        return fail(
+            f"episode index {path} is empty: the indexed study "
+            f"recorded no MOAS episodes"
+        )
+    answer = index.query(prefix, day=day, window=window)
+    if answer is None:
+        return fail(
+            f"no MOAS episode recorded for {prefix} in {path}"
+        )
+    print(render_query(answer, args.format), end="")
     return 0
 
 

@@ -32,6 +32,7 @@ Endpoints (all ``GET``):
 ``/v1/figures``                           registered figure/format matrix
 ``/v1/figure/{name}?format=csv|ascii|json``  any registry rendering
 ``/v1/episodes/{prefix}``                 one prefix's episode record
+``/v1/history/{prefix}?day=D|range=A:B``  indexed episode history answer
 ``/v1/verdicts``                          verdict engine assessments
 ``/v1/evaluation?format=...``             verdicts scored vs ground truth
 ``/v1/alerts?replay=N``                   SSE stream of live MOAS alerts
@@ -260,7 +261,7 @@ class _Snapshot:
     results: object
 
 
-@guarded_by("_lock", "_snapshot_cache", "_verdict_cache")
+@guarded_by("_lock", "_snapshot_cache", "_verdict_cache", "_index_cache")
 class ServeApp:
     """The daemon's synchronous core: shared state + request routing.
 
@@ -290,6 +291,7 @@ class ServeApp:
         self._lock = threading.RLock()
         self._snapshot_cache: _Snapshot | None = None
         self._verdict_cache: tuple[int, dict] | None = None
+        self._index_cache: tuple[int, object] | None = None
         self._registry = None
         self._injected: list = []
         self._organic: list = []
@@ -382,6 +384,31 @@ class ServeApp:
                 self._verdict_cache = cache
             return cache
 
+    def current_index(self):
+        """``(snapshot, EpisodeIndex)`` pinned to one day boundary.
+
+        The index is rebuilt (and cached) per day count under the app
+        lock, from the same snapshot/verdict view every other reader
+        sees — so ``/v1/episodes`` and ``/v1/history`` answers are
+        byte-identical to a batch ``analyze --index`` + ``repro
+        query`` run stopped at that day.
+        """
+        from repro.analysis.index import EpisodeIndex
+
+        with self._lock:
+            snapshot = self.current()
+            cache = self._index_cache
+            if cache is None or cache[0] != snapshot.days:
+                _days, verdicts = self.current_verdicts()
+                cache = (
+                    snapshot.days,
+                    EpisodeIndex.build(
+                        snapshot.results, verdicts=verdicts
+                    ),
+                )
+                self._index_cache = cache
+            return snapshot, cache[1]
+
     def _meta_headers(self, snapshot: _Snapshot) -> dict:
         headers = {"X-Repro-Days": str(snapshot.days)}
         if snapshot.last_day_iso:
@@ -419,6 +446,10 @@ class ServeApp:
                 )
             if path.startswith("/v1/episodes/"):
                 return self._handle_episode(path[len("/v1/episodes/"):])
+            if path.startswith("/v1/history/"):
+                return self._handle_history(
+                    path[len("/v1/history/"):], query
+                )
             if path == "/v1/verdicts":
                 return self._handle_verdicts(query)
             if path == "/v1/evaluation":
@@ -509,21 +540,64 @@ class ServeApp:
         )
 
     def _handle_episode(self, prefix_text: str) -> Response:
-        from repro.analysis.export import episode_record
         from repro.netbase.prefix import Prefix
 
         try:
             prefix = Prefix.parse(prefix_text)
         except ValueError as error:
             return Response.error(400, f"bad prefix: {error}")
-        snapshot = self.current()
-        if prefix not in snapshot.results.episodes:
+        snapshot, index = self.current_index()
+        record = index.lookup(prefix)
+        if record is None:
+            return Response.error(
+                404, f"no MOAS episode recorded for {prefix}"
+            )
+        # IndexRecord.episode_dict() is byte-identical to
+        # episode_record(results, prefix) — the equivalence the
+        # property suite pins — so answering from the O(log n) index
+        # preserves this route's wire contract.
+        return Response.json(
+            record.episode_dict(),
+            headers=self._meta_headers(snapshot),
+        )
+
+    def _handle_history(self, prefix_text: str, query: dict) -> Response:
+        from repro.netbase.prefix import Prefix
+        from repro.util.dates import parse_date
+
+        try:
+            prefix = Prefix.parse(prefix_text)
+        except ValueError as error:
+            return Response.error(400, f"bad prefix: {error}")
+        if "day" in query and "range" in query:
+            return Response.error(
+                400, "pass day or range, not both"
+            )
+        day = window = None
+        try:
+            if "day" in query:
+                day = parse_date(query["day"])
+            elif "range" in query:
+                start_text, sep, end_text = query["range"].partition(
+                    ":"
+                )
+                if not sep:
+                    return Response.error(
+                        400,
+                        f"range wants A:B (two ISO dates), got "
+                        f"{query['range']!r}",
+                    )
+                window = (parse_date(start_text), parse_date(end_text))
+        except ValueError as error:
+            return Response.error(400, str(error))
+        snapshot, index = self.current_index()
+        answer = index.query(prefix, day=day, window=window)
+        if answer is None:
             return Response.error(
                 404, f"no MOAS episode recorded for {prefix}"
             )
         return Response.json(
-            episode_record(snapshot.results, prefix),
-            headers=self._meta_headers(snapshot),
+            answer.to_dict(), headers=self._meta_headers(snapshot)
         )
 
     def _handle_verdicts(self, query: dict) -> Response:

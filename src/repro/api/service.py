@@ -200,6 +200,37 @@ class MoasService:
         """Render one figure/table from the current session state."""
         return render(self.results(), figure, format)
 
+    # -- episode query index -------------------------------------------------
+
+    def episode_index(self, *, verdicts: dict | None = None):
+        """An :class:`~repro.analysis.index.EpisodeIndex` of the session.
+
+        Built from a day-boundary snapshot (:meth:`results` holds the
+        session lock), so an index taken while :meth:`feed_day` runs on
+        another thread always equals the index of a batch analyze
+        stopped at some fed-day prefix.  ``verdicts`` optionally
+        enriches each record with the verdict engine's tag/suspicion
+        view (e.g. ``service.evaluate(archive).verdicts``).
+        """
+        from repro.analysis.index import EpisodeIndex
+
+        return EpisodeIndex.build(self.results(), verdicts=verdicts)
+
+    def build_index(
+        self, path: Path | str, *, verdicts: dict | None = None
+    ) -> Path:
+        """Write the session's episode query index to ``path``.
+
+        The on-disk by-product of ``repro analyze --index``: a
+        crash-safe (atomic-rename) binary side file that ``repro
+        query`` and the serve daemon answer point/range lookups from
+        without re-folding the study.  Because the index derives from
+        the checkpointable session state, a resumed session
+        (``--resume``) rebuilds it without re-folding already-seen
+        days.
+        """
+        return self.episode_index(verdicts=verdicts).save(path)
+
     # -- verdicts and evaluation ---------------------------------------------
 
     def evaluate(

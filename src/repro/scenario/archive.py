@@ -1541,6 +1541,16 @@ class ArchiveReader:
         """True when the archive carries injected-incident labels."""
         return (self.directory / "incidents.json").is_file()
 
+    def has_episode_index(self) -> bool:
+        """True when the archive carries an episode query index.
+
+        The index (``episodes.idx``, see :mod:`repro.analysis.index`)
+        is a by-product of ``repro analyze --index``; it answers
+        ``repro query`` and the serve daemon's history route without
+        re-folding the study.
+        """
+        return (self.directory / "episodes.idx").is_file()
+
     def incident_labels(self) -> list[dict]:
         """Injected-incident ground truth rows (see ``write_incidents``).
 
@@ -1607,8 +1617,15 @@ def read_day_index(directory: FsPath | str) -> tuple[list[int], int]:
 #: over verbatim when converting between formats.
 _WRITER_MANIFEST_KEYS = ("format", "num_prefixes", "num_paths", "num_days")
 
-#: Ground-truth side files copied verbatim by :func:`convert_archive`.
-_SIDE_FILES = ("ground_truth.json", "incidents.json", "roas.json")
+#: Side files copied verbatim by :func:`convert_archive`: ground truth
+#: plus the episode query index, which is format-independent (it
+#: describes the study's episodes, not the day-store encoding).
+_SIDE_FILES = (
+    "ground_truth.json",
+    "incidents.json",
+    "roas.json",
+    "episodes.idx",
+)
 
 
 def reencode_archive(

@@ -18,9 +18,22 @@ from pathlib import Path
 
 def atomic_write_text(path: Path | str, text: str) -> Path:
     """Write ``text`` to ``path`` so no reader ever sees a torn file."""
-    path = Path(path)
+    return _atomic_write(Path(path), text, mode="w")
+
+
+def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
+    """Binary twin of :func:`atomic_write_text` (same guarantees).
+
+    Used by binary side files such as the episode query index, whose
+    readers treat a torn file as corruption — the rename makes a
+    half-written index unobservable.
+    """
+    return _atomic_write(Path(path), data, mode="wb")
+
+
+def _atomic_write(path: Path, payload, *, mode: str) -> Path:
     handle = tempfile.NamedTemporaryFile(
-        mode="w",
+        mode=mode,
         dir=path.parent,
         prefix=f".{path.name}.",
         suffix=".tmp",
@@ -28,7 +41,7 @@ def atomic_write_text(path: Path | str, text: str) -> Path:
     )
     try:
         with handle:
-            handle.write(text)
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(handle.name, path)

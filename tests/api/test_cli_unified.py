@@ -287,6 +287,7 @@ class TestHelpText:
         "analyze",
         "convert",
         "report",
+        "query",
         "evaluate",
         "watch",
         "serve",

@@ -226,6 +226,141 @@ class TestServeIntegration:
             scored = json.loads(body)
             assert "per_kind" in scored or scored  # a JSON document
 
+    def test_history_endpoint_answers_from_the_index(
+        self, serve_archive
+    ):
+        """/v1/history carries the full indexed answer for a prefix."""
+        config = ServeConfig(archive=serve_archive, port=0)
+        with BackgroundServer(config) as url:
+            wait_for_ingest(url)
+            _, _, body = http_get(url + "/v1/figure/episodes?format=json")
+            episodes = json.loads(body)
+            prefix = episodes[0]["prefix"]
+
+            status, headers, body = http_get(
+                f"{url}/v1/history/{prefix}"
+            )
+            assert status == 200
+            answer = json.loads(body)
+            # The episode slice is byte-identical to the episode route.
+            assert answer["episode"] == episodes[0]
+            assert answer["query"]["prefix"] == prefix
+            assert not answer["query"]["explicit_window"]
+            assert answer["query"]["days_indexed"] == int(
+                headers["X-Repro-Days"]
+            )
+            assert answer["query"]["total_episodes"] == len(episodes)
+            assert "verdict" in answer
+
+            # Point query against the episode's own first day.
+            day = answer["episode"]["first_day"]
+            _, _, body = http_get(
+                f"{url}/v1/history/{prefix}?day={day}"
+            )
+            point = json.loads(body)
+            assert point["query"]["explicit_window"]
+            assert point["query"]["active"]
+            assert point["query"]["overlap_days"] == 1
+
+            # Range query over the full study window covers everyone.
+            _, _, body = http_get(
+                f"{url}/v1/history/{prefix}?range="
+                f"{CALENDAR.start.isoformat()}:"
+                f"{CALENDAR.end.isoformat()}"
+            )
+            ranged = json.loads(body)
+            assert ranged["query"]["concurrent_episodes"] == len(
+                episodes
+            )
+
+    def test_history_racing_ingestion_is_day_boundary_consistent(
+        self, serve_archive, serve_detections
+    ):
+        """History answers mid-ingestion = batch index at that day.
+
+        Every ``/v1/history`` body must byte-equal the answer of an
+        index built from a batch fold (plus verdict engine) stopped at
+        the day count the response's ``X-Repro-Days`` header names —
+        the index inherits serve's snapshot isolation (ISSUE 10
+        satellite).
+        """
+        from repro.analysis.index import EpisodeIndex
+        from repro.core.verdict import VerdictEngine
+        from repro.scenario.archive import ArchiveReader
+
+        # A prefix conflicted on day 1, so early day counts answer 200.
+        first_conflicts = serve_detections[0].conflicts
+        assert first_conflicts, "fixture archive has a quiet first day"
+        prefix = first_conflicts[0].prefix
+
+        config = ServeConfig(
+            archive=serve_archive, port=0, ingest_delay=0.03
+        )
+        observed: list[tuple[int, bytes]] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def client(url: str) -> None:
+            successes = 0
+            while not stop.is_set() or successes < 3:
+                status, headers, body = http_get(
+                    f"{url}/v1/history/{prefix}"
+                )
+                if status != 200:
+                    continue  # not conflicted / nothing folded yet
+                successes += 1
+                with lock:
+                    observed.append(
+                        (int(headers["X-Repro-Days"]), body)
+                    )
+
+        with BackgroundServer(config) as url:
+            threads = [
+                threading.Thread(target=client, args=(url,))
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            wait_for_ingest(url)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            status, headers, body = http_get(
+                f"{url}/v1/history/{prefix}"
+            )
+            assert status == 200
+            observed.append((int(headers["X-Repro-Days"]), body))
+
+        day_counts = sorted({days for days, _ in observed})
+        assert day_counts[-1] == len(serve_detections)
+
+        reader = ArchiveReader(serve_archive)
+        try:
+            registry = reader.registry
+        finally:
+            reader.close()
+        needed = {days for days, _ in observed}
+        reference: dict[int, bytes] = {}
+        service = MoasService()
+        engine = VerdictEngine()
+        for fed, detection in enumerate(serve_detections, start=1):
+            service.feed_day(detection)
+            engine.feed_day(detection)
+            if fed in needed:
+                index = EpisodeIndex.build(
+                    service.results(),
+                    verdicts=engine.finalize(registry=registry),
+                )
+                answer = index.query(prefix)
+                reference[fed] = (
+                    json.dumps(answer.to_dict(), indent=2) + "\n"
+                ).encode()
+        for days, body in observed:
+            assert body == reference[days], (
+                f"history answer at {days} days diverged from a "
+                f"batch-built index"
+            )
+
     def test_error_paths(self, serve_archive):
         config = ServeConfig(archive=serve_archive, port=0)
         with BackgroundServer(config) as url:
@@ -236,6 +371,15 @@ class TestServeIntegration:
                 ("/v1/figure/evaluation", 400),
                 ("/v1/episodes/banana", 400),
                 ("/v1/episodes/203.0.113.0/24", 404),
+                ("/v1/history/banana", 400),
+                ("/v1/history/203.0.113.0/24", 404),
+                ("/v1/history/10.0.0.0/8?day=soon", 400),
+                ("/v1/history/10.0.0.0/8?range=1998-01-01", 400),
+                (
+                    "/v1/history/10.0.0.0/8"
+                    "?day=1998-01-01&range=1998-01-01:1998-01-02",
+                    400,
+                ),
                 ("/v1/verdicts?min_suspicion=lots", 400),
                 ("/v1/evaluation?format=xml", 400),
                 ("/nope", 404),

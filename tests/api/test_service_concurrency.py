@@ -119,6 +119,55 @@ class TestSnapshotConsistency:
         assert snapshot.total_days == frozen_days
         assert snapshot.episodes == frozen_episodes
 
+    def test_concurrent_index_builds_are_day_boundaries(
+        self, day_stream
+    ):
+        """episode_index() racing feed_day = index at some day prefix.
+
+        The query index inherits the service's snapshot isolation: an
+        index built while days fold concurrently must byte-equal the
+        index of some *prefix* of the day stream, never a torn
+        mid-fold mixture (ISSUE 10 satellite).
+        """
+        reference = MoasService()
+        prefix_bytes = [reference.episode_index().to_bytes()]
+        for detection in day_stream:
+            reference.feed_day(detection)
+            prefix_bytes.append(reference.episode_index().to_bytes())
+
+        service = MoasService()
+        observed: list[tuple[int, bytes]] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                index = service.episode_index()
+                observed.append(
+                    (index.days_indexed, index.to_bytes())
+                )
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for detection in day_stream:
+                service.feed_day(detection)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        final = service.episode_index()
+        observed.append((final.days_indexed, final.to_bytes()))
+
+        assert observed[-1][0] == len(day_stream)
+        for days, raw in observed:
+            assert raw == prefix_bytes[days], (
+                f"index built at {days} days is not the day-{days} "
+                f"prefix index"
+            )
+
     def test_sharded_checkpoint_under_feed_is_consistent(
         self, day_stream, tmp_path
     ):
